@@ -1,0 +1,382 @@
+// Benchmarks regenerating the performance side of the experiment suite
+// (see DESIGN.md §4 and EXPERIMENTS.md). Mapping:
+//
+//	BenchmarkBankTransfer        — E8a (engine scaling on the bank workload)
+//	BenchmarkReadMix             — E8b (read-ratio sensitivity)
+//	BenchmarkDisjoint            — E8c (perfect-DAP scaling / hot-spot cost)
+//	BenchmarkContentionManagers  — E8d (manager ablation)
+//	BenchmarkValidationAblation  — E8e (opacity-validation ablation)
+//	BenchmarkIntSet              — DSTM's original IntSet microbenchmark
+//	BenchmarkFoConsensus         — fo-consensus base-object throughput
+//	BenchmarkFig2Scenario        — E5 driver cost (figure regeneration)
+//	BenchmarkValencyExplorer     — E4(b) explorer cost
+//	BenchmarkAlg2                — Algorithm 2's deliberate inefficiency
+//	BenchmarkSkipList            — logarithmic sorted-set workload
+//	BenchmarkEarlyRelease        — DSTM early-release ablation
+//
+// Run: go test -bench=. -benchmem .
+package oftm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	oftm "repro"
+	"repro/internal/adversary"
+	"repro/internal/base"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/sim"
+)
+
+// benchEngines are the raw-mode engines for the throughput benchmarks;
+// Algorithm 2 is benchmarked separately (BenchmarkAlg2) because of its
+// intentional cost profile.
+func benchEngines() []bench.Engine {
+	var out []bench.Engine
+	for _, e := range bench.Engines() {
+		if e.Name != "alg2" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func threadCounts() []int { return []int{1, 2, 4, 8} }
+
+// BenchmarkBankTransfer: random transfers over 8 accounts (E8a).
+func BenchmarkBankTransfer(b *testing.B) {
+	for _, e := range benchEngines() {
+		for _, th := range threadCounts() {
+			b.Run(fmt.Sprintf("%s/threads=%d", e.Name, th), func(b *testing.B) {
+				tm := e.Raw()
+				bank := oftm.NewBank(tm, 8, 1000)
+				b.SetParallelism(th)
+				var seq atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(seq.Add(1)))
+					for pb.Next() {
+						from := rng.Intn(8)
+						to := (from + 1 + rng.Intn(7)) % 8
+						if err := bank.Transfer(nil, from, to, 1); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkReadMix: 64 variables, varying read percentage (E8b).
+func BenchmarkReadMix(b *testing.B) {
+	for _, e := range benchEngines() {
+		for _, pct := range []int{0, 50, 90} {
+			b.Run(fmt.Sprintf("%s/reads=%d", e.Name, pct), func(b *testing.B) {
+				tm := e.Raw()
+				vars := make([]oftm.Var, 64)
+				for i := range vars {
+					vars[i] = tm.NewVar(fmt.Sprintf("v%d", i), 0)
+				}
+				var seq atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(seq.Add(1)))
+					for pb.Next() {
+						v := vars[rng.Intn(len(vars))]
+						if rng.Intn(100) < pct {
+							if err := oftm.Atomically(tm, func(tx oftm.Tx) error {
+								_, err := tx.Read(v)
+								return err
+							}); err != nil {
+								b.Fatal(err)
+							}
+							continue
+						}
+						if err := oftm.Atomically(tm, func(tx oftm.Tx) error {
+							x, err := tx.Read(v)
+							if err != nil {
+								return err
+							}
+							return tx.Write(v, x+1)
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkDisjoint: each goroutine increments a private variable —
+// perfect disjoint access. Scaling differences between engines expose
+// the shared-metadata "hot spots" discussed in §1 (E8c).
+func BenchmarkDisjoint(b *testing.B) {
+	for _, e := range benchEngines() {
+		b.Run(e.Name, func(b *testing.B) {
+			tm := e.Raw()
+			const slots = 64
+			vars := make([]oftm.Var, slots)
+			for i := range vars {
+				vars[i] = tm.NewVar(fmt.Sprintf("p%d", i), 0)
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				v := vars[int(next.Add(1))%slots]
+				for pb.Next() {
+					if err := oftm.Atomically(tm, func(tx oftm.Tx) error {
+						x, err := tx.Read(v)
+						if err != nil {
+							return err
+						}
+						return tx.Write(v, x+1)
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkContentionManagers: DSTM on a hot 4-account bank (E8d).
+func BenchmarkContentionManagers(b *testing.B) {
+	managers := map[string]oftm.ContentionManager{
+		"aggressive": oftm.Aggressive,
+		"polite":     oftm.Polite,
+		"karma":      oftm.Karma,
+		"timestamp":  oftm.Timestamp,
+	}
+	for name, m := range managers {
+		b.Run(name, func(b *testing.B) {
+			tm := oftm.NewDSTM(oftm.WithManager(m))
+			bank := oftm.NewBank(tm, 4, 1000)
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.Add(1)))
+				for pb.Next() {
+					from := rng.Intn(4)
+					to := (from + 1 + rng.Intn(3)) % 4
+					if err := bank.Transfer(nil, from, to, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkValidationAblation: DSTM validate-on-read (opaque) vs
+// validate-at-commit (serializable only), read-heavy workload (E8e).
+func BenchmarkValidationAblation(b *testing.B) {
+	variants := map[string]func() oftm.TM{
+		"validate-on-read":   func() oftm.TM { return oftm.NewDSTM() },
+		"validate-at-commit": func() oftm.TM { return oftm.NewDSTM(oftm.ValidateAtCommitOnly()) },
+	}
+	for name, mk := range variants {
+		b.Run(name, func(b *testing.B) {
+			tm := mk()
+			vars := make([]oftm.Var, 16)
+			for i := range vars {
+				vars[i] = tm.NewVar(fmt.Sprintf("v%d", i), 0)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					// A long read-only transaction: validation cost is
+					// quadratic in reads when validating per read.
+					if err := oftm.Atomically(tm, func(tx oftm.Tx) error {
+						for _, v := range vars {
+							if _, err := tx.Read(v); err != nil {
+								return err
+							}
+						}
+						return nil
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkIntSet: the DSTM paper's linked-list set microbenchmark:
+// 90% lookups, 10% updates on a 64-key range.
+func BenchmarkIntSet(b *testing.B) {
+	for _, e := range benchEngines() {
+		b.Run(e.Name, func(b *testing.B) {
+			tm := e.Raw()
+			set := oftm.NewIntSet(tm)
+			for k := uint64(0); k < 64; k += 2 {
+				if _, err := set.Insert(nil, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.Add(1)))
+				for pb.Next() {
+					k := uint64(rng.Intn(64))
+					switch r := rng.Intn(100); {
+					case r < 90:
+						if _, err := set.Contains(nil, k); err != nil {
+							b.Fatal(err)
+						}
+					case r < 95:
+						if _, err := set.Insert(nil, k); err != nil {
+							b.Fatal(err)
+						}
+					default:
+						if _, err := set.Remove(nil, k); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFoConsensus: raw propose throughput on an already-decided
+// fo-consensus object (the common fast path in Algorithm 2).
+func BenchmarkFoConsensus(b *testing.B) {
+	f := base.NewFoCons(nil, "f", base.NeverAbort, 1)
+	f.Propose(nil, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := f.Propose(nil, 9); got != 7 {
+			b.Fatal("agreement broke")
+		}
+	}
+}
+
+// BenchmarkFig2Scenario: full Figure 2 sweep on DSTM (one complete
+// regeneration of the paper's figure per iteration).
+func BenchmarkFig2Scenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := adversary.RunFig2(func(env *sim.Env) core.TM {
+			return dstm.New(dstm.WithEnv(env))
+		}, 4)
+		if rep.CriticalStep < 0 {
+			b.Fatal("no critical step")
+		}
+	}
+}
+
+// BenchmarkValencyExplorer: bounded bivalence search (Theorem 9
+// adversary), depth 8.
+func BenchmarkValencyExplorer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := adversary.ExploreValency([]uint64{0, 1, 1}, 8)
+		if rep.SustainedDepth != 8 {
+			b.Fatal("bivalence lost")
+		}
+	}
+}
+
+// BenchmarkAlg2: single-threaded increments on the paper's Algorithm 2
+// — the deliberate inefficiency of the equivalence construction,
+// quantified (compare with any engine in BenchmarkDisjoint).
+func BenchmarkAlg2(b *testing.B) {
+	tm := oftm.NewAlg2()
+	x := tm.NewVar("x", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := oftm.Atomically(tm, func(tx oftm.Tx) error {
+			v, err := tx.Read(x)
+			if err != nil {
+				return err
+			}
+			return tx.Write(x, v+1)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSkipList: logarithmic sorted-set workload, 90% lookups.
+func BenchmarkSkipList(b *testing.B) {
+	for _, e := range benchEngines() {
+		b.Run(e.Name, func(b *testing.B) {
+			tm := e.Raw()
+			s := oftm.NewSkipList(tm, 8)
+			for k := uint64(0); k < 256; k += 2 {
+				if _, err := s.Insert(nil, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.Add(1)))
+				for pb.Next() {
+					k := uint64(rng.Intn(256))
+					switch r := rng.Intn(100); {
+					case r < 90:
+						if _, err := s.Contains(nil, k); err != nil {
+							b.Fatal(err)
+						}
+					case r < 95:
+						if _, err := s.Insert(nil, k); err != nil {
+							b.Fatal(err)
+						}
+					default:
+						if _, err := s.Remove(nil, k); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkEarlyRelease: long list traversals with a head-churning
+// writer — DSTM with and without early release. Early release should
+// keep tail lookups from retrying.
+func BenchmarkEarlyRelease(b *testing.B) {
+	variants := map[string]func(tm oftm.TM) *oftm.IntSet{
+		"plain":         oftm.NewIntSet,
+		"early-release": oftm.NewIntSetEarlyRelease,
+	}
+	for name, mk := range variants {
+		b.Run(name, func(b *testing.B) {
+			tm := oftm.NewDSTM()
+			s := mk(tm)
+			for k := uint64(1); k <= 128; k++ {
+				if _, err := s.Insert(nil, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			stop := make(chan struct{})
+			go func() {
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_, _ = s.Remove(nil, 1)
+					_, _ = s.Insert(nil, 1)
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Contains(nil, 128); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+		})
+	}
+}

@@ -1,0 +1,51 @@
+// Command oftm-bench regenerates the experiment tables of the
+// reproduction (DESIGN.md §4 / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	oftm-bench                 # run every experiment E1..E8
+//	oftm-bench -exp E5         # run one experiment
+//	oftm-bench -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp != "" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "oftm-bench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+		return
+	}
+	for _, e := range bench.All() {
+		run(e)
+		fmt.Println()
+	}
+}
+
+func run(e bench.Experiment) {
+	fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+	start := time.Now()
+	e.Run(os.Stdout)
+	fmt.Printf("(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,140 @@
+// Command oftm-check runs randomized checker campaigns: it drives an
+// engine through many random schedules in the simulator and verifies,
+// on every recorded low-level history,
+//
+//   - well-formedness of the history (§2.1),
+//   - opacity (exact for small histories, commit-order witness above
+//     the exact limit),
+//   - obstruction-freedom (Definition 2) for engines that claim it.
+//
+// Usage:
+//
+//	oftm-check                      # all engines, 50 seeds each
+//	oftm-check -engine dstm -seeds 500
+//	oftm-check -procs 4 -txs 3 -ops 4 -vars 2   # hotter workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func main() {
+	engine := flag.String("engine", "", "engine to check (default: all)")
+	seeds := flag.Int("seeds", 50, "random schedules per engine")
+	procs := flag.Int("procs", 3, "concurrent processes")
+	txs := flag.Int("txs", 2, "transactions per process")
+	ops := flag.Int("ops", 3, "operations per transaction")
+	vars := flag.Int("vars", 3, "t-variables")
+	crash := flag.Bool("crash", false, "crash a random process mid-run in every schedule")
+	flag.Parse()
+
+	var engines []bench.Engine
+	if *engine != "" {
+		engines = []bench.Engine{bench.EngineByName(*engine)}
+	} else {
+		engines = bench.Engines()
+	}
+
+	failures := 0
+	for _, e := range engines {
+		fmt.Printf("checking %-7s ", e.Name)
+		bad := campaign(e, *seeds, *procs, *txs, *ops, *vars, *crash)
+		if bad == 0 {
+			fmt.Printf("OK   (%d schedules: well-formed, opaque/serializable%s)\n",
+				*seeds, ofSuffix(e))
+		} else {
+			fmt.Printf("FAIL (%d violating schedules of %d)\n", bad, *seeds)
+			failures += bad
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func ofSuffix(e bench.Engine) string {
+	if e.OF {
+		return ", obstruction-free"
+	}
+	return ""
+}
+
+func campaign(e bench.Engine, seeds, procs, txsPer, opsPer, nvars int, crash bool) int {
+	bad := 0
+	for seed := 0; seed < seeds; seed++ {
+		env := sim.New()
+		tm := core.Recorded(e.Sim(env), env.Recorder())
+		vars := make([]core.Var, nvars)
+		init := map[model.VarID]uint64{}
+		for i := range vars {
+			vars[i] = tm.NewVar(fmt.Sprintf("x%d", i), 0)
+			init[vars[i].ID()] = 0
+		}
+		for pi := 0; pi < procs; pi++ {
+			pi := pi
+			env.Spawn(func(p *sim.Proc) {
+				rng := rand.New(rand.NewSource(int64(seed)*1009 + int64(pi)))
+				for k := 0; k < txsPer; k++ {
+					_ = core.Run(tm, p, func(tx core.Tx) error {
+						for j := 0; j < opsPer; j++ {
+							v := vars[rng.Intn(len(vars))]
+							if rng.Intn(2) == 0 {
+								if _, err := tx.Read(v); err != nil {
+									return err
+								}
+							} else if err := tx.Write(v, uint64(rng.Intn(50)+1)); err != nil {
+								return err
+							}
+						}
+						return nil
+					}, core.MaxAttempts(40))
+				}
+			})
+		}
+		var sched sim.Scheduler = sim.Random(int64(seed))
+		if crash {
+			victim := model.ProcID(seed%procs + 1)
+			sched = sim.CrashAfter(victim, seed%13, sched)
+		}
+		h := env.Run(sched)
+		if err := h.WellFormed(); err != nil {
+			fmt.Printf("\n  seed %d: ill-formed history: %v\n", seed, err)
+			bad++
+			continue
+		}
+		txs := model.Transactions(h)
+		if len(txs) <= checker.ExactLimit {
+			if res := checker.CheckOpacity(txs, init); !res.OK {
+				fmt.Printf("\n  seed %d: %s\n", seed, res.Reason)
+				bad++
+				continue
+			}
+		} else if res := checker.CheckSerializableWitness(txs, init); !res.OK {
+			if res2 := checker.CheckSerializable(txs, init); !res2.OK {
+				fmt.Printf("\n  seed %d: %s\n", seed, res2.Reason)
+				bad++
+				continue
+			}
+		}
+		if e.OF {
+			if v := checker.CheckObstructionFree(h); len(v) > 0 {
+				fmt.Printf("\n  seed %d: obstruction-freedom: %v\n", seed, v)
+				bad++
+			}
+			if v := checker.CheckICObstructionFree(h, env.CrashTimes()); len(v) > 0 {
+				fmt.Printf("\n  seed %d: ic-obstruction-freedom: %v\n", seed, v)
+				bad++
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,102 @@
+// Command oftm-trace regenerates the paper's figures as ASCII timelines
+// from live runs of the engines under the deterministic scheduler.
+//
+// Usage:
+//
+//	oftm-trace -fig 1                  # Figure 1: two-level execution
+//	oftm-trace -fig 2                  # Figure 2: DAP impossibility sweep
+//	oftm-trace -fig 2 -engine 2pl      # same scenario on a baseline
+//	oftm-trace -fig 2 -t 5             # full timeline at suspension point 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	fig := flag.Int("fig", 1, "figure to regenerate (1 or 2)")
+	engine := flag.String("engine", "dstm", "engine: dstm, alg2, 2pl, tl2, coarse")
+	point := flag.Int("t", -1, "for -fig 2: render the full timeline at this suspension point")
+	flag.Parse()
+
+	e := bench.EngineByName(*engine)
+	switch *fig {
+	case 1:
+		h, names := adversary.RunFig1(e.Sim)
+		fmt.Printf("Figure 1 — two-level execution model (engine %s)\n", e.Name)
+		fmt.Println("p1 runs one transaction (a 'move' between x and y); p2 then reads x.")
+		fmt.Println("inv/ret lines are high-level TM operations; '.' lines are base-object steps.")
+		fmt.Println()
+		fmt.Print(trace.Render(h, names))
+	case 2:
+		if *point >= 0 {
+			renderFig2Point(e, *point)
+			return
+		}
+		rep := adversary.RunFig2(e.Sim, 6)
+		fmt.Print(rep.Format())
+	default:
+		fmt.Fprintf(os.Stderr, "oftm-trace: unknown figure %d\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// renderFig2Point replays the Figure 2 scenario with T1 suspended after
+// the given number of steps and prints the complete two-level timeline.
+func renderFig2Point(e bench.Engine, t int) {
+	env := sim.New()
+	tm := core.Recorded(e.Sim(env), env.Recorder())
+	w := tm.NewVar("w", 0)
+	x := tm.NewVar("x", 0)
+	y := tm.NewVar("y", 0)
+	z := tm.NewVar("z", 0)
+	env.Spawn(func(p *sim.Proc) {
+		tx := tm.Begin(p)
+		if _, err := tx.Read(w); err != nil {
+			return
+		}
+		if _, err := tx.Read(z); err != nil {
+			return
+		}
+		if err := tx.Write(x, 1); err != nil {
+			return
+		}
+		if err := tx.Write(y, 1); err != nil {
+			return
+		}
+		_ = tx.Commit()
+	})
+	env.Spawn(func(p *sim.Proc) {
+		_ = core.Run(tm, p, func(tx core.Tx) error {
+			if _, err := tx.Read(x); err != nil {
+				return err
+			}
+			return tx.Write(w, 1)
+		}, core.MaxAttempts(6))
+	})
+	env.Spawn(func(p *sim.Proc) {
+		_ = core.Run(tm, p, func(tx core.Tx) error {
+			if _, err := tx.Read(y); err != nil {
+				return err
+			}
+			return tx.Write(z, 1)
+		}, core.MaxAttempts(6))
+	})
+	h := env.Run(sim.Script(
+		sim.Phase{Proc: 1, Steps: t},
+		sim.Phase{Proc: 2, Steps: -1},
+		sim.Phase{Proc: 3, Steps: -1},
+	))
+	fmt.Printf("Figure 2 timeline — engine %s, T1 suspended after %d steps\n\n", e.Name, t)
+	fmt.Print(trace.Render(h, env.ObjName))
+	_ = model.NoTx
+}

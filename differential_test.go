@@ -1,0 +1,155 @@
+package oftm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	oftm "repro"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// TestDifferentialEngines drives the same randomly generated operation
+// sequence through every engine, single-threaded, and requires
+// identical observable behaviour: every read returns the same value and
+// the final state matches. Sequentially all six engines must be
+// indistinguishable; any divergence is a bug in one of them.
+func TestDifferentialEngines(t *testing.T) {
+	f := func(seed int64, nops uint8) bool {
+		type step struct {
+			read bool
+			v    int
+			val  uint64
+		}
+		rng := rand.New(rand.NewSource(seed))
+		const nvars = 4
+		var script []step
+		for i := 0; i < int(nops%64)+4; i++ {
+			script = append(script, step{
+				read: rng.Intn(2) == 0,
+				v:    rng.Intn(nvars),
+				val:  uint64(rng.Intn(100)),
+			})
+		}
+		// Split the script into transactions of 1-4 ops; every 5th
+		// transaction aborts instead of committing.
+		var results [][]uint64
+		var finals []uint64
+		for _, e := range bench.Engines() {
+			tm := e.Raw()
+			vars := make([]oftm.Var, nvars)
+			for i := range vars {
+				vars[i] = tm.NewVar(fmt.Sprintf("v%d", i), 7)
+			}
+			var reads []uint64
+			i := 0
+			txn := 0
+			for i < len(script) {
+				n := 1 + (i % 4)
+				end := i + n
+				if end > len(script) {
+					end = len(script)
+				}
+				tx := tm.Begin(nil)
+				for _, s := range script[i:end] {
+					if s.read {
+						v, err := tx.Read(vars[s.v])
+						if err != nil {
+							return false
+						}
+						reads = append(reads, v)
+					} else if err := tx.Write(vars[s.v], s.val); err != nil {
+						return false
+					}
+				}
+				txn++
+				if txn%5 == 0 {
+					tx.Abort()
+				} else if err := tx.Commit(); err != nil {
+					return false
+				}
+				i = end
+			}
+			var final []uint64
+			for _, v := range vars {
+				x, err := core.ReadVar(tm, nil, v)
+				if err != nil {
+					return false
+				}
+				final = append(final, x)
+			}
+			results = append(results, reads)
+			finals = append(finals, final...)
+		}
+		// All engines must agree with the first.
+		for e := 1; e < len(results); e++ {
+			if len(results[e]) != len(results[0]) {
+				return false
+			}
+			for i := range results[0] {
+				if results[e][i] != results[0][i] {
+					return false
+				}
+			}
+		}
+		per := len(finals) / len(results)
+		for e := 1; e < len(results); e++ {
+			for i := 0; i < per; i++ {
+				if finals[e*per+i] != finals[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimDeterminism: the simulator with a fixed seed must produce an
+// identical step sequence on every run — the property the exhaustive
+// explorers and figure regenerators rely on.
+func TestSimDeterminism(t *testing.T) {
+	run := func() []string {
+		env := sim.New()
+		tm := core.Recorded(dstm.New(dstm.WithEnv(env)), env.Recorder())
+		x := tm.NewVar("x", 0)
+		y := tm.NewVar("y", 0)
+		for i := 0; i < 3; i++ {
+			env.Spawn(func(p *sim.Proc) {
+				_ = core.Run(tm, p, func(tx core.Tx) error {
+					v, err := tx.Read(x)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(y, v+1); err != nil {
+						return err
+					}
+					return tx.Write(x, v+1)
+				}, core.MaxAttempts(30))
+			})
+		}
+		h := env.Run(sim.Random(99))
+		var steps []string
+		for _, s := range h.Steps {
+			steps = append(steps, fmt.Sprintf("%v/%v %s obj%d", s.Proc, s.Tx, s.Name, int(s.Obj)))
+		}
+		return steps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at step %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	_ = model.NoTx
+}

@@ -1,0 +1,191 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alg2"
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/locktm"
+	"repro/internal/model"
+	"repro/internal/nztm"
+	"repro/internal/sim"
+)
+
+func dstmFactory(env *sim.Env) core.TM { return dstm.New(dstm.WithEnv(env)) }
+func alg2Factory(env *sim.Env) core.TM { return alg2.New(alg2.WithEnv(env)) }
+func tplFactory(env *sim.Env) core.TM {
+	return locktm.NewTwoPhase(locktm.WithEnv(env), locktm.WithSpinLimit(8))
+}
+func tl2Factory(env *sim.Env) core.TM {
+	return locktm.NewGlobalClock(locktm.WithEnv(env), locktm.WithSpinLimit(8))
+}
+
+// TestFig2DSTM is experiment E5 on the reference OFTM: a critical step
+// exists, T2/T3 always commit (obstruction-freedom), every suspension
+// point is serializable, and the strict-DAP violation appears — on T1's
+// transaction descriptor, as §1 of the paper predicts.
+func TestFig2DSTM(t *testing.T) {
+	rep := RunFig2(dstmFactory, 4)
+	if rep.SoloSteps == 0 {
+		t.Fatalf("solo run recorded no steps")
+	}
+	if rep.Blocked {
+		t.Fatalf("an OFTM must never leave T2/T3 unable to commit")
+	}
+	if rep.CriticalStep < 0 {
+		t.Fatalf("no critical step found: T2/T3 never observed T1's value")
+	}
+	for _, row := range rep.Rows {
+		if !row.Serializable {
+			t.Fatalf("suspension point %d not serializable", row.T)
+		}
+	}
+	if len(rep.DAPViolationPoints) == 0 {
+		t.Fatalf("Theorem 13: DSTM must exhibit a T2-T3 base-object conflict at some suspension point\n%s", rep.Format())
+	}
+	// The conflicting object must be T1's descriptor (status word).
+	found := false
+	for _, row := range rep.Rows {
+		for _, o := range row.ConflictObjs {
+			if strings.Contains(o, "status") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected the conflict on a transaction descriptor, got %s", rep.Format())
+	}
+}
+
+// TestFig2Alg2: the register-and-fo-consensus OFTM shows the same
+// theorem-mandated violation (its hot spot is the owner's State
+// fo-consensus / Aborted register).
+func TestFig2Alg2(t *testing.T) {
+	rep := RunFig2(alg2Factory, 4)
+	if rep.Blocked {
+		t.Fatalf("Algorithm 2 is obstruction-free; T2/T3 must commit")
+	}
+	if rep.CriticalStep < 0 {
+		t.Fatalf("no critical step found")
+	}
+	if len(rep.DAPViolationPoints) == 0 {
+		t.Fatalf("Theorem 13 applies to every OFTM, including Algorithm 2\n%s", rep.Format())
+	}
+	for _, row := range rep.Rows {
+		if !row.Serializable {
+			t.Fatalf("suspension point %d not serializable", row.T)
+		}
+	}
+}
+
+// TestFig2TwoPhase: the strictly disjoint-access-parallel baseline shows
+// ZERO T2-T3 conflicts — and pays for it by blocking: with T1 suspended
+// holding locks, T2/T3 cannot commit at some suspension points.
+func TestFig2TwoPhase(t *testing.T) {
+	rep := RunFig2(tplFactory, 4)
+	if len(rep.DAPViolationPoints) != 0 {
+		t.Fatalf("two-phase locking is strictly DAP; found violations at %v\n%s",
+			rep.DAPViolationPoints, rep.Format())
+	}
+	if !rep.Blocked {
+		t.Fatalf("with T1 suspended holding locks, locking must block T2/T3 at some point\n%s", rep.Format())
+	}
+}
+
+// TestFig2GlobalClock: TL2 is not strictly DAP — the global clock is a
+// conflict between the disjoint T2 and T3 — but being lock-based it also
+// blocks when T1 is suspended holding commit locks.
+func TestFig2GlobalClock(t *testing.T) {
+	rep := RunFig2(tl2Factory, 4)
+	if len(rep.DAPViolationPoints) == 0 {
+		t.Fatalf("TL2's global clock must conflict T2 with T3\n%s", rep.Format())
+	}
+	sawClock := false
+	for _, row := range rep.Rows {
+		for _, o := range row.ConflictObjs {
+			if strings.Contains(o, "clock") {
+				sawClock = true
+			}
+		}
+	}
+	if !sawClock {
+		t.Errorf("expected the global clock as the conflicting object\n%s", rep.Format())
+	}
+}
+
+func TestFig2FormatRenders(t *testing.T) {
+	rep := RunFig2(dstmFactory, 4)
+	s := rep.Format()
+	if !strings.Contains(s, "critical step") || !strings.Contains(s, "dstm") {
+		t.Fatalf("format output incomplete:\n%s", s)
+	}
+}
+
+// TestValencyThreeProcs is experiment E4(b): for 3 processes the
+// adversary sustains a bivalent (undecided, both-outcomes-reachable)
+// schedule to the full depth budget, as Claim 10's induction predicts.
+func TestValencyThreeProcs(t *testing.T) {
+	depth := 18
+	rep := ExploreValency([]uint64{0, 1, 1}, depth)
+	if rep.SustainedDepth != depth {
+		t.Fatalf("bivalence lost at depth %d < %d:\n%s", rep.SustainedDepth, depth, rep.Format())
+	}
+	if len(rep.Witness) != depth {
+		t.Fatalf("witness length %d", len(rep.Witness))
+	}
+	if rep.Format() == "" {
+		t.Fatal("empty format")
+	}
+}
+
+// TestValencySoloAlwaysDecides: obstruction-freedom of the candidate —
+// from the empty schedule, every process decides when run alone.
+func TestValencySoloAlwaysDecides(t *testing.T) {
+	inputs := []uint64{0, 1, 1}
+	for i := 1; i <= 3; i++ {
+		out := runRace(inputs, nil, sim.Solo(model.ProcID(i)), 4096)
+		if !out.decided[i-1] {
+			t.Fatalf("process %d failed to decide solo", i)
+		}
+		if out.value[i-1] != inputs[i-1] {
+			t.Fatalf("solo decision must be own input: p%d decided %d", i, out.value[i-1])
+		}
+	}
+}
+
+// TestExhaustiveTwoConsensusSafety is experiment E4(a): agreement and
+// validity hold in EVERY schedule of the bounded space.
+func TestExhaustiveTwoConsensusSafety(t *testing.T) {
+	rep := ExhaustiveTwoCons(9)
+	if rep.Schedules != 1<<9 {
+		t.Fatalf("explored %d schedules, want %d", rep.Schedules, 1<<9)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("safety violations found:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+}
+
+// TestFig2NZTM: the zero-indirection OFTM shows Theorem 13's violation
+// like every OFTM; its hot spot is the suspended owner's descriptor
+// (status word / undo log).
+func TestFig2NZTM(t *testing.T) {
+	rep := RunFig2(func(env *sim.Env) core.TM {
+		return nztm.New(nztm.WithEnv(env))
+	}, 4)
+	if rep.Blocked {
+		t.Fatalf("nztm is obstruction-free; T2/T3 must commit")
+	}
+	if rep.CriticalStep < 0 {
+		t.Fatalf("no critical step found")
+	}
+	if len(rep.DAPViolationPoints) == 0 {
+		t.Fatalf("Theorem 13 applies to nztm too\n%s", rep.Format())
+	}
+	for _, row := range rep.Rows {
+		if !row.Serializable {
+			t.Fatalf("suspension point %d not serializable", row.T)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/base"
+	"repro/internal/focons"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// ExhaustiveTwoConsReport is the outcome of checking the 2-process
+// consensus construction (focons.TwoConsensus) under *every* schedule
+// prefix of a given depth, each completed by running p1 solo to
+// completion and then p2 (so every run terminates).
+type ExhaustiveTwoConsReport struct {
+	Depth      int
+	Schedules  int
+	Violations []string
+}
+
+// ExhaustiveTwoCons enumerates all 2^depth schedule prefixes over the
+// two processes, completes each deterministically, and verifies
+// agreement and validity of the decided values. This is experiment
+// E4(a): the safety half of "consensus number >= 2" checked over the
+// whole bounded schedule space, with the harshest fo-consensus abort
+// policy the specification permits.
+func ExhaustiveTwoCons(depth int) ExhaustiveTwoConsReport {
+	rep := ExhaustiveTwoConsReport{Depth: depth}
+	prefix := make([]model.ProcID, depth)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == depth {
+			rep.Schedules++
+			d0, d1, truncated := runTwoConsOnce(prefix)
+			switch {
+			case truncated:
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("schedule %v: did not terminate", prefix))
+			case d0 != d1:
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("schedule %v: agreement violated (%d vs %d)", prefix, d0, d1))
+			case d0 != 100 && d0 != 200:
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("schedule %v: validity violated (%d)", prefix, d0))
+			}
+			return
+		}
+		for p := model.ProcID(1); p <= 2; p++ {
+			prefix[i] = p
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return rep
+}
+
+func runTwoConsOnce(prefix []model.ProcID) (d0, d1 uint64, truncated bool) {
+	env := sim.New()
+	env.MaxSteps = int64(len(prefix)) + 4096
+	f := base.NewFoCons(env, "F", base.AbortOnContention, 0)
+	c := focons.NewTwoConsensus(env, f)
+	env.Spawn(func(p *sim.Proc) { d0 = c.Decide(p, 0, 100) })
+	env.Spawn(func(p *sim.Proc) { d1 = c.Decide(p, 1, 200) })
+	env.Run(sim.Choices(append([]model.ProcID(nil), prefix...), sim.Script(
+		sim.Phase{Proc: 1, Steps: -1},
+		sim.Phase{Proc: 2, Steps: -1},
+	)))
+	return d0, d1, env.Truncated
+}

@@ -1,0 +1,68 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// SystemFactory sets up a fresh system under test inside env: build the
+// engine, allocate variables, spawn process bodies. Called once per
+// explored schedule (systems must be cheap and deterministic).
+type SystemFactory func(env *sim.Env)
+
+// ExploreReport summarizes an exhaustive schedule exploration.
+type ExploreReport struct {
+	Schedules int // number of schedules (tree leaves) explored
+	Histories int // number of histories checked (= Schedules)
+	MaxDepth  int
+	// FirstViolation is the error from the first failing schedule, with
+	// the schedule embedded; nil if all passed.
+	FirstViolation error
+}
+
+// ExploreAll enumerates EVERY schedule of the system up to maxDepth
+// steps (at each decision point, every waiting process is tried). A
+// schedule shorter than maxDepth ends when all processes finish;
+// otherwise the remaining processes are killed at the cutoff, modelling
+// crashes. check is invoked on the recorded history of every explored
+// schedule.
+//
+// This is bounded systematic concurrency testing (stateless model
+// checking by replay): within the depth bound it proves the property
+// for every interleaving, not just sampled ones.
+func ExploreAll(factory SystemFactory, maxDepth int, check func(h *model.History, env *sim.Env) error) ExploreReport {
+	rep := ExploreReport{MaxDepth: maxDepth}
+	var dfs func(prefix []model.ProcID)
+	dfs = func(prefix []model.ProcID) {
+		if rep.FirstViolation != nil {
+			return
+		}
+		env := sim.New()
+		factory(env)
+		var waiting []model.ProcID
+		capture := sim.PickFunc(func(ws []*sim.Proc, _ *sim.Env) int {
+			waiting = waiting[:0]
+			for _, p := range ws {
+				waiting = append(waiting, p.ID())
+			}
+			return -1 // stop: kill the rest (crash at cutoff)
+		})
+		h := env.Run(sim.Choices(append([]model.ProcID(nil), prefix...), capture))
+		if len(waiting) == 0 || len(prefix) == maxDepth {
+			// A complete schedule (everyone finished, or cutoff reached).
+			rep.Schedules++
+			rep.Histories++
+			if err := check(h, env); err != nil {
+				rep.FirstViolation = fmt.Errorf("schedule %v: %w", prefix, err)
+			}
+			return
+		}
+		for _, id := range waiting {
+			dfs(append(prefix, id))
+		}
+	}
+	dfs(nil)
+	return rep
+}

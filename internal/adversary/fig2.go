@@ -1,0 +1,248 @@
+// Package adversary mechanizes the paper's proof scenarios as
+// executable experiments:
+//
+//   - Figure 2 / Theorem 13 (fig2.go): the suspension schedule showing
+//     that no OFTM is strictly disjoint-access-parallel. The driver
+//     replays T1's solo execution, suspends it after every possible
+//     prefix t, runs the disjoint transactions T2 and T3, locates the
+//     "critical step" s, and reports the base-object conflicts between
+//     T2 and T3.
+//   - Theorem 9 / Claim 10 (valency.go): a bounded valency explorer
+//     showing that a consensus algorithm built from fo-consensus objects
+//     and registers can be kept bivalent (undecided, with both outcomes
+//     still reachable) for arbitrarily many steps in a 3-process system,
+//     while the 2-process case decides in every explored schedule.
+package adversary
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// EngineFactory builds a fresh engine inside the given environment.
+type EngineFactory func(env *sim.Env) core.TM
+
+// Fig2Row is the outcome of one suspension point t: T1 executed t solo
+// steps, was suspended, then T2 (p2) and T3 (p3) ran to completion.
+type Fig2Row struct {
+	T int // steps granted to p1 before suspension
+
+	T2Read      uint64 // value T2 read from x (last attempt)
+	T2Committed bool
+	T3Read      uint64 // value T3 read from y (last attempt)
+	T3Committed bool
+
+	// T2T3Conflicts counts strict-DAP violations between the disjoint
+	// transactions of p2 and p3 — the paper's "hot spot".
+	T2T3Conflicts int
+	// ConflictObjs names the base objects p2's and p3's transactions
+	// conflicted on.
+	ConflictObjs []string
+	// Serializable reports the checker's verdict on the whole history.
+	Serializable bool
+}
+
+// Fig2Report is the full sweep over suspension points.
+type Fig2Report struct {
+	Engine    string
+	SoloSteps int // number of steps in T1's solo run (|E1|)
+
+	// CriticalStep is the first t at which T2 or T3 observes value 1 —
+	// the paper's step s. -1 if never observed (lock-based engines that
+	// block instead).
+	CriticalStep int
+
+	// Blocked reports that at some suspension point T2 or T3 could not
+	// commit at all (the engine is not obstruction-free).
+	Blocked bool
+
+	// DAPViolationPoints lists the suspension points with T2/T3 base
+	// object conflicts despite disjoint footprints.
+	DAPViolationPoints []int
+
+	Rows []Fig2Row
+}
+
+// RunFig2 executes the Theorem 13 scenario against an engine. The three
+// transactions are exactly the paper's:
+//
+//	T1: R(w) R(z) W(x,1) W(y,1) tryC      (process p1)
+//	T2: R(x) W(w,1) tryC                  (process p2)
+//	T3: R(y) W(z,1) tryC                  (process p3)
+//
+// maxAttempts bounds T2/T3 retries; an OFTM needs exactly 1 attempt
+// since T1 takes no steps while they run.
+func RunFig2(factory EngineFactory, maxAttempts int) Fig2Report {
+	if maxAttempts <= 0 {
+		maxAttempts = 8
+	}
+	report := Fig2Report{CriticalStep: -1}
+
+	// Pass 0: T1 solo, to learn its engine name and solo step count.
+	solo := runFig2Once(factory, -1, maxAttempts)
+	report.Engine = solo.engine
+	report.SoloSteps = solo.p1Steps
+
+	for t := 0; t <= report.SoloSteps; t++ {
+		r := runFig2Once(factory, t, maxAttempts)
+		row := r.row
+		row.T = t
+		report.Rows = append(report.Rows, row)
+		if !row.T2Committed || !row.T3Committed {
+			report.Blocked = true
+		}
+		if report.CriticalStep < 0 &&
+			((row.T2Committed && row.T2Read == 1) || (row.T3Committed && row.T3Read == 1)) {
+			report.CriticalStep = t
+		}
+		if row.T2T3Conflicts > 0 {
+			report.DAPViolationPoints = append(report.DAPViolationPoints, t)
+		}
+	}
+	return report
+}
+
+type fig2Run struct {
+	engine  string
+	p1Steps int
+	row     Fig2Row
+}
+
+// runFig2Once executes one schedule: p1 takes t steps (t < 0 means p1
+// runs fully solo and nothing else runs), then p2 completes, then p3.
+func runFig2Once(factory EngineFactory, t int, maxAttempts int) fig2Run {
+	env := sim.New()
+	tm := core.Recorded(factory(env), env.Recorder())
+	w := tm.NewVar("w", 0)
+	x := tm.NewVar("x", 0)
+	y := tm.NewVar("y", 0)
+	z := tm.NewVar("z", 0)
+
+	var out fig2Run
+	out.engine = tm.Name()
+
+	env.Spawn(func(p *sim.Proc) { // p1: T1
+		tx := tm.Begin(p)
+		if _, err := tx.Read(w); err != nil {
+			return
+		}
+		if _, err := tx.Read(z); err != nil {
+			return
+		}
+		if err := tx.Write(x, 1); err != nil {
+			return
+		}
+		if err := tx.Write(y, 1); err != nil {
+			return
+		}
+		_ = tx.Commit()
+	})
+	env.Spawn(func(p *sim.Proc) { // p2: T2
+		_ = core.Run(tm, p, func(tx core.Tx) error {
+			v, err := tx.Read(x)
+			if err != nil {
+				return err
+			}
+			out.row.T2Read = v
+			if err := tx.Write(w, 1); err != nil {
+				return err
+			}
+			return nil
+		}, core.MaxAttempts(maxAttempts))
+	})
+	env.Spawn(func(p *sim.Proc) { // p3: T3
+		_ = core.Run(tm, p, func(tx core.Tx) error {
+			v, err := tx.Read(y)
+			if err != nil {
+				return err
+			}
+			out.row.T3Read = v
+			if err := tx.Write(z, 1); err != nil {
+				return err
+			}
+			return nil
+		}, core.MaxAttempts(maxAttempts))
+	})
+
+	var sched sim.Scheduler
+	if t < 0 {
+		sched = sim.Solo(1)
+	} else {
+		sched = sim.Script(
+			sim.Phase{Proc: 1, Steps: t},
+			sim.Phase{Proc: 2, Steps: -1},
+			sim.Phase{Proc: 3, Steps: -1},
+		)
+	}
+	h := env.Run(sched)
+	out.p1Steps = len(h.StepsOf(1))
+
+	// Commit outcomes of p2/p3 (any committed transaction of that proc).
+	txs := model.Transactions(h)
+	for _, tv := range txs {
+		if tv.Status != model.Committed {
+			continue
+		}
+		switch tv.Proc {
+		case 2:
+			out.row.T2Committed = true
+		case 3:
+			out.row.T3Committed = true
+		}
+	}
+	// Strict-DAP violations between p2's and p3's transactions.
+	for _, v := range checker.CheckStrictDAP(h, env.ObjName) {
+		p1p, p2p := v.Tx1.Proc, v.Tx2.Proc
+		if (p1p == 2 && p2p == 3) || (p1p == 3 && p2p == 2) {
+			out.row.T2T3Conflicts++
+			out.row.ConflictObjs = append(out.row.ConflictObjs, v.ObjName)
+		}
+	}
+	if len(txs) <= checker.ExactLimit {
+		out.row.Serializable = checker.CheckSerializable(txs, nil).OK
+	} else {
+		out.row.Serializable = checker.CheckSerializableWitness(txs, nil).OK
+	}
+	return out
+}
+
+// Format renders the report as the experiment's table (one row per
+// suspension point plus a header), matching Figure 2's narrative.
+func (r Fig2Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 scenario — engine %s (T1 solo run: %d steps)\n", r.Engine, r.SoloSteps)
+	fmt.Fprintf(&b, "%4s  %6s %5s  %6s %5s  %9s  %12s  %s\n",
+		"t", "T2:R(x)", "cmt", "T3:R(y)", "cmt", "T2-T3 cfl", "serializable", "conflict objects")
+	for _, row := range r.Rows {
+		c2, c3 := "C", "C"
+		if !row.T2Committed {
+			c2 = "-"
+		}
+		if !row.T3Committed {
+			c3 = "-"
+		}
+		objs := strings.Join(dedup(row.ConflictObjs), ",")
+		fmt.Fprintf(&b, "%4d  %7d %5s  %6d %5s  %9d  %12v  %s\n",
+			row.T, row.T2Read, c2, row.T3Read, c3, row.T2T3Conflicts, row.Serializable, objs)
+	}
+	fmt.Fprintf(&b, "critical step s = %d; blocked = %v; DAP-violating suspension points: %v\n",
+		r.CriticalStep, r.Blocked, r.DAPViolationPoints)
+	return b.String()
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

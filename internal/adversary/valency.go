@@ -1,0 +1,197 @@
+package adversary
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/base"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// The valency experiment (Theorem 9 / Claim 10). The candidate
+// algorithm is the natural "racing" consensus one would build from
+// fo-consensus objects and registers: every process announces its
+// proposal in a register, then repeatedly proposes its current value to
+// a shared fo-consensus object, adopting a peer's announced value after
+// an abort. Run solo, any process decides (obstruction-freedom); the
+// question Theorem 9 answers negatively is whether some such algorithm
+// can be *wait-free* for 3 processes.
+//
+// The explorer realizes the proof's adversary constructively: it
+// searches, depth by depth, for schedules after which (a) no process
+// has decided and (b) both outcome values are still reachable by
+// running different processes solo — a bivalent configuration. Claim 10
+// says such an extension always exists; the explorer confirms it for
+// every depth it is given budget for. For n = 2 the same search finds a
+// depth at which every schedule has decided (consensus number ≥ 2).
+
+// raceOutcome is the result of one bounded run of the racing algorithm.
+type raceOutcome struct {
+	decided   [8]bool
+	value     [8]uint64
+	truncated bool
+}
+
+// runRace executes the racing consensus with the given inputs under
+// schedule prefix (process ids), then a fallback scheduler, bounding
+// total steps. Deterministic for fixed arguments.
+func runRace(inputs []uint64, prefix []model.ProcID, fallback sim.Scheduler, maxSteps int64) raceOutcome {
+	env := sim.New()
+	env.MaxSteps = maxSteps
+	f := base.NewFoCons(env, "F", base.AbortOnContention, 0)
+	n := len(inputs)
+	props := make([]*base.Reg, n)
+	for i := range props {
+		props[i] = base.NewReg(env, fmt.Sprintf("prop%d", i), 0)
+	}
+	dec := base.NewReg(env, "dec", 0)
+
+	var out raceOutcome
+	for i := 0; i < n; i++ {
+		i := i
+		env.Spawn(func(p *sim.Proc) {
+			v := inputs[i]
+			props[i].Write(p, v+1)
+			cur := v
+			for {
+				if d := dec.Read(p); d != 0 {
+					out.decided[i], out.value[i] = true, d-1
+					return
+				}
+				if res := f.Propose(p, cur); res != base.Bottom {
+					dec.Write(p, res+1)
+					out.decided[i], out.value[i] = true, res
+					return
+				}
+				// Aborted: adopt the first announced peer value (a
+				// deterministic helping rule).
+				for j := 0; j < n; j++ {
+					if j == i {
+						continue
+					}
+					if o := props[j].Read(p); o != 0 {
+						cur = o - 1
+						break
+					}
+				}
+			}
+		})
+	}
+	env.Run(sim.Choices(prefix, fallback))
+	out.truncated = env.Truncated
+	return out
+}
+
+// ValencyReport summarizes the bounded bivalence search.
+type ValencyReport struct {
+	Procs int
+	Depth int // requested exploration depth
+	// SustainedDepth is the deepest level at which a bivalent schedule
+	// was found (== Depth means the adversary never ran out of moves, as
+	// Claim 10 predicts for 3 processes).
+	SustainedDepth int
+	// Witness is one maximal bivalent schedule found.
+	Witness []model.ProcID
+	// DecidedByDepth, for n=2 runs: the depth at which every explored
+	// schedule had decided (-1 if bivalence persisted).
+	AllDecidedAt int
+}
+
+// ExploreValency searches for ever-longer bivalent schedules of the
+// racing algorithm with the given inputs (len(inputs) processes; use
+// inputs that make the initial configuration bivalent, e.g. {0,1,1}).
+// depth bounds the search.
+func ExploreValency(inputs []uint64, depth int) ValencyReport {
+	n := len(inputs)
+	rep := ValencyReport{Procs: n, Depth: depth, SustainedDepth: -1, AllDecidedAt: -1}
+
+	// bivalent reports whether, after the prefix, no process has decided
+	// and at least two distinct values are reachable via solo extensions.
+	bivalent := func(prefix []model.ProcID) bool {
+		// No decisions during the prefix itself.
+		probe := runRace(inputs, prefix, nil, int64(len(prefix))+16)
+		for i := 0; i < n; i++ {
+			if probe.decided[i] {
+				return false
+			}
+		}
+		vals := map[uint64]bool{}
+		for i := 1; i <= n; i++ {
+			solo := runRace(inputs, prefix, sim.Solo(model.ProcID(i)), int64(len(prefix))+4096)
+			if solo.decided[i-1] {
+				vals[solo.value[i-1]] = true
+			}
+		}
+		return len(vals) >= 2
+	}
+
+	// Depth-first search for a bivalent schedule of each length.
+	var dfs func(prefix []model.ProcID) bool
+	dfs = func(prefix []model.ProcID) bool {
+		if len(prefix) > rep.SustainedDepth {
+			rep.SustainedDepth = len(prefix)
+			rep.Witness = append([]model.ProcID(nil), prefix...)
+		}
+		if len(prefix) == depth {
+			return true
+		}
+		for i := 1; i <= n; i++ {
+			next := append(append([]model.ProcID(nil), prefix...), model.ProcID(i))
+			if bivalent(next) && dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	if bivalent(nil) {
+		dfs(nil)
+	}
+
+	// For the 2-process contrast: find the depth at which every explored
+	// schedule has decided (exhaustive to `depth`, breadth-first).
+	if n == 2 {
+		frontier := [][]model.ProcID{nil}
+		for d := 0; d <= depth; d++ {
+			anyBivalent := false
+			var next [][]model.ProcID
+			for _, pre := range frontier {
+				if bivalent(pre) {
+					anyBivalent = true
+					for i := 1; i <= n; i++ {
+						next = append(next, append(append([]model.ProcID(nil), pre...), model.ProcID(i)))
+					}
+				}
+			}
+			if !anyBivalent {
+				rep.AllDecidedAt = d
+				break
+			}
+			frontier = next
+		}
+	}
+	return rep
+}
+
+// Format renders the report.
+func (r ValencyReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Valency exploration: %d processes, depth budget %d\n", r.Procs, r.Depth)
+	fmt.Fprintf(&b, "  bivalent schedule sustained to depth %d", r.SustainedDepth)
+	if r.SustainedDepth == r.Depth {
+		fmt.Fprintf(&b, " (adversary never ran out of moves — Claim 10)\n")
+	} else {
+		fmt.Fprintf(&b, "\n")
+	}
+	if r.Procs == 2 {
+		if r.AllDecidedAt >= 0 {
+			fmt.Fprintf(&b, "  2-process case: every schedule decided by depth %d (consensus number >= 2)\n", r.AllDecidedAt)
+		} else {
+			fmt.Fprintf(&b, "  2-process case: bivalence persisted to the depth budget\n")
+		}
+	}
+	if len(r.Witness) > 0 {
+		fmt.Fprintf(&b, "  witness schedule: %v\n", r.Witness)
+	}
+	return b.String()
+}

@@ -1,0 +1,353 @@
+// Package alg2 is a faithful transcription of the paper's Algorithm 2:
+// an obstruction-free STM implemented from fail-only consensus objects
+// and read/write registers only — no CAS. It is the constructive half of
+// Lemma 8 ("An OFTM can be implemented from fo-consensus and
+// registers"), whose correctness proof (opacity, obstruction-freedom and
+// wait-freedom) is Appendix B of the paper.
+//
+// Structure, mirroring the pseudocode's shared objects:
+//
+//	Owner[x, version]  — per t-variable, an unbounded array of
+//	                     fo-consensus objects; version v's decision is
+//	                     the transaction that owned x's v-th version.
+//	State[Tk]          — one fo-consensus per transaction deciding its
+//	                     fate: committed or aborted. Committing is
+//	                     proposing "committed" to one's own State;
+//	                     forcefully aborting Tk is proposing "aborted".
+//	TVar[x, Tk]        — a register holding the value of x as written
+//	                     (or re-published) by Tk; read by others only
+//	                     after State[Tk] decided committed.
+//	Aborted[Tk]        — a register set when Tk's ownership has been
+//	                     revoked, so Tk completes as soon as possible.
+//	V[x]               — a register holding the last owner of x; the
+//	                     periodic re-check of V[x] inside acquire is
+//	                     what makes the repeat loop wait-free.
+//
+// The paper notes (footnote 6) the algorithm's purpose is the
+// equivalence proof: it uses unbounded memory (one fo-consensus per
+// version, per transaction) and is deliberately impractical. This
+// implementation keeps that character — the unbounded arrays are
+// growable slices — but runs both raw and under the simulator, where
+// the test suite checks opacity and obstruction-freedom on its actual
+// histories (experiment E3).
+//
+// Because transactions acquire exclusive (revocable) ownership for reads
+// as well as writes, reads here are visible, unlike DSTM's.
+package alg2
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/base"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Fate values proposed to State[Tk].
+const (
+	fateCommitted uint64 = 1
+	fateAborted   uint64 = 2
+)
+
+// FoConsFactory builds the fo-consensus instances the engine needs. The
+// default builds base.FoCons (a base object); the Theorem 6 composition
+// substitutes Algorithm 3 instances implemented over an eventual
+// ic-OFTM.
+type FoConsFactory func(name string) base.Proposer
+
+// Option configures the engine.
+type Option func(*TM)
+
+// WithEnv runs the engine's base objects under the simulator.
+func WithEnv(env *sim.Env) Option {
+	return func(t *TM) { t.env = env }
+}
+
+// WithFoConsPolicy sets the abort policy of the default base.FoCons
+// objects (ignored if WithFoConsFactory is given).
+func WithFoConsPolicy(policy base.AbortPolicy) Option {
+	return func(t *TM) { t.policy = policy }
+}
+
+// WithFoConsFactory substitutes the fo-consensus implementation.
+func WithFoConsFactory(f FoConsFactory) Option {
+	return func(t *TM) { t.factory = f }
+}
+
+// TM is the Algorithm 2 engine. It implements core.TM.
+type TM struct {
+	env     *sim.Env
+	policy  base.AbortPolicy
+	factory FoConsFactory
+
+	mu     sync.Mutex
+	vars   []*tvar
+	nextTx map[model.ProcID]int
+	seed   int64
+
+	// registry resolves transaction handles decided by Owner[x,v] to
+	// descriptors (the paper's implicit indexing of State/TVar/Aborted
+	// arrays by transaction identifier).
+	reg sync.Map // uint64 handle -> *desc
+}
+
+// New returns an Algorithm 2 engine.
+func New(opts ...Option) *TM {
+	t := &TM{nextTx: map[model.ProcID]int{}}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.factory == nil {
+		t.factory = func(name string) base.Proposer {
+			t.mu.Lock()
+			t.seed++
+			seed := t.seed
+			t.mu.Unlock()
+			return base.NewFoCons(t.env, name, t.policy, seed)
+		}
+	}
+	return t
+}
+
+// Name implements core.TM.
+func (t *TM) Name() string { return "alg2" }
+
+// ObstructionFree implements core.TM: this is the point of the paper's
+// Lemma 8, and the test suite checks it on recorded histories.
+func (t *TM) ObstructionFree() bool { return true }
+
+// tvar carries the per-variable shared objects.
+type tvar struct {
+	owner *TM
+	id    model.VarID
+	name  string
+	init  uint64
+
+	mu       sync.Mutex // protects growth of versions (memory management, not steps)
+	versions []base.Proposer
+
+	v *base.Reg // V[x]: last owner's handle (0 = none)
+}
+
+func (x *tvar) ID() model.VarID { return x.id }
+func (x *tvar) Name() string    { return x.name }
+
+// ownerAt returns Owner[x, version], growing the array on demand.
+func (x *tvar) ownerAt(version int) base.Proposer {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for len(x.versions) <= version {
+		x.versions = append(x.versions,
+			x.owner.factory(fmt.Sprintf("Owner[%s,%d]", x.name, len(x.versions))))
+	}
+	return x.versions[version]
+}
+
+// NewVar implements core.TM.
+func (t *TM) NewVar(name string, init uint64) core.Var {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	x := &tvar{
+		owner: t,
+		id:    model.VarID(len(t.vars)),
+		name:  name,
+		init:  init,
+		v:     base.NewReg(t.env, "V["+name+"]", 0),
+	}
+	t.vars = append(t.vars, x)
+	return x
+}
+
+// desc is a transaction descriptor: State[Tk], Aborted[Tk], and the
+// TVar[·, Tk] register row.
+type desc struct {
+	id      model.TxID
+	state   base.Proposer
+	aborted *base.Reg
+
+	mu    sync.Mutex
+	tvars map[model.VarID]*base.Reg
+}
+
+// tvarReg returns the TVar[x, Tk] register, creating it on first use.
+// Both the owner (writing) and other transactions (reading after Tk
+// committed) resolve the same register; the protocol guarantees the
+// owner's write precedes any read.
+func (d *desc) tvarReg(t *TM, x *tvar) *base.Reg {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.tvars[x.id]
+	if !ok {
+		r = base.NewReg(t.env, fmt.Sprintf("TVar[%s,%v]", x.name, d.id), 0)
+		d.tvars[x.id] = r
+	}
+	return r
+}
+
+// Begin implements core.TM.
+func (t *TM) Begin(p *sim.Proc) core.Tx {
+	t.mu.Lock()
+	pid := p.ID()
+	t.nextTx[pid]++
+	id := model.TxID{Proc: pid, Seq: t.nextTx[pid]}
+	t.mu.Unlock()
+	p.SetTx(id)
+	d := &desc{
+		id:      id,
+		state:   t.factory("State[" + id.String() + "]"),
+		aborted: base.NewReg(t.env, "Aborted["+id.String()+"]", 0),
+		tvars:   map[model.VarID]*base.Reg{},
+	}
+	t.reg.Store(id.Handle(), d)
+	return &tx{tm: t, p: p, d: d, wset: map[model.VarID]bool{}}
+}
+
+func (t *TM) lookup(handle uint64) *desc {
+	d, ok := t.reg.Load(handle)
+	if !ok {
+		panic(fmt.Sprintf("alg2: unknown transaction handle %d", handle))
+	}
+	return d.(*desc)
+}
+
+type tx struct {
+	tm   *TM
+	p    *sim.Proc
+	d    *desc
+	wset map[model.VarID]bool
+	// done caches local completion (an op returned A_k or tryC/tryA ran).
+	done model.Status
+}
+
+func (x *tx) ID() model.TxID { return x.d.id }
+
+// Status implements core.Tx. The authoritative status is State[Tk]'s
+// decision; before any decision the transaction is live (or locally
+// aborted if an operation already returned A_k).
+func (x *tx) Status() model.Status {
+	if f, ok := peek(x.d.state); ok {
+		if f == fateCommitted {
+			return model.Committed
+		}
+		return model.Aborted
+	}
+	return x.done
+}
+
+// peek inspects a Proposer's decision without stepping, when supported
+// (base.FoCons). Algorithm 3-backed proposers report no peek; Status
+// then reflects only local knowledge.
+func peek(p base.Proposer) (uint64, bool) {
+	if f, ok := p.(*base.FoCons); ok {
+		return f.Decided(nil)
+	}
+	return 0, false
+}
+
+func (x *tx) abortLocal() error {
+	x.done = model.Aborted
+	x.p.SetTx(model.NoTx)
+	return core.ErrAborted
+}
+
+// acquire is the paper's procedure acquire(Tk, x), lines 8–29.
+func (x *tx) acquire(v *tvar) (uint64, error) {
+	var state uint64
+	if !x.wset[v.id] {
+		version := 0
+		state = v.init             // line 11
+		vSnapshot := v.v.Read(x.p) // line 12: v ← V[x]
+		for {
+			ownerH := v.ownerAt(version).Propose(x.p, x.d.id.Handle()) // line 14
+			if ownerH == base.Bottom {                                 // line 15
+				return 0, x.abortLocal()
+			}
+			if ownerH != x.d.id.Handle() { // lines 16–20
+				od := x.tm.lookup(ownerH)
+				s := od.state.Propose(x.p, fateAborted) // line 17
+				if s == base.Bottom {                   // line 18
+					return 0, x.abortLocal()
+				}
+				if s == fateCommitted { // line 19
+					state = od.tvarReg(x.tm, v).Read(x.p)
+				} else { // line 20
+					od.aborted.Write(x.p, 1)
+				}
+			}
+			if v.v.Read(x.p) != vSnapshot { // line 21: wait-freedom guard
+				return 0, x.abortLocal()
+			}
+			version++                      // line 22
+			if ownerH == x.d.id.Handle() { // line 23: until owner = Tk
+				break
+			}
+		}
+		x.wset[v.id] = true                    // line 24
+		x.d.tvarReg(x.tm, v).Write(x.p, state) // line 25
+		v.v.Write(x.p, x.d.id.Handle())        // line 26
+	} else {
+		state = x.d.tvarReg(x.tm, v).Read(x.p) // line 27
+	}
+	if x.d.aborted.Read(x.p) != 0 { // line 28
+		return 0, x.abortLocal()
+	}
+	return state, nil
+}
+
+func mustVar(t *TM, v core.Var) *tvar {
+	tv, ok := v.(*tvar)
+	if !ok || tv.owner != t {
+		panic(fmt.Sprintf("alg2: variable %v belongs to a different TM", v))
+	}
+	return tv
+}
+
+// Read implements core.Tx (paper lines 1–2).
+func (x *tx) Read(v core.Var) (uint64, error) {
+	if x.done != model.Live {
+		return 0, core.ErrAborted
+	}
+	return x.acquire(mustVar(x.tm, v))
+}
+
+// Write implements core.Tx (paper lines 3–7).
+func (x *tx) Write(v core.Var, val uint64) error {
+	if x.done != model.Live {
+		return core.ErrAborted
+	}
+	tv := mustVar(x.tm, v)
+	if _, err := x.acquire(tv); err != nil { // lines 4–5
+		return err
+	}
+	x.d.tvarReg(x.tm, tv).Write(x.p, val) // line 6
+	return nil
+}
+
+// Commit implements core.Tx (paper lines 30–33, tryC). A propose that
+// aborts (Bottom) means "committed" was never registered, so no one can
+// ever decide committed for this transaction: returning A_k is safe —
+// this is precisely where fo-validity matters.
+func (x *tx) Commit() error {
+	if x.done != model.Live {
+		return core.ErrAborted
+	}
+	s := x.d.state.Propose(x.p, fateCommitted) // line 31
+	if s == fateCommitted {                    // line 32
+		x.done = model.Committed
+		x.p.SetTx(model.NoTx)
+		return nil
+	}
+	return x.abortLocal() // line 33
+}
+
+// Abort implements core.Tx (paper lines 34–35, tryA: "return Ak"). Note
+// the pseudocode does not decide State[Tk]: a later transaction that
+// encounters Tk's ownership proposes aborted and finishes the job.
+func (x *tx) Abort() {
+	if x.done != model.Live {
+		return
+	}
+	_ = x.abortLocal()
+}

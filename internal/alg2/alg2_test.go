@@ -1,0 +1,192 @@
+package alg2_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/alg2"
+	"repro/internal/base"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/tmtest"
+)
+
+func factory(policy base.AbortPolicy) tmtest.Factory {
+	return func(env *sim.Env) core.TM {
+		if env == nil {
+			return alg2.New(alg2.WithFoConsPolicy(policy))
+		}
+		return alg2.New(alg2.WithEnv(env), alg2.WithFoConsPolicy(policy))
+	}
+}
+
+func TestConformance(t *testing.T) {
+	tmtest.Conformance(t, factory(base.NeverAbort))
+}
+
+func TestConformanceAdversarialFoCons(t *testing.T) {
+	tmtest.Conformance(t, factory(base.AbortOnContention))
+}
+
+// TestSafetyCampaign validates experiment E3: Algorithm 2's recorded
+// histories are opaque and obstruction-free under random schedules, for
+// both the friendly and the adversarial fo-consensus base objects.
+func TestSafetyCampaign(t *testing.T) {
+	tmtest.SafetyCampaign(t, factory(base.NeverAbort), tmtest.CampaignConfig{Seeds: 20})
+}
+
+func TestSafetyCampaignAdversarial(t *testing.T) {
+	tmtest.SafetyCampaign(t, factory(base.AbortOnContention), tmtest.CampaignConfig{Seeds: 20})
+}
+
+func TestSafetyCampaignRandomPolicy(t *testing.T) {
+	tmtest.SafetyCampaign(t, factory(base.AbortRandomly), tmtest.CampaignConfig{Seeds: 15})
+}
+
+// TestSuspendedOwnerDoesNotBlock mirrors the DSTM obstruction-freedom
+// test: Algorithm 2 must let p2 revoke a suspended owner's ownership by
+// deciding "aborted" in the owner's State fo-consensus.
+func TestSuspendedOwnerDoesNotBlock(t *testing.T) {
+	env := sim.New()
+	tm := alg2.New(alg2.WithEnv(env))
+	x := tm.NewVar("x", 7)
+
+	env.Spawn(func(p *sim.Proc) { // p1: acquires x, then suspends forever
+		tx := tm.Begin(p)
+		_ = tx.Write(x, 1)
+		_ = tx.Commit()
+	})
+	var p2val uint64
+	var p2err error
+	env.Spawn(func(p *sim.Proc) {
+		p2err = core.Run(tm, p, func(tx core.Tx) error {
+			v, err := tx.Read(x)
+			p2val = v
+			return err
+		}, core.MaxAttempts(10))
+	})
+	// p1's write: V read (1), propose Owner[x,0] (2 steps), V re-check
+	// (1), TVar write (1), V write (1), TVar write (1) = 7 steps. Give it
+	// 5: ownership decided, not yet published.
+	env.Run(sim.Script(
+		sim.Phase{Proc: 1, Steps: 5},
+		sim.Phase{Proc: 2, Steps: -1},
+	))
+	if p2err != nil {
+		t.Fatalf("p2 must complete despite the suspended owner: %v", p2err)
+	}
+	if p2val != 7 {
+		t.Fatalf("p2 must read the initial value 7 (T1 never committed), got %d", p2val)
+	}
+}
+
+// TestCommitBlockedByForcefulAbort: once another transaction decides
+// "aborted" in my State, my tryC must return A_k.
+func TestCommitBlockedByForcefulAbort(t *testing.T) {
+	tm := alg2.New()
+	x := tm.NewVar("x", 0)
+
+	t1 := tm.Begin(nil)
+	if err := t1.Write(x, 1); err != nil {
+		t.Fatal(err)
+	}
+	// t2 steals ownership, forcefully aborting t1 via State[T1].
+	t2 := tm.Begin(nil)
+	if err := t2.Write(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("t1's commit must fail after forceful abort, got %v", err)
+	}
+	if t1.Status() != model.Aborted {
+		t.Fatalf("t1 status %v, want aborted", t1.Status())
+	}
+	if v, _ := core.ReadVar(tm, nil, x); v != 2 {
+		t.Fatalf("x = %d, want 2", v)
+	}
+}
+
+// TestVisibleReadConflict: reads acquire ownership too, so a
+// reader-writer conflict forcefully aborts the reader.
+func TestVisibleReadConflict(t *testing.T) {
+	tm := alg2.New()
+	x := tm.NewVar("x", 5)
+
+	t1 := tm.Begin(nil)
+	if v, err := t1.Read(x); err != nil || v != 5 {
+		t.Fatalf("t1 read: %d %v", v, err)
+	}
+	t2 := tm.Begin(nil)
+	if err := t2.Write(x, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// t1 was aborted by t2's acquisition.
+	if err := t1.Commit(); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("reader must have been forcefully aborted, got %v", err)
+	}
+}
+
+// TestValueChainsThroughCommittedOwners: a new acquirer must find the
+// latest committed value by walking the version history.
+func TestValueChainsThroughCommittedOwners(t *testing.T) {
+	tm := alg2.New()
+	x := tm.NewVar("x", 1)
+	for i := uint64(2); i <= 6; i++ {
+		if err := core.WriteVar(tm, nil, x, i); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		v, err := core.ReadVar(tm, nil, x)
+		if err != nil || v != i {
+			t.Fatalf("read after write %d: %d %v", i, v, err)
+		}
+	}
+}
+
+// TestAbandonedTransactionIsAbortedByOthers: tryA does not decide
+// State[Tk]; the next acquirer proposes aborted and proceeds with the
+// old value.
+func TestAbandonedTransactionIsAbortedByOthers(t *testing.T) {
+	tm := alg2.New()
+	x := tm.NewVar("x", 3)
+	t1 := tm.Begin(nil)
+	if err := t1.Write(x, 99); err != nil {
+		t.Fatal(err)
+	}
+	t1.Abort() // local A_k only; State[T1] stays undecided
+
+	v, err := core.ReadVar(tm, nil, x)
+	if err != nil || v != 3 {
+		t.Fatalf("abandoned write must be invisible: %d %v", v, err)
+	}
+	if t1.Status() != model.Aborted {
+		t.Fatalf("t1 status %v", t1.Status())
+	}
+}
+
+func TestForeignVarPanics(t *testing.T) {
+	tm1 := alg2.New()
+	tm2 := alg2.New()
+	x := tm2.NewVar("x", 0)
+	tx := tm1.Begin(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("foreign var must panic")
+		}
+	}()
+	_, _ = tx.Read(x)
+}
+
+func TestCrashCampaign(t *testing.T) {
+	tmtest.CrashCampaign(t, factory(base.NeverAbort), 20)
+}
+
+func TestCrashCampaignAdversarial(t *testing.T) {
+	tmtest.CrashCampaign(t, factory(base.AbortOnContention), 15)
+}

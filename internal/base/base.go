@@ -1,0 +1,175 @@
+// Package base provides the base objects of the paper's model (§2.1):
+// atomic read/write registers, CAS words, one-shot test-and-set, and the
+// fail-only consensus (fo-consensus) object of [6] that Section 4 proves
+// equivalent to an OFTM.
+//
+// Every object works in two modes. Constructed with a nil *sim.Env it is
+// a thin wrapper over sync/atomic ("raw mode": production speed, no
+// recording). Constructed with an environment, every operation is one
+// scheduled, recorded step, so checkers can analyse the low-level
+// history and adversaries can interleave at step granularity.
+//
+// The type split is deliberate: Reg exports only Read and Write, so code
+// that must be implementable "from registers" (Algorithm 2's TVar,
+// Aborted and V arrays) cannot accidentally use CAS; U64 adds CAS for
+// the components the paper allows it for (DSTM, the lock-based TMs).
+package base
+
+import (
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Reg is an atomic read/write register holding a uint64. It exports no
+// read-modify-write operations (consensus number 1).
+type Reg struct {
+	v   atomic.Uint64
+	env *sim.Env
+	id  model.ObjID
+}
+
+// NewReg returns a register with the given initial value. env may be nil
+// (raw mode); name is used in recorded histories.
+func NewReg(env *sim.Env, name string, init uint64) *Reg {
+	r := &Reg{env: env}
+	r.v.Store(init)
+	if env != nil {
+		r.id = env.RegisterObj(name)
+	}
+	return r
+}
+
+// Obj returns the base-object id of the register (sim mode only).
+func (r *Reg) Obj() model.ObjID { return r.id }
+
+// Read returns the register's value. One step.
+func (r *Reg) Read(p *sim.Proc) uint64 {
+	var out uint64
+	sim.Step(p, r.id, "read", false, func() { out = r.v.Load() })
+	return out
+}
+
+// Write sets the register's value. One step.
+func (r *Reg) Write(p *sim.Proc, v uint64) {
+	sim.Step(p, r.id, "write", true, func() { r.v.Store(v) })
+}
+
+// U64 is an atomic word supporting Read, Write, CAS and Add — the "CAS
+// object" of the paper (universal in Herlihy's hierarchy). DSTM-style
+// OFTMs and the lock-based baselines build on it.
+type U64 struct {
+	v   atomic.Uint64
+	env *sim.Env
+	id  model.ObjID
+}
+
+// NewU64 returns a CAS word with the given initial value.
+func NewU64(env *sim.Env, name string, init uint64) *U64 {
+	w := &U64{env: env}
+	w.v.Store(init)
+	if env != nil {
+		w.id = env.RegisterObj(name)
+	}
+	return w
+}
+
+// Obj returns the base-object id of the word (sim mode only).
+func (w *U64) Obj() model.ObjID { return w.id }
+
+// Read returns the word's value. One step.
+func (w *U64) Read(p *sim.Proc) uint64 {
+	var out uint64
+	sim.Step(p, w.id, "read", false, func() { out = w.v.Load() })
+	return out
+}
+
+// Write sets the word's value. One step.
+func (w *U64) Write(p *sim.Proc, v uint64) {
+	sim.Step(p, w.id, "write", true, func() { w.v.Store(v) })
+}
+
+// CAS atomically replaces old with new and reports success. One step.
+// The step is recorded as a write even when the CAS fails: a failed CAS
+// still performed a read-modify-write access to the location, which is
+// what matters for conflict (cache-line) analysis.
+func (w *U64) CAS(p *sim.Proc, old, new uint64) bool {
+	var ok bool
+	sim.Step(p, w.id, "cas", true, func() { ok = w.v.CompareAndSwap(old, new) })
+	return ok
+}
+
+// Add atomically adds delta and returns the new value. One step.
+func (w *U64) Add(p *sim.Proc, delta uint64) uint64 {
+	var out uint64
+	sim.Step(p, w.id, "add", true, func() { out = w.v.Add(delta) })
+	return out
+}
+
+// Cell is an atomic CAS cell holding a pointer to T, used for DSTM
+// locators. Like U64 it models a CAS object.
+type Cell[T any] struct {
+	v   atomic.Pointer[T]
+	env *sim.Env
+	id  model.ObjID
+}
+
+// NewCell returns a cell holding init (which may be nil).
+func NewCell[T any](env *sim.Env, name string, init *T) *Cell[T] {
+	c := &Cell[T]{env: env}
+	c.v.Store(init)
+	if env != nil {
+		c.id = env.RegisterObj(name)
+	}
+	return c
+}
+
+// Obj returns the base-object id of the cell (sim mode only).
+func (c *Cell[T]) Obj() model.ObjID { return c.id }
+
+// Load returns the cell's pointer. One step.
+func (c *Cell[T]) Load(p *sim.Proc) *T {
+	var out *T
+	sim.Step(p, c.id, "read", false, func() { out = c.v.Load() })
+	return out
+}
+
+// CAS atomically replaces old with new and reports success. One step.
+func (c *Cell[T]) CAS(p *sim.Proc, old, new *T) bool {
+	var ok bool
+	sim.Step(p, c.id, "cas", true, func() { ok = c.v.CompareAndSwap(old, new) })
+	return ok
+}
+
+// TAS is a one-shot test-and-set object (consensus number 2): the first
+// Set wins; all later Sets lose.
+type TAS struct {
+	v   atomic.Uint32
+	env *sim.Env
+	id  model.ObjID
+}
+
+// NewTAS returns an unset test-and-set object.
+func NewTAS(env *sim.Env, name string) *TAS {
+	t := &TAS{env: env}
+	if env != nil {
+		t.id = env.RegisterObj(name)
+	}
+	return t
+}
+
+// Set attempts to set the object, reporting whether this call won (was
+// first). One step.
+func (t *TAS) Set(p *sim.Proc) bool {
+	var won bool
+	sim.Step(p, t.id, "tas", true, func() { won = t.v.CompareAndSwap(0, 1) })
+	return won
+}
+
+// IsSet reports whether the object has been set. One step.
+func (t *TAS) IsSet(p *sim.Proc) bool {
+	var set bool
+	sim.Step(p, t.id, "read", false, func() { set = t.v.Load() != 0 })
+	return set
+}

@@ -1,0 +1,280 @@
+package base
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func TestRegRawMode(t *testing.T) {
+	r := NewReg(nil, "r", 7)
+	if got := r.Read(nil); got != 7 {
+		t.Fatalf("initial read %d, want 7", got)
+	}
+	r.Write(nil, 42)
+	if got := r.Read(nil); got != 42 {
+		t.Fatalf("read %d, want 42", got)
+	}
+}
+
+func TestU64RawMode(t *testing.T) {
+	w := NewU64(nil, "w", 0)
+	if !w.CAS(nil, 0, 5) {
+		t.Fatalf("CAS 0->5 must succeed")
+	}
+	if w.CAS(nil, 0, 9) {
+		t.Fatalf("CAS 0->9 must fail, value is 5")
+	}
+	if got := w.Add(nil, 3); got != 8 {
+		t.Fatalf("Add: got %d, want 8", got)
+	}
+	w.Write(nil, 1)
+	if got := w.Read(nil); got != 1 {
+		t.Fatalf("read %d, want 1", got)
+	}
+}
+
+func TestCellRawMode(t *testing.T) {
+	type node struct{ v int }
+	a, b := &node{1}, &node{2}
+	c := NewCell[node](nil, "c", a)
+	if c.Load(nil) != a {
+		t.Fatalf("initial pointer mismatch")
+	}
+	if !c.CAS(nil, a, b) {
+		t.Fatalf("CAS a->b must succeed")
+	}
+	if c.CAS(nil, a, b) {
+		t.Fatalf("CAS from stale pointer must fail")
+	}
+	if c.Load(nil) != b {
+		t.Fatalf("pointer not swapped")
+	}
+}
+
+func TestTASOneWinnerRaw(t *testing.T) {
+	tas := NewTAS(nil, "t")
+	if tas.IsSet(nil) {
+		t.Fatalf("fresh TAS must be unset")
+	}
+	if !tas.Set(nil) {
+		t.Fatalf("first Set must win")
+	}
+	if tas.Set(nil) {
+		t.Fatalf("second Set must lose")
+	}
+	if !tas.IsSet(nil) {
+		t.Fatalf("TAS must be set")
+	}
+}
+
+func TestStepsAreRecorded(t *testing.T) {
+	env := sim.New()
+	r := NewReg(env, "reg", 0)
+	w := NewU64(env, "word", 0)
+	env.Spawn(func(p *sim.Proc) {
+		r.Write(p, 3)
+		_ = r.Read(p)
+		w.CAS(p, 0, 1)
+	})
+	h := env.Run(sim.RoundRobin())
+	if len(h.Steps) != 3 {
+		t.Fatalf("want 3 steps, got %d", len(h.Steps))
+	}
+	if !h.Steps[0].Write || h.Steps[0].Name != "write" {
+		t.Errorf("step 0: %+v", h.Steps[0])
+	}
+	if h.Steps[1].Write {
+		t.Errorf("read recorded as write: %+v", h.Steps[1])
+	}
+	if h.Steps[2].Name != "cas" || !h.Steps[2].Write {
+		t.Errorf("step 2: %+v", h.Steps[2])
+	}
+	if env.ObjName(h.Steps[0].Obj) != "reg" {
+		t.Errorf("step 0 object name %q", env.ObjName(h.Steps[0].Obj))
+	}
+}
+
+func TestFoConsSoloAlwaysDecidesOwnValue(t *testing.T) {
+	for _, policy := range []AbortPolicy{NeverAbort, AbortOnContention, AbortRandomly} {
+		env := sim.New()
+		f := NewFoCons(env, "f", policy, 1)
+		var got uint64
+		env.Spawn(func(p *sim.Proc) {
+			got = f.Propose(p, 7)
+		})
+		env.Run(sim.RoundRobin())
+		if got != 7 {
+			t.Errorf("policy %v: solo propose decided %d, want 7 (fo-obstruction-freedom)", policy, got)
+		}
+	}
+}
+
+func TestFoConsAgreementUnderInterleaving(t *testing.T) {
+	// Two processes propose different values under many interleavings;
+	// all non-Bottom returns must agree, and the decision must come from
+	// a non-aborting propose (fo-validity).
+	for seed := int64(0); seed < 50; seed++ {
+		env := sim.New()
+		f := NewFoCons(env, "f", AbortOnContention, seed)
+		results := make([]uint64, 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			env.Spawn(func(p *sim.Proc) {
+				v := uint64(i + 1)
+				results[i] = f.Propose(p, v)
+			})
+		}
+		env.Run(sim.Random(seed))
+		decided := map[uint64]bool{}
+		for _, r := range results {
+			if r != Bottom {
+				decided[r] = true
+			}
+		}
+		if len(decided) > 1 {
+			t.Fatalf("seed %d: agreement violated: %v", seed, results)
+		}
+		for v := range decided {
+			// fo-validity: the winner's own result must be v (its propose
+			// did not abort) — the proposer of v cannot have aborted.
+			if results[v-1] == Bottom {
+				t.Fatalf("seed %d: value %d decided but its proposer aborted (fo-validity)", seed, v)
+			}
+		}
+	}
+}
+
+func TestFoConsNeverAbortPolicyNeverAborts(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		env := sim.New()
+		f := NewFoCons(env, "f", NeverAbort, seed)
+		results := make([]uint64, 4)
+		for i := 0; i < 4; i++ {
+			i := i
+			env.Spawn(func(p *sim.Proc) { results[i] = f.Propose(p, uint64(i+1)) })
+		}
+		env.Run(sim.Random(seed))
+		first := results[0]
+		for i, r := range results {
+			if r == Bottom {
+				t.Fatalf("seed %d: NeverAbort aborted at p%d", seed, i+1)
+			}
+			if r != first {
+				t.Fatalf("seed %d: disagreement %v", seed, results)
+			}
+		}
+	}
+}
+
+func TestFoConsAdversaryAbortsContendedPropose(t *testing.T) {
+	// p1 starts a propose (performs its first read step), p2 then runs a
+	// full propose, then p1 resumes: p1's propose is contended and the
+	// AbortOnContention policy must abort it without registering.
+	env := sim.New()
+	f := NewFoCons(env, "f", AbortOnContention, 0)
+	var r1, r2 uint64
+	env.Spawn(func(p *sim.Proc) { r1 = f.Propose(p, 1) })
+	env.Spawn(func(p *sim.Proc) { r2 = f.Propose(p, 2) })
+	env.Run(sim.Script(
+		sim.Phase{Proc: 1, Steps: 1}, // p1's initial read
+		sim.Phase{Proc: 2, Steps: -1},
+		sim.Phase{Proc: 1, Steps: -1},
+	))
+	if r2 != 2 {
+		t.Fatalf("p2 ran alone after p1's read; must decide its own value, got %d", r2)
+	}
+	if r1 != Bottom {
+		t.Fatalf("p1 was contended; adversarial policy must abort, got %d", r1)
+	}
+	if v, ok := f.Decided(nil); !ok || v != 2 {
+		t.Fatalf("decision must be 2, got %d (ok=%v)", v, ok)
+	}
+}
+
+func TestFoConsDecidedInspection(t *testing.T) {
+	f := NewFoCons(nil, "f", NeverAbort, 0)
+	if _, ok := f.Decided(nil); ok {
+		t.Fatalf("fresh object must be undecided")
+	}
+	if got := f.Propose(nil, 9); got != 9 {
+		t.Fatalf("raw propose got %d", got)
+	}
+	if v, ok := f.Decided(nil); !ok || v != 9 {
+		t.Fatalf("decided inspection: %d %v", v, ok)
+	}
+}
+
+func TestFoConsDomainPanics(t *testing.T) {
+	f := NewFoCons(nil, "f", NeverAbort, 0)
+	for _, bad := range []uint64{Bottom} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Propose(%d) must panic", bad)
+				}
+			}()
+			f.Propose(nil, bad)
+		}()
+	}
+}
+
+func TestFoConsFirstProposerWinsQuick(t *testing.T) {
+	// Property: in raw mode (sequential), the first propose decides and
+	// every later propose returns the same decision.
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		fc := NewFoCons(nil, "f", NeverAbort, 0)
+		want := fc.Propose(nil, uint64(vals[0])+1)
+		if want != uint64(vals[0])+1 {
+			return false
+		}
+		for _, v := range vals[1:] {
+			if fc.Propose(nil, uint64(v)+1) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegObjIDs(t *testing.T) {
+	env := sim.New()
+	a := NewReg(env, "a", 0)
+	b := NewU64(env, "b", 0)
+	c := NewCell[int](env, "c", nil)
+	d := NewTAS(env, "d")
+	f := NewFoCons(env, "f", NeverAbort, 0)
+	ids := map[model.ObjID]bool{a.Obj(): true, b.Obj(): true, c.Obj(): true, f.Obj(): true}
+	_ = d
+	if len(ids) != 4 {
+		t.Fatalf("object ids must be distinct: %v", ids)
+	}
+}
+
+func TestTASUnderScheduling(t *testing.T) {
+	env := sim.New()
+	tas := NewTAS(env, "t")
+	wins := make([]bool, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Spawn(func(p *sim.Proc) { wins[i] = tas.Set(p) })
+	}
+	env.Run(sim.Random(3))
+	n := 0
+	for _, w := range wins {
+		if w {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("exactly one winner required, got %d", n)
+	}
+}

@@ -1,0 +1,157 @@
+package base
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Bottom is the ⊥ of the fo-consensus value domain D ∪ {⊥}: the value
+// returned by an aborted propose, and never a member of D. Callers
+// encode their domain so that Bottom is unused (transaction handles and
+// status constants in this repository are small positive integers).
+const Bottom uint64 = ^uint64(0)
+
+// Proposer is the fo-consensus interface of §4.1. Propose registers
+// value v and returns the decision value, or Bottom if the operation
+// aborted (in which case v was NOT registered and cannot be decided:
+// fo-validity). An aborted propose may be retried.
+//
+// The three properties (for every low-level history):
+//
+//	fo-validity:             a decided value was proposed by a propose
+//	                         that does not abort;
+//	agreement:               no two processes decide different values;
+//	fo-obstruction-freedom:  a step-contention-free propose does not
+//	                         abort.
+//
+// base.FoCons implements Proposer as a base object; package focons
+// implements it from OFTMs (Algorithm 1) and from eventual ic-OFTMs
+// (Algorithm 3).
+type Proposer interface {
+	Propose(p *sim.Proc, v uint64) uint64
+}
+
+// AbortPolicy selects when a FoCons base object uses its licence to
+// abort. The fo-consensus specification only *permits* aborting a
+// propose that encounters step contention; it never requires it. The
+// policy knob lets experiments range from the friendliest object (never
+// abort — what a CAS-backed implementation naturally provides) to the
+// harshest adversary the specification allows (abort whenever step
+// contention is observed).
+type AbortPolicy int
+
+const (
+	// NeverAbort: propose always returns a decision. With this policy
+	// FoCons degenerates to (one-shot) consensus. Raw mode always
+	// behaves like this, since step contention is unobservable there.
+	NeverAbort AbortPolicy = iota
+	// AbortOnContention: abort every propose that observed a step by
+	// another process during its interval and has not yet registered its
+	// value. This is the strongest adversary fo-obstruction-freedom
+	// allows.
+	AbortOnContention
+	// AbortRandomly: abort contended proposes with probability 1/2,
+	// seeded per object; between the two extremes.
+	AbortRandomly
+)
+
+// FoCons is a fail-only consensus base object. The implementation
+// decides via an internal CAS but is careful to abort only *before* the
+// CAS is attempted, so an aborted propose has registered nothing and
+// fo-validity holds by construction.
+//
+// Propose takes up to two steps: a read of the decision word, then (if
+// undecided) a CAS. Between them the object re-checks the abort policy.
+type FoCons struct {
+	w      U64 // 0 = undecided; else decided with value enc-1
+	policy AbortPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFoCons returns an undecided fo-consensus object with the given
+// abort policy. seed is used only by AbortRandomly.
+func NewFoCons(env *sim.Env, name string, policy AbortPolicy, seed int64) *FoCons {
+	f := &FoCons{policy: policy}
+	f.w.env = env
+	if env != nil {
+		f.w.id = env.RegisterObj(name)
+	}
+	if policy == AbortRandomly {
+		f.rng = rand.New(rand.NewSource(seed))
+	}
+	return f
+}
+
+// Obj returns the base-object id (sim mode only).
+func (f *FoCons) Obj() model.ObjID { return f.w.Obj() }
+
+func (f *FoCons) mayAbort(p *sim.Proc, m sim.Mark) bool {
+	if !p.ContendedSince(m) {
+		return false // fo-obstruction-freedom: quiet proposes never abort
+	}
+	switch f.policy {
+	case AbortOnContention:
+		return true
+	case AbortRandomly:
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.rng.Intn(2) == 0
+	}
+	return false
+}
+
+// Propose implements Proposer. It panics if v == Bottom or if v+1
+// overflows (v must be a domain value).
+//
+// The step-contention interval is measured from the propose's first
+// step: process bodies execute local code concurrently before their
+// first step is granted, so only the granted-step window is a
+// well-defined interval under the scheduler.
+func (f *FoCons) Propose(p *sim.Proc, v uint64) uint64 {
+	if v == Bottom || v+1 == 0 {
+		panic("base: fo-consensus value out of domain")
+	}
+	var m sim.Mark
+	var cur uint64
+	sim.Step(p, f.w.id, "read", false, func() {
+		m = p.Mark()
+		cur = f.w.v.Load()
+	})
+	if cur != 0 {
+		// Already decided; return the decision. Nothing new registers.
+		return cur - 1
+	}
+	// Undecided at the read. The abort decision and the CAS are made
+	// inside the granted step so that the contention observation is
+	// well-defined under the scheduler. Aborting happens BEFORE the CAS
+	// is attempted: an aborted propose registers nothing, which keeps
+	// fo-validity unconditional.
+	aborted := false
+	sim.Step(p, f.w.id, "propose", true, func() {
+		if f.mayAbort(p, m) {
+			aborted = true
+			return
+		}
+		f.w.v.CompareAndSwap(0, v+1)
+		cur = f.w.v.Load()
+	})
+	if aborted {
+		return Bottom
+	}
+	return cur - 1
+}
+
+// Decided reports whether the object has decided, and the decision. The
+// inspection is one step (a read).
+func (f *FoCons) Decided(p *sim.Proc) (uint64, bool) {
+	cur := f.w.Read(p)
+	if cur == 0 {
+		return 0, false
+	}
+	return cur - 1, true
+}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alg2"
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/locktm"
+	"repro/internal/nztm"
+	"repro/internal/sim"
+)
+
+// Engine is a registry entry: how to build the engine in raw and sim
+// modes, and whether it claims obstruction-freedom.
+type Engine struct {
+	Name string
+	Raw  func() core.TM
+	Sim  func(env *sim.Env) core.TM
+	OF   bool
+}
+
+// Engines returns the standard engine lineup used across experiments.
+func Engines() []Engine {
+	return []Engine{
+		{
+			Name: "dstm",
+			Raw:  func() core.TM { return dstm.New() },
+			Sim:  func(env *sim.Env) core.TM { return dstm.New(dstm.WithEnv(env)) },
+			OF:   true,
+		},
+		{
+			Name: "alg2",
+			Raw:  func() core.TM { return alg2.New() },
+			Sim:  func(env *sim.Env) core.TM { return alg2.New(alg2.WithEnv(env)) },
+			OF:   true,
+		},
+		{
+			Name: "nztm",
+			Raw:  func() core.TM { return nztm.New() },
+			Sim:  func(env *sim.Env) core.TM { return nztm.New(nztm.WithEnv(env)) },
+			OF:   true,
+		},
+		{
+			Name: "2pl",
+			Raw:  func() core.TM { return locktm.NewTwoPhase() },
+			Sim:  func(env *sim.Env) core.TM { return locktm.NewTwoPhase(locktm.WithEnv(env)) },
+		},
+		{
+			Name: "tl2",
+			Raw:  func() core.TM { return locktm.NewGlobalClock() },
+			Sim:  func(env *sim.Env) core.TM { return locktm.NewGlobalClock(locktm.WithEnv(env)) },
+		},
+		{
+			Name: "coarse",
+			Raw:  func() core.TM { return locktm.NewCoarse() },
+			Sim:  func(env *sim.Env) core.TM { return locktm.NewCoarse(locktm.WithEnv(env)) },
+		},
+	}
+}
+
+// EngineByName returns the registry entry or panics.
+func EngineByName(name string) Engine {
+	for _, e := range Engines() {
+		if e.Name == name {
+			return e
+		}
+	}
+	panic("bench: unknown engine " + name)
+}
+
+// Workload is a raw-mode throughput workload: Setup allocates the
+// shared structure, Op performs one application operation (internally a
+// retrying transaction).
+type Workload struct {
+	Name  string
+	Setup func(tm core.TM) func(threadID, i int, rng *rand.Rand) error
+}
+
+// ReadMix builds a var-array read/write mix workload: readPct% of
+// operations read a random variable transactionally; the rest
+// read-modify-write it. vars controls contention (fewer vars = hotter).
+func ReadMix(name string, vars, readPct int) Workload {
+	return Workload{
+		Name: name,
+		Setup: func(tm core.TM) func(int, int, *rand.Rand) error {
+			vs := make([]core.Var, vars)
+			for i := range vs {
+				vs[i] = tm.NewVar(fmt.Sprintf("v%d", i), 0)
+			}
+			return func(_, _ int, rng *rand.Rand) error {
+				v := vs[rng.Intn(len(vs))]
+				if rng.Intn(100) < readPct {
+					_, err := core.ReadVar(tm, nil, v)
+					return err
+				}
+				return core.Run(tm, nil, func(tx core.Tx) error {
+					x, err := tx.Read(v)
+					if err != nil {
+						return err
+					}
+					return tx.Write(v, x+1)
+				})
+			}
+		},
+	}
+}
+
+// BankTransfer builds the bank workload: random transfers over n
+// accounts.
+func BankTransfer(accounts int) Workload {
+	return Workload{
+		Name: fmt.Sprintf("bank-%d", accounts),
+		Setup: func(tm core.TM) func(int, int, *rand.Rand) error {
+			vs := make([]core.Var, accounts)
+			for i := range vs {
+				vs[i] = tm.NewVar(fmt.Sprintf("acct%d", i), 1000)
+			}
+			return func(_, _ int, rng *rand.Rand) error {
+				from := rng.Intn(accounts)
+				to := (from + 1 + rng.Intn(accounts-1)) % accounts
+				return core.Run(tm, nil, func(tx core.Tx) error {
+					a, err := tx.Read(vs[from])
+					if err != nil {
+						return err
+					}
+					b, err := tx.Read(vs[to])
+					if err != nil {
+						return err
+					}
+					if a == 0 {
+						return nil
+					}
+					if err := tx.Write(vs[from], a-1); err != nil {
+						return err
+					}
+					return tx.Write(vs[to], b+1)
+				})
+			}
+		},
+	}
+}
+
+// Disjoint builds the perfect disjoint-access workload: each thread
+// owns a private variable and increments only it. Any slowdown with
+// more threads is pure implementation-level interference — the "hot
+// spot" cost the paper's strict-DAP discussion is about.
+func Disjoint(maxThreads int) Workload {
+	return Workload{
+		Name: "disjoint",
+		Setup: func(tm core.TM) func(int, int, *rand.Rand) error {
+			vs := make([]core.Var, maxThreads)
+			for i := range vs {
+				vs[i] = tm.NewVar(fmt.Sprintf("private%d", i), 0)
+			}
+			return func(thread, _ int, _ *rand.Rand) error {
+				v := vs[thread]
+				return core.Run(tm, nil, func(tx core.Tx) error {
+					x, err := tx.Read(v)
+					if err != nil {
+						return err
+					}
+					return tx.Write(v, x+1)
+				})
+			}
+		},
+	}
+}
+
+// Result is one throughput measurement.
+type Result struct {
+	Engine   string
+	Workload string
+	Threads  int
+	Ops      int
+	Elapsed  time.Duration
+	// Attempts counts transaction attempts; Attempts - CommittedOps is
+	// the retry (abort) overhead.
+	Attempts int64
+}
+
+// OpsPerSec returns throughput.
+func (r Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// RunThroughput measures opsPerThread operations on threads goroutines
+// against a fresh engine in raw mode.
+func RunThroughput(mk func() core.TM, w Workload, threads, opsPerThread int) Result {
+	tm := mk()
+	var attempts int64
+	op := w.Setup(&attemptCounter{TM: tm, n: &attempts})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(t)*7919 + 1))
+			for i := 0; i < opsPerThread; i++ {
+				if err := op(t, i, rng); err != nil {
+					panic(fmt.Sprintf("bench: workload error: %v", err))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return Result{
+		Workload: w.Name,
+		Threads:  threads,
+		Ops:      threads * opsPerThread,
+		Elapsed:  time.Since(start),
+		Attempts: attempts,
+	}
+}
+
+// attemptCounter wraps a TM counting Begin calls (= attempts including
+// retries).
+type attemptCounter struct {
+	core.TM
+	n *int64
+}
+
+func (c *attemptCounter) Begin(p *sim.Proc) core.Tx {
+	atomic.AddInt64(c.n, 1)
+	return c.TM.Begin(p)
+}

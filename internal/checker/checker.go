@@ -1,0 +1,263 @@
+// Package checker decides the paper's correctness and progress
+// properties on recorded histories:
+//
+//   - Serializability (Definition 1): an exact, exponential-in-the-small
+//     search over commit-completions and sequential orders, plus a
+//     linear-time witness check (commit order) for large histories.
+//   - Opacity ([15], used throughout Appendix B): serializability
+//     strengthened with real-time order preservation and consistency of
+//     the reads of *every* transaction, aborted and live ones included.
+//   - Obstruction-freedom (Definition 2): every forcefully aborted
+//     transaction encountered step contention.
+//   - Strict disjoint-access-parallelism (Definition 12): transactions
+//     that conflict on a base object must share a t-variable. Theorem 13
+//     proves every OFTM must violate this; the checker finds the
+//     violating base objects.
+//
+// All checkers are pure functions over model.History / model.TxView and
+// never touch the engines.
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Result is the outcome of a safety check.
+type Result struct {
+	OK bool
+	// Witness is a serialization order proving OK (ids in order), when
+	// the check searched for one.
+	Witness []model.TxID
+	// Reason explains a failure.
+	Reason string
+}
+
+// ExactLimit is the largest number of transactions the exact
+// (exponential) searches accept before refusing; larger histories should
+// use the witness checkers.
+const ExactLimit = 14
+
+// CheckSerializable decides Definition 1 exactly: does some
+// commit-completion of the history have its committed transactions
+// equivalent to a sequential legal history? Commit-pending transactions
+// may be credited as committed or dropped; aborted and live transactions
+// are ignored. init gives initial t-variable values (nil = all zero).
+func CheckSerializable(txs []*model.TxView, init map[model.VarID]uint64) Result {
+	var place []*model.TxView // must or may be placed
+	for _, t := range txs {
+		if t.Status == model.Committed || t.CommitPending {
+			place = append(place, t)
+		}
+	}
+	if len(place) > ExactLimit {
+		return Result{OK: false, Reason: fmt.Sprintf("checker: %d transactions exceed the exact-search limit %d; use CheckSerializableWitness", len(place), ExactLimit)}
+	}
+	s := &serialSearch{txs: place, init: init, realTime: false, memo: map[string]bool{}}
+	if order, ok := s.search(); ok {
+		return Result{OK: true, Witness: order}
+	}
+	return Result{OK: false, Reason: "checker: no commit-completion has a legal sequential equivalent"}
+}
+
+// CheckOpacity decides opacity exactly: a single total order on all
+// transactions that (1) respects real-time precedence, (2) is legal for
+// the committed (or credited commit-pending) transactions, and (3) under
+// which every transaction — including aborted and live ones — observed a
+// consistent (legal) state. This is final-state opacity in the sense of
+// [15], which Algorithm 2's correctness proof (Appendix B) establishes
+// via the opacity graph.
+func CheckOpacity(txs []*model.TxView, init map[model.VarID]uint64) Result {
+	if len(txs) > ExactLimit {
+		return Result{OK: false, Reason: fmt.Sprintf("checker: %d transactions exceed the exact-search limit %d; use CheckOpacityWitness", len(txs), ExactLimit)}
+	}
+	s := &serialSearch{txs: txs, init: init, realTime: true, memo: map[string]bool{}}
+	if order, ok := s.search(); ok {
+		return Result{OK: true, Witness: order}
+	}
+	return Result{OK: false, Reason: "checker: no real-time-respecting legal order exists (opacity violated)"}
+}
+
+// serialSearch is the DFS engine shared by the serializability and
+// opacity checks. In realTime mode all transactions participate and
+// real-time edges constrain the order; otherwise only committed /
+// commit-pending transactions are placed and order is unconstrained.
+type serialSearch struct {
+	txs      []*model.TxView
+	init     map[model.VarID]uint64
+	realTime bool
+	memo     map[string]bool // (mask, state) -> already-failed
+}
+
+// effective reports how the transaction participates: placed as a
+// state-changing committed transaction, placed read-only (aborted/live:
+// reads must be legal, writes invisible), or optional.
+func (s *serialSearch) committedLike(t *model.TxView) bool {
+	return t.Status == model.Committed || t.CommitPending
+}
+
+func (s *serialSearch) search() ([]model.TxID, bool) {
+	n := len(s.txs)
+	state := model.NewVarState(s.init)
+	order := make([]model.TxID, 0, n)
+	var dfs func(mask uint64) bool
+	dfs = func(mask uint64) bool {
+		if len(order) == n {
+			return true
+		}
+		key := stateKey(mask, state)
+		if s.memo[key] {
+			return false
+		}
+		for i, t := range s.txs {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 {
+				continue
+			}
+			if s.realTime && !s.predecessorsPlaced(mask, i) {
+				continue
+			}
+			// A commit-pending transaction may also be dropped entirely:
+			// model that by allowing it to be placed as aborted-like.
+			// (Covered below by the two placement modes.)
+			if s.committedLike(t) {
+				if model.ReadsLegal(t, state) {
+					saved := snapshotWrites(state, t)
+					state.Apply(t)
+					order = append(order, t.ID)
+					if dfs(mask | bit) {
+						return true
+					}
+					order = order[:len(order)-1]
+					restoreWrites(state, saved)
+				}
+				if t.CommitPending && !s.realTime {
+					// Credit the pending transaction as never-committed:
+					// simply skip it (it contributes nothing).
+					order = append(order, t.ID)
+					if dfs(mask | bit) {
+						return true
+					}
+					order = order[:len(order)-1]
+				}
+				if t.CommitPending && s.realTime {
+					// Dropped pending transaction: reads must still be
+					// consistent (it was live), writes invisible.
+					if model.ReadsLegal(t, state) {
+						order = append(order, t.ID)
+						if dfs(mask | bit) {
+							return true
+						}
+						order = order[:len(order)-1]
+					}
+				}
+			} else {
+				// Aborted or live: participates only in realTime
+				// (opacity) mode; reads must be legal, writes invisible.
+				if !s.realTime {
+					panic("checker: non-committed transaction in serializability search")
+				}
+				if model.ReadsLegal(t, state) {
+					order = append(order, t.ID)
+					if dfs(mask | bit) {
+						return true
+					}
+					order = order[:len(order)-1]
+				}
+			}
+		}
+		s.memo[key] = true
+		return false
+	}
+	if dfs(0) {
+		return order, true
+	}
+	return nil, false
+}
+
+// predecessorsPlaced reports whether every transaction that really-
+// precedes txs[i] is already placed.
+func (s *serialSearch) predecessorsPlaced(mask uint64, i int) bool {
+	for j, u := range s.txs {
+		if j == i || mask&(uint64(1)<<uint(j)) != 0 {
+			continue
+		}
+		if model.Precedes(u, s.txs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+type savedWrite struct {
+	v       model.VarID
+	val     uint64
+	present bool
+}
+
+func snapshotWrites(state *model.VarState, t *model.TxView) []savedWrite {
+	out := make([]savedWrite, 0, len(t.Writes))
+	for v := range t.Writes {
+		val, ok := state.Cur[v]
+		out = append(out, savedWrite{v: v, val: val, present: ok})
+	}
+	return out
+}
+
+func restoreWrites(state *model.VarState, saved []savedWrite) {
+	for _, s := range saved {
+		if s.present {
+			state.Cur[s.v] = s.val
+		} else {
+			delete(state.Cur, s.v)
+		}
+	}
+}
+
+func stateKey(mask uint64, state *model.VarState) string {
+	keys := make([]model.VarID, 0, len(state.Cur))
+	for v := range state.Cur {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	b := make([]byte, 0, 8+len(keys)*16)
+	b = appendUint(b, mask)
+	for _, v := range keys {
+		b = appendUint(b, uint64(v))
+		b = appendUint(b, state.Cur[v])
+	}
+	return string(b)
+}
+
+func appendUint(b []byte, x uint64) []byte {
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(x>>(8*uint(i))))
+	}
+	return b
+}
+
+// CheckSerializableWitness checks legality of the specific order given
+// by commit-event time — the serialization order of every engine in this
+// repository — in O(n·ops). It is sound (a pass implies
+// serializability) but not complete (a failure does not refute it); the
+// randomized campaigns fall back to the exact search on failure when the
+// history is small enough.
+func CheckSerializableWitness(txs []*model.TxView, init map[model.VarID]uint64) Result {
+	var committed []*model.TxView
+	for _, t := range txs {
+		if t.Status == model.Committed {
+			committed = append(committed, t)
+		}
+	}
+	sort.Slice(committed, func(i, j int) bool { return committed[i].End < committed[j].End })
+	if model.Legal(committed, init) {
+		w := make([]model.TxID, len(committed))
+		for i, t := range committed {
+			w[i] = t.ID
+		}
+		return Result{OK: true, Witness: w}
+	}
+	return Result{OK: false, Reason: "checker: commit-order witness is not legal"}
+}

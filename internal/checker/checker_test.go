@@ -1,0 +1,388 @@
+package checker
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// hb is a small helper building histories op by op.
+type hb struct {
+	rec *model.Recorder
+}
+
+func newHB() *hb { return &hb{rec: model.NewRecorder(model.NewClock())} }
+
+func (b *hb) op(o model.Op) *hb {
+	inv := b.rec.Invoke(o.Proc)
+	b.rec.Respond(inv, o)
+	return b
+}
+
+func (b *hb) pending(o model.Op) *hb {
+	inv := b.rec.Invoke(o.Proc)
+	b.rec.Cut(inv, o)
+	return b
+}
+
+func (b *hb) step(s model.Step) *hb {
+	b.rec.RecordStep(s)
+	return b
+}
+
+func (b *hb) txs() []*model.TxView { return model.Transactions(b.rec.History()) }
+
+func (b *hb) hist() *model.History { return b.rec.History() }
+
+var (
+	t11 = model.TxID{Proc: 1, Seq: 1}
+	t21 = model.TxID{Proc: 2, Seq: 1}
+	t31 = model.TxID{Proc: 3, Seq: 1}
+)
+
+func TestSerializableSimple(t *testing.T) {
+	b := newHB()
+	b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpWrite, Var: 0, Arg: 5})
+	b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpTryCommit})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpRead, Var: 0, Ret: 5})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpTryCommit})
+	res := CheckSerializable(b.txs(), nil)
+	if !res.OK {
+		t.Fatalf("must be serializable: %s", res.Reason)
+	}
+	if len(res.Witness) != 2 || res.Witness[0] != t11 {
+		t.Fatalf("witness %v, want [T1.1 T2.1]", res.Witness)
+	}
+}
+
+func TestNotSerializableWriteSkew(t *testing.T) {
+	// T1: R(x):0, W(y,1), C.  T2: R(y):0, W(x,1), C.
+	// Neither order is legal.
+	b := newHB()
+	b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpRead, Var: 0, Ret: 0})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpRead, Var: 1, Ret: 0})
+	b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpWrite, Var: 1, Arg: 1})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpWrite, Var: 0, Arg: 1})
+	b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpTryCommit})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpTryCommit})
+	if res := CheckSerializable(b.txs(), nil); res.OK {
+		t.Fatalf("write-skew with both commits must not be serializable (witness %v)", res.Witness)
+	}
+}
+
+func TestCommitPendingCredited(t *testing.T) {
+	// T1's tryC never responded, but T2 read its write and committed:
+	// only crediting T1 as committed explains the history.
+	b := newHB()
+	b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpWrite, Var: 0, Arg: 5})
+	b.pending(model.Op{Proc: 1, Tx: t11, Kind: model.OpTryCommit})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpRead, Var: 0, Ret: 5})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpTryCommit})
+	if res := CheckSerializable(b.txs(), nil); !res.OK {
+		t.Fatalf("commit-pending writer must be creditable: %s", res.Reason)
+	}
+}
+
+func TestCommitPendingDropped(t *testing.T) {
+	// Same, but T2 read the OLD value: T1 must be treated as never
+	// committed.
+	b := newHB()
+	b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpWrite, Var: 0, Arg: 5})
+	b.pending(model.Op{Proc: 1, Tx: t11, Kind: model.OpTryCommit})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpRead, Var: 0, Ret: 0})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpTryCommit})
+	if res := CheckSerializable(b.txs(), nil); !res.OK {
+		t.Fatalf("commit-pending writer must be droppable: %s", res.Reason)
+	}
+}
+
+func TestOpacityRequiresRealTimeOrder(t *testing.T) {
+	// T1 commits W(x,1) strictly before T2 begins; T2 reads x=0 and
+	// commits. Serializable (T2 ordered first), but opacity forbids
+	// reordering against real time.
+	b := newHB()
+	b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpWrite, Var: 0, Arg: 1})
+	b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpTryCommit})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpRead, Var: 0, Ret: 0})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpTryCommit})
+	txs := b.txs()
+	if res := CheckSerializable(txs, nil); !res.OK {
+		t.Fatalf("stale read is serializable by reordering: %s", res.Reason)
+	}
+	if res := CheckOpacity(txs, nil); res.OK {
+		t.Fatalf("stale read after real-time-preceding commit must violate opacity (witness %v)", res.Witness)
+	}
+}
+
+func TestOpacityAbortedReadsMustBeConsistent(t *testing.T) {
+	// T1 commits x=1 and y=1 atomically. T3 aborted after reading the
+	// impossible mixed snapshot x=0, y=1. Serializability ignores T3;
+	// opacity must reject.
+	build := func(xRead, yRead uint64) []*model.TxView {
+		b := newHB()
+		b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpWrite, Var: 0, Arg: 1})
+		b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpWrite, Var: 1, Arg: 1})
+		b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpTryCommit})
+		b.op(model.Op{Proc: 3, Tx: t31, Kind: model.OpRead, Var: 0, Ret: xRead})
+		b.op(model.Op{Proc: 3, Tx: t31, Kind: model.OpRead, Var: 1, Ret: yRead})
+		b.op(model.Op{Proc: 3, Tx: t31, Kind: model.OpRead, Var: 0, Ret: xRead, Aborted: true})
+		return b.txs()
+	}
+	// Consistent snapshots pass...
+	if res := CheckOpacity(build(1, 1), nil); !res.OK {
+		t.Fatalf("consistent (1,1) snapshot must be opaque: %s", res.Reason)
+	}
+	// ...the mixed snapshot does not.
+	if res := CheckOpacity(build(0, 1), nil); res.OK {
+		t.Fatalf("mixed snapshot (0,1) must violate opacity")
+	}
+	if res := CheckSerializable(build(0, 1), nil); !res.OK {
+		t.Fatalf("serializability ignores the aborted reader: %s", res.Reason)
+	}
+}
+
+func TestObstructionFreedomChecker(t *testing.T) {
+	// T1 forcefully aborted with a step of p2 inside its interval: OK.
+	b := newHB()
+	inv := b.rec.Invoke(1)
+	b.step(model.Step{Proc: 2, Tx: t21, Obj: 0, Name: "cas", Write: true})
+	b.rec.Respond(inv, model.Op{Proc: 1, Tx: t11, Kind: model.OpRead, Var: 0, Aborted: true})
+	if v := CheckObstructionFree(b.hist()); len(v) != 0 {
+		t.Fatalf("contended forceful abort is allowed: %v", v)
+	}
+
+	// T1 forcefully aborted with no other-process steps: violation.
+	b2 := newHB()
+	b2.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpRead, Var: 0, Aborted: true})
+	v := CheckObstructionFree(b2.hist())
+	if len(v) != 1 || v[0].Tx != t11 {
+		t.Fatalf("uncontended forceful abort must be flagged: %v", v)
+	}
+	if v[0].String() == "" {
+		t.Fatalf("violation must render")
+	}
+
+	// tryA aborts are not forceful: no violation.
+	b3 := newHB()
+	b3.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpTryAbort, Aborted: true})
+	if v := CheckObstructionFree(b3.hist()); len(v) != 0 {
+		t.Fatalf("tryA abort flagged: %v", v)
+	}
+}
+
+func TestStepContentionHelper(t *testing.T) {
+	b := newHB()
+	inv := b.rec.Invoke(1)
+	b.step(model.Step{Proc: 1, Tx: t11, Obj: 0, Name: "read"})
+	b.step(model.Step{Proc: 2, Tx: t21, Obj: 0, Name: "read"})
+	b.rec.Respond(inv, model.Op{Proc: 1, Tx: t11, Kind: model.OpRead, Var: 0})
+	h := b.hist()
+	if !StepContention(h, 1, 0, 1<<40) {
+		t.Fatalf("p2's step must count as contention for p1")
+	}
+	if StepContention(h, 2, 0, 2) {
+		t.Fatalf("own step must not count; p1's step is at t=2")
+	}
+}
+
+func TestStrictDAPChecker(t *testing.T) {
+	// T1 uses var x0, T2 uses var x1 (disjoint), but both hit base
+	// object 7, one writing: violation.
+	b := newHB()
+	inv := b.rec.Invoke(1)
+	b.step(model.Step{Proc: 1, Tx: t11, Obj: 7, Name: "cas", Write: true})
+	b.rec.Respond(inv, model.Op{Proc: 1, Tx: t11, Kind: model.OpRead, Var: 0, Ret: 0})
+	inv = b.rec.Invoke(2)
+	b.step(model.Step{Proc: 2, Tx: t21, Obj: 7, Name: "read"})
+	b.rec.Respond(inv, model.Op{Proc: 2, Tx: t21, Kind: model.OpRead, Var: 1, Ret: 0})
+	v := CheckStrictDAP(b.hist(), func(model.ObjID) string { return "descriptor" })
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+	if v[0].ObjName != "descriptor" || v[0].String() == "" {
+		t.Fatalf("violation rendering: %+v", v[0])
+	}
+
+	// Same scenario but both only read: no conflict.
+	b2 := newHB()
+	inv = b2.rec.Invoke(1)
+	b2.step(model.Step{Proc: 1, Tx: t11, Obj: 7, Name: "read"})
+	b2.rec.Respond(inv, model.Op{Proc: 1, Tx: t11, Kind: model.OpRead, Var: 0, Ret: 0})
+	inv = b2.rec.Invoke(2)
+	b2.step(model.Step{Proc: 2, Tx: t21, Obj: 7, Name: "read"})
+	b2.rec.Respond(inv, model.Op{Proc: 2, Tx: t21, Kind: model.OpRead, Var: 1, Ret: 0})
+	if v := CheckStrictDAP(b2.hist(), nil); len(v) != 0 {
+		t.Fatalf("read-read is not a conflict: %v", v)
+	}
+
+	// Shared t-variable: conflicts are allowed.
+	b3 := newHB()
+	inv = b3.rec.Invoke(1)
+	b3.step(model.Step{Proc: 1, Tx: t11, Obj: 7, Name: "cas", Write: true})
+	b3.rec.Respond(inv, model.Op{Proc: 1, Tx: t11, Kind: model.OpWrite, Var: 3, Arg: 1})
+	inv = b3.rec.Invoke(2)
+	b3.step(model.Step{Proc: 2, Tx: t21, Obj: 7, Name: "cas", Write: true})
+	b3.rec.Respond(inv, model.Op{Proc: 2, Tx: t21, Kind: model.OpRead, Var: 3, Ret: 0})
+	if v := CheckStrictDAP(b3.hist(), nil); len(v) != 0 {
+		t.Fatalf("transactions sharing x3 may conflict: %v", v)
+	}
+}
+
+func TestWitnessChecker(t *testing.T) {
+	b := newHB()
+	b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpWrite, Var: 0, Arg: 5})
+	b.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpTryCommit})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpRead, Var: 0, Ret: 5})
+	b.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpTryCommit})
+	if res := CheckSerializableWitness(b.txs(), nil); !res.OK {
+		t.Fatalf("commit-order witness must pass: %s", res.Reason)
+	}
+
+	// A stale read that needs reordering fails the witness check even
+	// though the exact check passes — documented incompleteness.
+	b2 := newHB()
+	b2.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpWrite, Var: 0, Arg: 1})
+	b2.op(model.Op{Proc: 1, Tx: t11, Kind: model.OpTryCommit})
+	b2.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpRead, Var: 0, Ret: 0})
+	b2.op(model.Op{Proc: 2, Tx: t21, Kind: model.OpTryCommit})
+	if res := CheckSerializableWitness(b2.txs(), nil); res.OK {
+		t.Fatalf("witness checker should fail on commit-order-illegal history")
+	}
+	if res := CheckSerializable(b2.txs(), nil); !res.OK {
+		t.Fatalf("exact checker must still pass: %s", res.Reason)
+	}
+}
+
+func TestExactLimitRefusal(t *testing.T) {
+	b := newHB()
+	for i := 0; i < ExactLimit+1; i++ {
+		tx := model.TxID{Proc: model.ProcID(i + 1), Seq: 1}
+		b.op(model.Op{Proc: tx.Proc, Tx: tx, Kind: model.OpWrite, Var: 0, Arg: uint64(i)})
+		b.op(model.Op{Proc: tx.Proc, Tx: tx, Kind: model.OpTryCommit})
+	}
+	if res := CheckSerializable(b.txs(), nil); res.OK {
+		t.Fatalf("oversized history must be refused by the exact checker")
+	}
+	if res := CheckSerializableWitness(b.txs(), nil); !res.OK {
+		t.Fatalf("witness checker must handle it: %s", res.Reason)
+	}
+}
+
+// TestSequentialHistoriesAlwaysPass is the property-based sanity check:
+// any history generated by executing transactions one at a time against
+// a reference store is serializable, opaque, and violation-free.
+func TestSequentialHistoriesAlwaysPass(t *testing.T) {
+	gen := func(seed int64) []*model.TxView {
+		rng := rand.New(rand.NewSource(seed))
+		b := newHB()
+		store := map[model.VarID]uint64{}
+		nvars := 1 + rng.Intn(4)
+		ntx := 1 + rng.Intn(6)
+		for i := 0; i < ntx; i++ {
+			tx := model.TxID{Proc: model.ProcID(rng.Intn(3) + 1), Seq: i + 1}
+			overlay := map[model.VarID]uint64{}
+			nops := 1 + rng.Intn(4)
+			commit := rng.Intn(4) != 0
+			for j := 0; j < nops; j++ {
+				v := model.VarID(rng.Intn(nvars))
+				if rng.Intn(2) == 0 {
+					val, ok := overlay[v]
+					if !ok {
+						val = store[v]
+					}
+					b.op(model.Op{Proc: tx.Proc, Tx: tx, Kind: model.OpRead, Var: v, Ret: val})
+				} else {
+					val := uint64(rng.Intn(100))
+					overlay[v] = val
+					b.op(model.Op{Proc: tx.Proc, Tx: tx, Kind: model.OpWrite, Var: v, Arg: val})
+				}
+			}
+			if commit {
+				b.op(model.Op{Proc: tx.Proc, Tx: tx, Kind: model.OpTryCommit})
+				for v, val := range overlay {
+					store[v] = val
+				}
+			} else {
+				b.op(model.Op{Proc: tx.Proc, Tx: tx, Kind: model.OpTryAbort, Aborted: true})
+			}
+		}
+		return b.txs()
+	}
+	f := func(seed int64) bool {
+		txs := gen(seed)
+		return CheckSerializable(txs, nil).OK && CheckOpacity(txs, nil).OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpacityImpliesSerializability: on arbitrary random histories the
+// two checkers must respect the paper's hierarchy — opacity is
+// serializability plus real-time order and consistent aborted reads.
+func TestOpacityImpliesSerializability(t *testing.T) {
+	gen := func(seed int64) []*model.TxView {
+		rng := rand.New(rand.NewSource(seed))
+		b := newHB()
+		nvars := 1 + rng.Intn(3)
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			proc := model.ProcID(rng.Intn(3) + 1)
+			tx := model.TxID{Proc: proc, Seq: i + 1}
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				v := model.VarID(rng.Intn(nvars))
+				if rng.Intn(2) == 0 {
+					b.op(model.Op{Proc: proc, Tx: tx, Kind: model.OpRead, Var: v, Ret: uint64(rng.Intn(3))})
+				} else {
+					b.op(model.Op{Proc: proc, Tx: tx, Kind: model.OpWrite, Var: v, Arg: uint64(rng.Intn(3))})
+				}
+			}
+			if rng.Intn(4) != 0 {
+				b.op(model.Op{Proc: proc, Tx: tx, Kind: model.OpTryCommit})
+			} else {
+				b.op(model.Op{Proc: proc, Tx: tx, Kind: model.OpTryAbort, Aborted: true})
+			}
+		}
+		return b.txs()
+	}
+	f := func(seed int64) bool {
+		txs := gen(seed)
+		if CheckOpacity(txs, nil).OK {
+			return CheckSerializable(txs, nil).OK
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestICObstructionFreeChecker covers Definition 3 directly.
+func TestICObstructionFreeChecker(t *testing.T) {
+	// T1 forcefully aborted while T2 (never-crashed process) runs
+	// concurrently: allowed.
+	b := newHB()
+	inv1 := b.rec.Invoke(1)
+	inv2 := b.rec.Invoke(2)
+	b.rec.Respond(inv2, model.Op{Proc: 2, Tx: t21, Kind: model.OpRead, Var: 0})
+	b.rec.Respond(inv1, model.Op{Proc: 1, Tx: t11, Kind: model.OpRead, Var: 0, Aborted: true})
+	if v := CheckICObstructionFree(b.hist(), nil); len(v) != 0 {
+		t.Fatalf("concurrent live transaction justifies the abort: %v", v)
+	}
+	// Same history, but p2 crashed long before T1 started: violation.
+	if v := CheckICObstructionFree(b.hist(), map[model.ProcID]int64{2: 0}); len(v) != 1 {
+		t.Fatalf("crashed-before-start process cannot justify: %v", v)
+	}
+	// p2 crashed after T1's first event: still justifies.
+	if v := CheckICObstructionFree(b.hist(), map[model.ProcID]int64{2: 1 << 40}); len(v) != 0 {
+		t.Fatalf("late crash still justifies: %v", v)
+	}
+	// No concurrent transaction at all: violation.
+	b2 := newHB()
+	inv := b2.rec.Invoke(1)
+	b2.rec.Respond(inv, model.Op{Proc: 1, Tx: t11, Kind: model.OpRead, Var: 0, Aborted: true})
+	if v := CheckICObstructionFree(b2.hist(), nil); len(v) != 1 {
+		t.Fatalf("lonely forceful abort must violate: %v", v)
+	}
+}

@@ -1,0 +1,186 @@
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// OFViolation describes a transaction that was forcefully aborted
+// without encountering step contention — a counterexample to
+// Definition 2.
+type OFViolation struct {
+	Tx model.TxID
+}
+
+// String renders the violation.
+func (v OFViolation) String() string {
+	return fmt.Sprintf("%v forcefully aborted without step contention", v.Tx)
+}
+
+// CheckObstructionFree decides Definition 2 on a low-level history: for
+// every transaction T_k that is forcefully aborted (aborted without
+// having invoked tryA), there must be a step of a process other than
+// pE(T_k) after T_k's first event and before its abort event.
+func CheckObstructionFree(h *model.History) []OFViolation {
+	txs := model.Transactions(h)
+	var out []OFViolation
+	for _, t := range txs {
+		if !t.ForcedAbort {
+			continue
+		}
+		contended := false
+		for _, s := range h.Steps {
+			if s.Proc != t.Proc && s.Time > t.First && s.Time < t.End {
+				contended = true
+				break
+			}
+		}
+		if !contended {
+			out = append(out, OFViolation{Tx: t.ID})
+		}
+	}
+	return out
+}
+
+// StepContention reports whether any process other than proc executed a
+// step strictly within (from, to).
+func StepContention(h *model.History, proc model.ProcID, from, to int64) bool {
+	for _, s := range h.Steps {
+		if s.Proc != proc && s.Time > from && s.Time < to {
+			return true
+		}
+	}
+	return false
+}
+
+// DAPViolation is a pair of transactions with disjoint t-variable sets
+// that nevertheless conflicted on a base object (Definition 12
+// violated). Theorem 13 says every OFTM run can be driven to produce
+// one; experiment E7 counts them per engine.
+type DAPViolation struct {
+	Obj     model.ObjID
+	ObjName string
+	Tx1     model.TxID
+	Tx2     model.TxID
+}
+
+// String renders the violation.
+func (v DAPViolation) String() string {
+	name := v.ObjName
+	if name == "" {
+		name = fmt.Sprintf("obj%d", int(v.Obj))
+	}
+	return fmt.Sprintf("%v and %v conflict on base object %s but share no t-variable", v.Tx1, v.Tx2, name)
+}
+
+// NameFunc resolves base-object ids to names (sim.Env.ObjName); nil is
+// allowed.
+type NameFunc func(model.ObjID) string
+
+// CheckStrictDAP finds all strict-disjoint-access-parallelism
+// violations in a low-level history: pairs of transactions executed by
+// different processes that both accessed some base object, at least one
+// of them writing, while their t-variable sets (from the high-level
+// history) are disjoint. Steps not attributed to any transaction are
+// ignored.
+func CheckStrictDAP(h *model.History, name NameFunc) []DAPViolation {
+	txs := model.Transactions(h)
+	varSets := map[model.TxID]map[model.VarID]bool{}
+	for _, t := range txs {
+		varSets[t.ID] = t.VarSet()
+	}
+	type access struct {
+		tx    model.TxID
+		proc  model.ProcID
+		write bool
+	}
+	byObj := map[model.ObjID][]access{}
+	for _, s := range h.Steps {
+		if s.Tx.IsZero() {
+			continue
+		}
+		byObj[s.Obj] = append(byObj[s.Obj], access{tx: s.Tx, proc: s.Proc, write: s.Write})
+	}
+	seen := map[[2]model.TxID]bool{}
+	var out []DAPViolation
+	for obj, accs := range byObj {
+		for i := 0; i < len(accs); i++ {
+			for j := i + 1; j < len(accs); j++ {
+				a, b := accs[i], accs[j]
+				if a.tx == b.tx || a.proc == b.proc {
+					continue
+				}
+				if !a.write && !b.write {
+					continue
+				}
+				if sharesVar(varSets[a.tx], varSets[b.tx]) {
+					continue
+				}
+				key := [2]model.TxID{a.tx, b.tx}
+				if key[0].Handle() > key[1].Handle() {
+					key[0], key[1] = key[1], key[0]
+				}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				v := DAPViolation{Obj: obj, Tx1: key[0], Tx2: key[1]}
+				if name != nil {
+					v.ObjName = name(obj)
+				}
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func sharesVar(a, b map[model.VarID]bool) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for v := range a {
+		if b[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckICObstructionFree decides Definition 3 (ic-obstruction-freedom)
+// on a low-level history, given the crash times of processes (from
+// sim.Env.CrashTimes; a process absent from the map never crashed): a
+// transaction T_k may be forcefully aborted only if some transaction
+// T_i concurrent to T_k is executed by a process that has not crashed
+// before the first event of T_k.
+//
+// Theorem 5 proves Definitions 2 and 3 equivalent; the test suites
+// check both on the same histories of the OFTM engines.
+func CheckICObstructionFree(h *model.History, crashedAt map[model.ProcID]int64) []OFViolation {
+	txs := model.Transactions(h)
+	var out []OFViolation
+	for _, t := range txs {
+		if !t.ForcedAbort {
+			continue
+		}
+		justified := false
+		for _, u := range txs {
+			if u.ID == t.ID {
+				continue
+			}
+			if model.Precedes(u, t) || model.Precedes(t, u) {
+				continue // not concurrent
+			}
+			if ct, crashed := crashedAt[u.Proc]; crashed && ct < t.First {
+				continue // executed by a process already dead
+			}
+			justified = true
+			break
+		}
+		if !justified {
+			out = append(out, OFViolation{Tx: t.ID})
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Package cm implements contention managers for DSTM-style OFTMs. The
+// paper (§1): "A contention manager might tell Tk to back off for some
+// fixed time (maybe random) to give Ti a chance, but eventually Tk must
+// be able to abort Ti and acquire x without any interaction with Ti."
+//
+// Every manager here honors that obstruction-freedom contract: Retry
+// decisions are always bounded, after which the attacker aborts the
+// victim (or itself), never waiting on the victim indefinitely. The
+// managers are the classic ones from the DSTM literature: Aggressive,
+// Polite (bounded backoff), Karma (work-based priority) and Timestamp
+// (age-based priority).
+package cm
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Decision is a contention manager's verdict when transaction "me"
+// finds a live transaction "victim" owning a t-variable it needs.
+type Decision int
+
+const (
+	// AbortVictim: forcefully abort the owner and take the variable.
+	AbortVictim Decision = iota
+	// Retry: back off and re-examine the owner (it may commit or abort
+	// on its own). Managers must return Retry only finitely often per
+	// conflict, or obstruction-freedom is lost.
+	Retry
+	// AbortSelf: abort the attacking transaction instead (used by
+	// priority schemes when the victim outranks the attacker).
+	AbortSelf
+)
+
+// String returns a short name for the decision.
+func (d Decision) String() string {
+	switch d {
+	case AbortVictim:
+		return "abort-victim"
+	case Retry:
+		return "retry"
+	case AbortSelf:
+		return "abort-self"
+	}
+	return fmt.Sprintf("Decision(%d)", int(d))
+}
+
+// TxInfo is the attacker's and victim's bookkeeping exposed to managers.
+type TxInfo struct {
+	ID    model.TxID
+	Start int64 // begin ticket; smaller = older (Timestamp priority)
+	Ops   int64 // operations performed so far (Karma priority)
+}
+
+// Manager decides conflicts. attempt counts how many times this
+// particular acquisition has already been retried (0 on first sight).
+// Implementations must be safe for concurrent use.
+type Manager interface {
+	Name() string
+	OnConflict(me, victim TxInfo, attempt int) Decision
+}
+
+// Aggressive always aborts the victim immediately. Maximum progress for
+// the attacker, maximum wasted work for the victim.
+type Aggressive struct{}
+
+// Name implements Manager.
+func (Aggressive) Name() string { return "aggressive" }
+
+// OnConflict implements Manager.
+func (Aggressive) OnConflict(_, _ TxInfo, _ int) Decision { return AbortVictim }
+
+// Polite retries with backoff up to MaxTries times, then aborts the
+// victim. The canonical "give the owner a chance" manager.
+type Polite struct {
+	// MaxTries is the retry bound; 0 means the default of 8.
+	MaxTries int
+}
+
+// Name implements Manager.
+func (Polite) Name() string { return "polite" }
+
+// OnConflict implements Manager.
+func (m Polite) OnConflict(_, _ TxInfo, attempt int) Decision {
+	max := m.MaxTries
+	if max == 0 {
+		max = 8
+	}
+	if attempt < max {
+		return Retry
+	}
+	return AbortVictim
+}
+
+// Karma ranks transactions by accumulated work (operation count): an
+// attacker with less karma than the victim retries, with the patience
+// proportional to the karma gap, before eventually aborting the victim.
+type Karma struct {
+	// MaxTries bounds the retries regardless of karma gap; 0 means 16.
+	MaxTries int
+}
+
+// Name implements Manager.
+func (Karma) Name() string { return "karma" }
+
+// OnConflict implements Manager.
+func (m Karma) OnConflict(me, victim TxInfo, attempt int) Decision {
+	max := m.MaxTries
+	if max == 0 {
+		max = 16
+	}
+	if victim.Ops > me.Ops && attempt < max && int64(attempt) < victim.Ops-me.Ops {
+		return Retry
+	}
+	return AbortVictim
+}
+
+// Timestamp gives priority to the older transaction: a younger attacker
+// retries a bounded number of times and then aborts itself, while an
+// older attacker aborts the victim. (This is the Greedy manager's core
+// rule; with bounded retries it stays obstruction-free.)
+type Timestamp struct {
+	// MaxTries bounds the young attacker's retries; 0 means 8.
+	MaxTries int
+}
+
+// Name implements Manager.
+func (Timestamp) Name() string { return "timestamp" }
+
+// OnConflict implements Manager.
+func (m Timestamp) OnConflict(me, victim TxInfo, attempt int) Decision {
+	if me.Start < victim.Start {
+		return AbortVictim // I am older; the victim yields.
+	}
+	max := m.MaxTries
+	if max == 0 {
+		max = 8
+	}
+	if attempt < max {
+		return Retry
+	}
+	return AbortSelf
+}
+
+// All returns one instance of every manager, for sweeps and ablations.
+func All() []Manager {
+	return []Manager{Aggressive{}, Polite{}, Karma{}, Timestamp{}}
+}

@@ -1,0 +1,112 @@
+package cm
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func info(id int, start, ops int64) TxInfo {
+	return TxInfo{ID: model.TxID{Proc: model.ProcID(id), Seq: 1}, Start: start, Ops: ops}
+}
+
+func TestAggressive(t *testing.T) {
+	m := Aggressive{}
+	for attempt := 0; attempt < 5; attempt++ {
+		if d := m.OnConflict(info(1, 5, 0), info(2, 1, 100), attempt); d != AbortVictim {
+			t.Fatalf("attempt %d: %v", attempt, d)
+		}
+	}
+}
+
+func TestPoliteBoundedRetries(t *testing.T) {
+	m := Polite{MaxTries: 3}
+	for attempt := 0; attempt < 3; attempt++ {
+		if d := m.OnConflict(info(1, 0, 0), info(2, 0, 0), attempt); d != Retry {
+			t.Fatalf("attempt %d: %v, want retry", attempt, d)
+		}
+	}
+	if d := m.OnConflict(info(1, 0, 0), info(2, 0, 0), 3); d != AbortVictim {
+		t.Fatalf("after bound: %v, want abort-victim", d)
+	}
+	// Default bound applies when MaxTries is zero.
+	def := Polite{}
+	if d := def.OnConflict(info(1, 0, 0), info(2, 0, 0), 8); d != AbortVictim {
+		t.Fatalf("default bound: %v", d)
+	}
+	if d := def.OnConflict(info(1, 0, 0), info(2, 0, 0), 7); d != Retry {
+		t.Fatalf("default bound at 7: %v", d)
+	}
+}
+
+func TestKarmaRespectsWork(t *testing.T) {
+	m := Karma{MaxTries: 10}
+	// Victim has more karma: attacker retries, patience = karma gap.
+	if d := m.OnConflict(info(1, 0, 2), info(2, 0, 5), 0); d != Retry {
+		t.Fatalf("low-karma attacker must retry, got %v", d)
+	}
+	if d := m.OnConflict(info(1, 0, 2), info(2, 0, 5), 3); d != AbortVictim {
+		t.Fatalf("patience exhausted (gap 3), got %v", d)
+	}
+	// Attacker has more karma: abort immediately.
+	if d := m.OnConflict(info(1, 0, 9), info(2, 0, 5), 0); d != AbortVictim {
+		t.Fatalf("high-karma attacker must win, got %v", d)
+	}
+	// Hard bound dominates the gap.
+	if d := m.OnConflict(info(1, 0, 0), info(2, 0, 1000), 10); d != AbortVictim {
+		t.Fatalf("hard bound must dominate, got %v", d)
+	}
+}
+
+func TestTimestampOlderWins(t *testing.T) {
+	m := Timestamp{MaxTries: 2}
+	// I am older: victim dies.
+	if d := m.OnConflict(info(1, 1, 0), info(2, 9, 0), 0); d != AbortVictim {
+		t.Fatalf("older attacker: %v", d)
+	}
+	// I am younger: retry then abort self.
+	if d := m.OnConflict(info(1, 9, 0), info(2, 1, 0), 0); d != Retry {
+		t.Fatalf("younger attacker first attempt: %v", d)
+	}
+	if d := m.OnConflict(info(1, 9, 0), info(2, 1, 0), 2); d != AbortSelf {
+		t.Fatalf("younger attacker after bound: %v", d)
+	}
+}
+
+func TestEveryManagerIsObstructionFree(t *testing.T) {
+	// Obstruction-freedom requirement: for every manager there is a
+	// finite attempt count after which the decision is not Retry (the
+	// attacker never waits on the victim forever).
+	for _, m := range All() {
+		me, victim := info(1, 10, 0), info(2, 1, 1<<30)
+		resolved := false
+		for attempt := 0; attempt < 1<<20; attempt++ {
+			if d := m.OnConflict(me, victim, attempt); d != Retry {
+				resolved = true
+				break
+			}
+		}
+		if !resolved {
+			t.Errorf("manager %s retries unboundedly: not obstruction-free", m.Name())
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if AbortVictim.String() != "abort-victim" || Retry.String() != "retry" || AbortSelf.String() != "abort-self" {
+		t.Fatalf("decision strings: %v %v %v", AbortVictim, Retry, AbortSelf)
+	}
+}
+
+func TestAllReturnsDistinctManagers(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range All() {
+		if names[m.Name()] {
+			t.Fatalf("duplicate manager %s", m.Name())
+		}
+		names[m.Name()] = true
+	}
+	if len(names) != 4 {
+		t.Fatalf("want 4 managers, got %d", len(names))
+	}
+}

@@ -1,0 +1,189 @@
+// Package core defines the transactional-memory abstraction of §2.2 of
+// the paper: a TM is a shared object whose operations read or write
+// t-variables within a transaction, request commit (tryC) and request
+// abort (tryA). Every STM engine in this repository (DSTM, Algorithm 2,
+// the lock-based baselines, and the Theorem 6 composition) implements
+// these interfaces, so the checkers, data structures, examples and
+// benchmarks are engine-generic.
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// ErrAborted is returned by transaction operations to signal the abort
+// event A_k: the transaction has been aborted and all its effects rolled
+// back. After any operation returns ErrAborted the transaction is
+// completed; further operations keep returning ErrAborted.
+var ErrAborted = errors.New("stm: transaction aborted")
+
+// Var is a transactional variable (t-variable) holding one uint64 word.
+// Vars are created by a TM and must only be used with transactions of
+// that TM.
+type Var interface {
+	// ID is the dense index of the variable within its TM.
+	ID() model.VarID
+	// Name is the diagnostic name given at creation.
+	Name() string
+}
+
+// Tx is one transaction. A transaction is used by a single goroutine
+// (the paper's single process pE(T)); Tx implementations are not safe
+// for concurrent use.
+type Tx interface {
+	// ID returns the transaction identifier T_{i,k}.
+	ID() model.TxID
+	// Read returns the value of v, or ErrAborted.
+	Read(v Var) (uint64, error)
+	// Write sets the value of v in this transaction, or returns
+	// ErrAborted.
+	Write(v Var, val uint64) error
+	// Commit requests commitment (tryC). nil means the commit event C_k
+	// was received; ErrAborted means A_k.
+	Commit() error
+	// Abort requests abortion (tryA); always succeeds.
+	Abort()
+	// Status returns the transaction's completion status.
+	Status() model.Status
+}
+
+// TM is a software transactional memory engine.
+type TM interface {
+	// Name identifies the engine (for tables and traces).
+	Name() string
+	// NewVar allocates a t-variable with the given initial value. All
+	// engines in this repository allow NewVar concurrently with running
+	// transactions (the data structures allocate nodes dynamically);
+	// a variable is visible to a transaction once NewVar returned.
+	NewVar(name string, init uint64) Var
+	// Begin starts a transaction executed by simulated process p (nil in
+	// raw mode).
+	Begin(p *sim.Proc) Tx
+	// ObstructionFree reports whether the engine claims Definition 2's
+	// obstruction-freedom (checked empirically by the test suite).
+	ObstructionFree() bool
+}
+
+// runConfig configures Run.
+type runConfig struct {
+	maxAttempts int
+	backoff     func(attempt int)
+}
+
+// RunOption customizes Run.
+type RunOption func(*runConfig)
+
+// MaxAttempts bounds the number of times Run restarts an aborted
+// transaction before giving up with ErrAborted. Zero or negative means
+// unlimited.
+func MaxAttempts(n int) RunOption {
+	return func(c *runConfig) { c.maxAttempts = n }
+}
+
+// WithBackoff sets the delay hook invoked between attempts.
+func WithBackoff(f func(attempt int)) RunOption {
+	return func(c *runConfig) { c.backoff = f }
+}
+
+// defaultBackoff sleeps with capped exponential backoff plus jitter in
+// raw mode. In sim mode the scheduler already controls interleaving, so
+// no delay is inserted. The jitter source is created lazily on the
+// first actual retry: the common no-conflict path must not pay for
+// seeding a generator.
+func defaultBackoff(p *sim.Proc) func(int) {
+	if p != nil {
+		return func(int) {}
+	}
+	var rng *rand.Rand
+	return func(attempt int) {
+		if rng == nil {
+			rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		}
+		if attempt > 16 {
+			attempt = 16
+		}
+		max := 1 << attempt // microseconds
+		time.Sleep(time.Duration(rng.Intn(max)+1) * time.Microsecond)
+	}
+}
+
+// Run executes fn inside a transaction, retrying on forceful aborts —
+// the standard way applications consume an STM. As the paper notes in
+// Section 3, restarting an aborted transaction's computation is the
+// application's job, not the TM's: the restarted transaction may observe
+// a different state and take different actions, so Run re-invokes fn
+// within a fresh transaction each time.
+//
+// If fn returns nil, Run commits; a commit failure is a forceful abort
+// and retries. If fn returns ErrAborted (or any error wrapping it), the
+// attempt is retried. Any other error aborts the transaction and is
+// returned to the caller.
+func Run(tm TM, p *sim.Proc, fn func(Tx) error, opts ...RunOption) error {
+	cfg := runConfig{backoff: defaultBackoff(p)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	for attempt := 1; ; attempt++ {
+		tx := tm.Begin(p)
+		err := fn(tx)
+		switch {
+		case err == nil:
+			if cerr := tx.Commit(); cerr == nil {
+				return nil
+			}
+		case errors.Is(err, ErrAborted):
+			// Forcefully aborted mid-flight; fall through to retry.
+		default:
+			tx.Abort()
+			return err
+		}
+		if cfg.maxAttempts > 0 && attempt >= cfg.maxAttempts {
+			return ErrAborted
+		}
+		cfg.backoff(attempt)
+	}
+}
+
+// ReadVar is a convenience one-shot transactional read.
+func ReadVar(tm TM, p *sim.Proc, v Var) (uint64, error) {
+	var out uint64
+	err := Run(tm, p, func(tx Tx) error {
+		val, err := tx.Read(v)
+		out = val
+		return err
+	})
+	return out, err
+}
+
+// WriteVar is a convenience one-shot transactional write.
+func WriteVar(tm TM, p *sim.Proc, v Var, val uint64) error {
+	return Run(tm, p, func(tx Tx) error { return tx.Write(v, val) })
+}
+
+// Releaser is the optional early-release capability of DSTM-style
+// OFTMs ([18] §5): a transaction may drop a variable from its read set,
+// waiving conflict detection on it for the rest of the transaction.
+// Linked-structure traversals release the nodes they have walked past
+// so that writers behind them no longer abort the traversal. Misuse
+// breaks opacity for the released variable — the caller asserts it no
+// longer depends on the released value.
+type Releaser interface {
+	// Release removes v from the transaction's read set. Releasing a
+	// variable that was not read (or was written) is a no-op.
+	Release(v Var) error
+}
+
+// Release drops v from tx's read set if the engine supports early
+// release, reporting whether it did.
+func Release(tx Tx, v Var) bool {
+	r, ok := tx.(Releaser)
+	if !ok {
+		return false
+	}
+	return r.Release(v) == nil
+}

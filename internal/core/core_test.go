@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locktm"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func TestRunCommitsOnSuccess(t *testing.T) {
+	tm := locktm.NewTwoPhase()
+	x := tm.NewVar("x", 0)
+	if err := core.Run(tm, nil, func(tx core.Tx) error { return tx.Write(x, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.ReadVar(tm, nil, x)
+	if err != nil || v != 3 {
+		t.Fatalf("x = %d (%v)", v, err)
+	}
+}
+
+func TestRunPropagatesUserError(t *testing.T) {
+	tm := locktm.NewTwoPhase()
+	x := tm.NewVar("x", 5)
+	boom := errors.New("boom")
+	calls := 0
+	err := core.Run(tm, nil, func(tx core.Tx) error {
+		calls++
+		if err := tx.Write(x, 9); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Fatalf("user errors must not retry; fn called %d times", calls)
+	}
+	if v, _ := core.ReadVar(tm, nil, x); v != 5 {
+		t.Fatalf("failed transaction leaked write: x = %d", v)
+	}
+}
+
+func TestRunMaxAttempts(t *testing.T) {
+	tm := locktm.NewTwoPhase()
+	x := tm.NewVar("x", 0)
+	// Hold the lock in a never-finishing transaction so Run's attempts
+	// all abort.
+	blocker := tm.Begin(nil)
+	if err := blocker.Write(x, 1); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err := core.Run(tm, nil, func(tx core.Tx) error {
+		calls++
+		_, err := tx.Read(x)
+		return err
+	}, core.MaxAttempts(3), core.WithBackoff(func(int) {}))
+	if !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	blocker.Abort()
+}
+
+func TestRunRetriesAfterAbort(t *testing.T) {
+	tm := locktm.NewGlobalClock()
+	x := tm.NewVar("x", 0)
+	attempt := 0
+	err := core.Run(tm, nil, func(tx core.Tx) error {
+		attempt++
+		if attempt == 1 {
+			// Simulate a forceful abort by returning ErrAborted after
+			// self-aborting.
+			tx.Abort()
+			return core.ErrAborted
+		}
+		return tx.Write(x, 1)
+	}, core.WithBackoff(func(int) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempt != 2 {
+		t.Fatalf("attempts = %d, want 2", attempt)
+	}
+}
+
+func TestWriteVarReadVar(t *testing.T) {
+	tm := locktm.NewCoarse()
+	x := tm.NewVar("x", 0)
+	if err := core.WriteVar(tm, nil, x, 44); err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.ReadVar(tm, nil, x)
+	if err != nil || v != 44 {
+		t.Fatalf("x = %d (%v)", v, err)
+	}
+}
+
+func TestRecordedProducesMatchingHistory(t *testing.T) {
+	env := sim.New()
+	tm := core.Recorded(locktm.NewTwoPhase(locktm.WithEnv(env)), env.Recorder())
+	x := tm.NewVar("x", 0)
+	env.Spawn(func(p *sim.Proc) {
+		tx := tm.Begin(p)
+		v, err := tx.Read(x)
+		if err != nil || v != 0 {
+			t.Errorf("read: %d %v", v, err)
+		}
+		if err := tx.Write(x, 8); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+	})
+	h := env.Run(sim.RoundRobin())
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("ill-formed: %v", err)
+	}
+	if len(h.Ops) != 3 {
+		t.Fatalf("ops = %d, want 3 (R, W, tryC)", len(h.Ops))
+	}
+	if h.Ops[0].Kind != model.OpRead || h.Ops[0].Ret != 0 {
+		t.Errorf("op0: %v", h.Ops[0])
+	}
+	if h.Ops[1].Kind != model.OpWrite || h.Ops[1].Arg != 8 {
+		t.Errorf("op1: %v", h.Ops[1])
+	}
+	if h.Ops[2].Kind != model.OpTryCommit || h.Ops[2].Aborted {
+		t.Errorf("op2: %v", h.Ops[2])
+	}
+	// Steps must be enclosed in op windows (well-formedness already
+	// checks this); additionally the read op must contain >= 1 step.
+	n := 0
+	for _, s := range h.Steps {
+		if s.Time > h.Ops[0].Inv && s.Time < h.Ops[0].Resp {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Errorf("no steps recorded inside the read operation")
+	}
+}
+
+func TestRecordedCutsPendingOps(t *testing.T) {
+	env := sim.New()
+	tm := core.Recorded(locktm.NewTwoPhase(locktm.WithEnv(env)), env.Recorder())
+	x := tm.NewVar("x", 0)
+	env.Spawn(func(p *sim.Proc) {
+		tx := tm.Begin(p)
+		_ = tx.Write(x, 1)
+		_ = tx.Commit()
+	})
+	// Kill p1 after its first step: the write op is cut off pending.
+	h := env.Run(sim.Bounded(1, sim.RoundRobin()))
+	if len(h.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1 pending op", len(h.Ops))
+	}
+	if !h.Ops[0].Pending() {
+		t.Fatalf("op must be pending: %v", h.Ops[0])
+	}
+}
+
+func TestRecordedShortCircuitsAfterCompletion(t *testing.T) {
+	env := sim.New()
+	tm := core.Recorded(locktm.NewTwoPhase(locktm.WithEnv(env)), env.Recorder())
+	x := tm.NewVar("x", 0)
+	env.Spawn(func(p *sim.Proc) {
+		tx := tm.Begin(p)
+		tx.Abort()
+		// These must not be recorded (completed transactions take no
+		// further actions in a well-formed history).
+		_, _ = tx.Read(x)
+		_ = tx.Write(x, 1)
+		_ = tx.Commit()
+		tx.Abort()
+	})
+	h := env.Run(sim.RoundRobin())
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("ill-formed: %v", err)
+	}
+	if len(h.Ops) != 1 || h.Ops[0].Kind != model.OpTryAbort {
+		t.Fatalf("ops: %v", h.Ops)
+	}
+}
+
+func TestRecordedCommitPending(t *testing.T) {
+	env := sim.New()
+	tm := core.Recorded(locktm.NewTwoPhase(locktm.WithEnv(env)), env.Recorder())
+	x := tm.NewVar("x", 0)
+	env.Spawn(func(p *sim.Proc) {
+		tx := tm.Begin(p)
+		_ = tx.Write(x, 1) // acquire lock (1 cas) + read old (1) + write (1)
+		_ = tx.Commit()    // release (1 write step)
+	})
+	// Grant exactly the write op's steps, then kill during commit.
+	h := env.Run(sim.Bounded(3, sim.RoundRobin()))
+	txs := model.Transactions(h)
+	if len(txs) != 1 {
+		t.Fatalf("want 1 tx, got %d", len(txs))
+	}
+	if !txs[0].CommitPending {
+		t.Fatalf("transaction should be commit-pending, ops: %v", txs[0].Ops)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Recorded wraps a TM so that every high-level operation (read, write,
+// tryC, tryA) is recorded in rec as invocation/response event pairs,
+// producing the high-level part of a low-level history in the paper's
+// sense. In sim mode, pass the environment's recorder so operation
+// events and steps share one clock and are totally ordered.
+//
+// Operations cut off by a process kill (crash/suspension at end of run)
+// are recorded as pending, which the model layer treats as
+// commit-pending when the operation was tryC.
+func Recorded(tm TM, rec *model.Recorder) TM {
+	return &recTM{inner: tm, rec: rec}
+}
+
+type recTM struct {
+	inner TM
+	rec   *model.Recorder
+}
+
+func (r *recTM) Name() string          { return r.inner.Name() }
+func (r *recTM) ObstructionFree() bool { return r.inner.ObstructionFree() }
+
+func (r *recTM) NewVar(name string, init uint64) Var {
+	return r.inner.NewVar(name, init)
+}
+
+func (r *recTM) Begin(p *sim.Proc) Tx {
+	return &recTx{inner: r.inner.Begin(p), rec: r.rec, proc: p.ID()}
+}
+
+type recTx struct {
+	inner Tx
+	rec   *model.Recorder
+	proc  model.ProcID
+	// done is set once the transaction completed (committed or aborted).
+	// Operations issued after completion are short-circuited without
+	// recording, keeping the recorded history well-formed ("once a
+	// transaction is committed or aborted, no process performs any
+	// operations within it", §2.2).
+	done bool
+}
+
+func (t *recTx) ID() model.TxID          { return t.inner.ID() }
+func (t *recTx) Status() model.Status    { return t.inner.Status() }
+func (t *recTx) completeIf(aborted bool) { t.done = t.done || aborted }
+func (t *recTx) op(k model.OpKind) model.Op {
+	return model.Op{Proc: t.proc, Tx: t.inner.ID(), Kind: k}
+}
+
+func (t *recTx) Read(v Var) (uint64, error) {
+	if t.done {
+		return 0, ErrAborted
+	}
+	inv := t.rec.Invoke(t.proc)
+	responded := false
+	op := t.op(model.OpRead)
+	op.Var = v.ID()
+	defer func() {
+		if !responded {
+			t.rec.Cut(inv, op)
+		}
+	}()
+	val, err := t.inner.Read(v)
+	op.Ret = val
+	op.Aborted = errors.Is(err, ErrAborted)
+	t.rec.Respond(inv, op)
+	responded = true
+	t.completeIf(op.Aborted)
+	return val, err
+}
+
+func (t *recTx) Write(v Var, val uint64) error {
+	if t.done {
+		return ErrAborted
+	}
+	inv := t.rec.Invoke(t.proc)
+	responded := false
+	op := t.op(model.OpWrite)
+	op.Var = v.ID()
+	op.Arg = val
+	defer func() {
+		if !responded {
+			t.rec.Cut(inv, op)
+		}
+	}()
+	err := t.inner.Write(v, val)
+	op.Aborted = errors.Is(err, ErrAborted)
+	t.rec.Respond(inv, op)
+	responded = true
+	t.completeIf(op.Aborted)
+	return err
+}
+
+func (t *recTx) Commit() error {
+	if t.done {
+		return ErrAborted
+	}
+	inv := t.rec.Invoke(t.proc)
+	responded := false
+	op := t.op(model.OpTryCommit)
+	defer func() {
+		if !responded {
+			t.rec.Cut(inv, op)
+		}
+	}()
+	err := t.inner.Commit()
+	op.Aborted = errors.Is(err, ErrAborted)
+	t.rec.Respond(inv, op)
+	responded = true
+	t.done = true
+	return err
+}
+
+func (t *recTx) Abort() {
+	if t.done {
+		return
+	}
+	inv := t.rec.Invoke(t.proc)
+	responded := false
+	op := t.op(model.OpTryAbort)
+	op.Aborted = true
+	defer func() {
+		if !responded {
+			t.rec.Cut(inv, op)
+		}
+	}()
+	t.inner.Abort()
+	t.rec.Respond(inv, op)
+	responded = true
+	t.done = true
+}

@@ -1,0 +1,43 @@
+package ds
+
+import "sync/atomic"
+
+// appendOnly is a slice that grows under the owner's lock but is read
+// lock-free from any goroutine: appends publish a fresh copy through an
+// atomic pointer, so a reader holding a valid index always sees a
+// backing array at least that long (indices are only handed out after
+// the publish). This is what makes node-arena reads safe while other
+// transactions allocate — the race detector caught the naive
+// slice-append version.
+type appendOnly[T any] struct {
+	p atomic.Pointer[[]T]
+}
+
+// get returns element i; i must come from a previous append's return.
+func (a *appendOnly[T]) get(i int) T {
+	return (*a.p.Load())[i]
+}
+
+// length returns the published length.
+func (a *appendOnly[T]) length() int {
+	s := a.p.Load()
+	if s == nil {
+		return 0
+	}
+	return len(*s)
+}
+
+// append adds v and returns its index. Callers must serialize appends
+// (the arenas do, under their mutex).
+func (a *appendOnly[T]) append(v T) int {
+	old := a.p.Load()
+	var cur []T
+	if old != nil {
+		cur = *old
+	}
+	ns := make([]T, len(cur)+1)
+	copy(ns, cur)
+	ns[len(cur)] = v
+	a.p.Store(&ns)
+	return len(cur)
+}

@@ -1,0 +1,290 @@
+// Package ds provides transactional data structures built on the
+// engine-generic TM API: a counter, a bank (the classic STM workload),
+// a sorted linked-list set (the IntSet microbenchmark every STM paper
+// uses, DSTM's included), a fixed-bucket hash map, and a bounded FIFO
+// queue. All structures work unchanged on every engine — DSTM,
+// Algorithm 2, the lock-based baselines, or the Theorem 6 composition —
+// which is what the benchmark harness exploits.
+//
+// Memory discipline: list and hash nodes are allocated from append-only
+// arenas of t-variables (handles are indices, 0 is nil). Nodes of
+// removed elements are unlinked but not recycled; recycling under
+// invisible readers would require epoch reclamation, which is outside
+// the paper's scope and irrelevant to its claims.
+package ds
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Counter is a shared transactional counter.
+type Counter struct {
+	tm core.TM
+	v  core.Var
+}
+
+// NewCounter allocates a counter starting at init.
+func NewCounter(tm core.TM, init uint64) *Counter {
+	return &Counter{tm: tm, v: tm.NewVar("counter", init)}
+}
+
+// Add atomically adds delta, retrying on aborts.
+func (c *Counter) Add(p *sim.Proc, delta uint64, opts ...core.RunOption) error {
+	return core.Run(c.tm, p, func(tx core.Tx) error {
+		v, err := tx.Read(c.v)
+		if err != nil {
+			return err
+		}
+		return tx.Write(c.v, v+delta)
+	}, opts...)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc(p *sim.Proc, opts ...core.RunOption) error { return c.Add(p, 1, opts...) }
+
+// Value reads the counter.
+func (c *Counter) Value(p *sim.Proc, opts ...core.RunOption) (uint64, error) {
+	return core.ReadVar(c.tm, p, c.v)
+}
+
+// Bank is a fixed set of accounts supporting atomic transfers — the
+// quickstart workload, and the conservation-of-money invariant checked
+// by the tests.
+type Bank struct {
+	tm    core.TM
+	accts []core.Var
+}
+
+// NewBank creates n accounts each holding initial.
+func NewBank(tm core.TM, n int, initial uint64) *Bank {
+	b := &Bank{tm: tm}
+	for i := 0; i < n; i++ {
+		b.accts = append(b.accts, tm.NewVar(fmt.Sprintf("acct%d", i), initial))
+	}
+	return b
+}
+
+// Accounts returns the number of accounts.
+func (b *Bank) Accounts() int { return len(b.accts) }
+
+// Transfer atomically moves amount from one account to another; if the
+// source has insufficient funds the transfer is a silent no-op (the
+// transaction still commits).
+func (b *Bank) Transfer(p *sim.Proc, from, to int, amount uint64, opts ...core.RunOption) error {
+	return core.Run(b.tm, p, func(tx core.Tx) error {
+		src, err := tx.Read(b.accts[from])
+		if err != nil {
+			return err
+		}
+		if src < amount {
+			return nil
+		}
+		dst, err := tx.Read(b.accts[to])
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(b.accts[from], src-amount); err != nil {
+			return err
+		}
+		return tx.Write(b.accts[to], dst+amount)
+	}, opts...)
+}
+
+// Balance reads one account.
+func (b *Bank) Balance(p *sim.Proc, i int, opts ...core.RunOption) (uint64, error) {
+	return core.ReadVar(b.tm, p, b.accts[i])
+}
+
+// Total reads all accounts in a single transaction (a long read-only
+// transaction, useful for abort-rate experiments).
+func (b *Bank) Total(p *sim.Proc, opts ...core.RunOption) (uint64, error) {
+	var total uint64
+	err := core.Run(b.tm, p, func(tx core.Tx) error {
+		total = 0
+		for _, a := range b.accts {
+			v, err := tx.Read(a)
+			if err != nil {
+				return err
+			}
+			total += v
+		}
+		return nil
+	}, opts...)
+	return total, err
+}
+
+// arena is an append-only store of list nodes. Handle 0 is nil; handle
+// h>0 refers to node h-1. Node variable slices are published atomically
+// (appendOnly) so traversals read them without taking the growth lock.
+type arena struct {
+	mu     sync.Mutex
+	tm     core.TM
+	key    appendOnly[core.Var] // node key
+	val    appendOnly[core.Var] // node value (maps) — nil entries for sets
+	next   appendOnly[core.Var] // handle of successor
+	kind   string
+	hasVal bool
+}
+
+func newArena(tm core.TM, kind string, hasVal bool) *arena {
+	return &arena{tm: tm, kind: kind, hasVal: hasVal}
+}
+
+// alloc creates a fresh node outside any transaction and returns its
+// handle. The caller links it in transactionally.
+func (a *arena) alloc(key, val uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx := a.key.length()
+	a.key.append(a.tm.NewVar(fmt.Sprintf("%s.key%d", a.kind, idx), key))
+	if a.hasVal {
+		a.val.append(a.tm.NewVar(fmt.Sprintf("%s.val%d", a.kind, idx), val))
+	} else {
+		a.val.append(nil)
+	}
+	a.next.append(a.tm.NewVar(fmt.Sprintf("%s.next%d", a.kind, idx), 0))
+	return uint64(idx + 1)
+}
+
+func (a *arena) keyVar(h uint64) core.Var  { return a.key.get(int(h - 1)) }
+func (a *arena) valVar(h uint64) core.Var  { return a.val.get(int(h - 1)) }
+func (a *arena) nextVar(h uint64) core.Var { return a.next.get(int(h - 1)) }
+
+// list is a sorted singly-linked list with a head sentinel, the common
+// core of IntSet and Hash buckets. With earlyRelease set (and an engine
+// that supports core.Releaser, i.e. DSTM), traversals release the nodes
+// they have walked past, DSTM-paper style: writers operating behind the
+// traversal point no longer abort it.
+type list struct {
+	a            *arena
+	head         uint64 // sentinel handle
+	earlyRelease bool
+}
+
+func newList(a *arena) *list {
+	return &list{a: a, head: a.alloc(0, 0)}
+}
+
+// find positions the traversal at the first node with key >= k,
+// returning (pred, cur) handles; cur == 0 means end of list.
+func (l *list) find(tx core.Tx, k uint64) (pred, cur uint64, curKey uint64, err error) {
+	pred = l.head
+	prev := uint64(0) // node before pred, releasable once pred advances
+	for {
+		nxt, err := tx.Read(l.a.nextVar(pred))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if nxt == 0 {
+			return pred, 0, 0, nil
+		}
+		key, err := tx.Read(l.a.keyVar(nxt))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if key >= k {
+			return pred, nxt, key, nil
+		}
+		if l.earlyRelease && prev != 0 {
+			// Hand-over-hand: we hold pred and nxt; everything before
+			// pred is no longer load-bearing for this operation.
+			core.Release(tx, l.a.nextVar(prev))
+			core.Release(tx, l.a.keyVar(prev))
+		}
+		prev = pred
+		pred = nxt
+	}
+}
+
+// insert links a node with key k (and value v for maps), returning
+// false if the key was already present (value updated for maps).
+// spare, if nonzero, is a pre-allocated node to use.
+func (l *list) insert(tx core.Tx, k, v uint64, spare *uint64) (bool, error) {
+	pred, cur, curKey, err := l.find(tx, k)
+	if err != nil {
+		return false, err
+	}
+	if cur != 0 && curKey == k {
+		if l.a.hasVal {
+			if err := tx.Write(l.a.valVar(cur), v); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	}
+	n := *spare
+	if n == 0 {
+		n = l.a.alloc(k, v)
+		*spare = n
+	}
+	if err := tx.Write(l.a.keyVar(n), k); err != nil {
+		return false, err
+	}
+	if l.a.hasVal {
+		if err := tx.Write(l.a.valVar(n), v); err != nil {
+			return false, err
+		}
+	}
+	if err := tx.Write(l.a.nextVar(n), cur); err != nil {
+		return false, err
+	}
+	if err := tx.Write(l.a.nextVar(pred), n); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// remove unlinks key k, reporting whether it was present.
+func (l *list) remove(tx core.Tx, k uint64) (bool, error) {
+	pred, cur, curKey, err := l.find(tx, k)
+	if err != nil {
+		return false, err
+	}
+	if cur == 0 || curKey != k {
+		return false, nil
+	}
+	nxt, err := tx.Read(l.a.nextVar(cur))
+	if err != nil {
+		return false, err
+	}
+	if err := tx.Write(l.a.nextVar(pred), nxt); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// lookup returns the node handle for key k, or 0.
+func (l *list) lookup(tx core.Tx, k uint64) (uint64, error) {
+	_, cur, curKey, err := l.find(tx, k)
+	if err != nil {
+		return 0, err
+	}
+	if cur != 0 && curKey == k {
+		return cur, nil
+	}
+	return 0, nil
+}
+
+// keys walks the list, appending all keys in order.
+func (l *list) keys(tx core.Tx, out *[]uint64) error {
+	cur, err := tx.Read(l.a.nextVar(l.head))
+	if err != nil {
+		return err
+	}
+	for cur != 0 {
+		k, err := tx.Read(l.a.keyVar(cur))
+		if err != nil {
+			return err
+		}
+		*out = append(*out, k)
+		cur, err = tx.Read(l.a.nextVar(cur))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

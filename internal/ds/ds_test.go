@@ -1,0 +1,530 @@
+package ds_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alg2"
+	"repro/internal/core"
+	"repro/internal/ds"
+	"repro/internal/dstm"
+	"repro/internal/locktm"
+)
+
+// engines lists the raw-mode engines the structures must work on.
+// Algorithm 2 is included with a coarse workload only (it is the
+// deliberately impractical construction).
+func engines() map[string]func() core.TM {
+	return map[string]func() core.TM{
+		"dstm":   func() core.TM { return dstm.New() },
+		"2pl":    func() core.TM { return locktm.NewTwoPhase() },
+		"tl2":    func() core.TM { return locktm.NewGlobalClock() },
+		"coarse": func() core.TM { return locktm.NewCoarse() },
+	}
+}
+
+func TestCounter(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			c := ds.NewCounter(mk(), 5)
+			if err := c.Add(nil, 10); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Inc(nil); err != nil {
+				t.Fatal(err)
+			}
+			v, err := c.Value(nil)
+			if err != nil || v != 16 {
+				t.Fatalf("counter = %d (%v), want 16", v, err)
+			}
+		})
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := ds.NewCounter(dstm.New(), 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := c.Inc(nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, err := c.Value(nil)
+	if err != nil || v != 800 {
+		t.Fatalf("counter = %d (%v), want 800", v, err)
+	}
+}
+
+func TestBankConservation(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			b := ds.NewBank(mk(), 8, 100)
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < 100; i++ {
+						from, to := rng.Intn(8), rng.Intn(8)
+						if from == to {
+							continue
+						}
+						if err := b.Transfer(nil, from, to, uint64(rng.Intn(20))); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			total, err := b.Total(nil)
+			if err != nil || total != 800 {
+				t.Fatalf("total = %d (%v), want 800", total, err)
+			}
+			if b.Accounts() != 8 {
+				t.Fatalf("accounts = %d", b.Accounts())
+			}
+		})
+	}
+}
+
+func TestBankInsufficientFundsIsNoop(t *testing.T) {
+	b := ds.NewBank(dstm.New(), 2, 10)
+	if err := b.Transfer(nil, 0, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := b.Balance(nil, 0)
+	v1, _ := b.Balance(nil, 1)
+	if v0 != 10 || v1 != 10 {
+		t.Fatalf("balances %d/%d, want 10/10", v0, v1)
+	}
+}
+
+func TestIntSetSequential(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			s := ds.NewIntSet(mk())
+			for _, k := range []uint64{5, 1, 9, 3, 7} {
+				added, err := s.Insert(nil, k)
+				if err != nil || !added {
+					t.Fatalf("insert %d: %v %v", k, added, err)
+				}
+			}
+			if added, _ := s.Insert(nil, 5); added {
+				t.Fatalf("duplicate insert must report false")
+			}
+			for _, k := range []uint64{1, 3, 5, 7, 9} {
+				ok, err := s.Contains(nil, k)
+				if err != nil || !ok {
+					t.Fatalf("contains %d: %v %v", k, ok, err)
+				}
+			}
+			if ok, _ := s.Contains(nil, 4); ok {
+				t.Fatalf("4 must be absent")
+			}
+			if removed, _ := s.Remove(nil, 3); !removed {
+				t.Fatalf("remove 3 failed")
+			}
+			if removed, _ := s.Remove(nil, 3); removed {
+				t.Fatalf("double remove must report false")
+			}
+			snap, err := s.Snapshot(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []uint64{1, 5, 7, 9}
+			if len(snap) != len(want) {
+				t.Fatalf("snapshot %v, want %v", snap, want)
+			}
+			for i := range want {
+				if snap[i] != want[i] {
+					t.Fatalf("snapshot %v, want %v", snap, want)
+				}
+			}
+		})
+	}
+}
+
+// TestIntSetMatchesReference drives random operations against both the
+// transactional set and a plain map, comparing every result.
+func TestIntSetMatchesReference(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		s := ds.NewIntSet(dstm.New())
+		ref := map[uint64]bool{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			k := uint64(op % 64)
+			switch rng.Intn(3) {
+			case 0:
+				added, err := s.Insert(nil, k)
+				if err != nil || added == ref[k] {
+					return false
+				}
+				ref[k] = true
+			case 1:
+				removed, err := s.Remove(nil, k)
+				if err != nil || removed != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			default:
+				ok, err := s.Contains(nil, k)
+				if err != nil || ok != ref[k] {
+					return false
+				}
+			}
+		}
+		snap, err := s.Snapshot(nil)
+		if err != nil || len(snap) != len(ref) {
+			return false
+		}
+		if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i] < snap[j] }) {
+			return false
+		}
+		for _, k := range snap {
+			if !ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntSetConcurrent(t *testing.T) {
+	s := ds.NewIntSet(dstm.New())
+	const workers = 6
+	const perWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Disjoint key ranges: all inserts must succeed exactly once.
+			for i := 0; i < perWorker; i++ {
+				k := uint64(w*1000 + i)
+				added, err := s.Insert(nil, k)
+				if err != nil || !added {
+					t.Errorf("insert %d: %v %v", k, added, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap, err := s.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != workers*perWorker {
+		t.Fatalf("size %d, want %d", len(snap), workers*perWorker)
+	}
+	if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i] < snap[j] }) {
+		t.Fatalf("snapshot not sorted")
+	}
+}
+
+func TestHashSequential(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			h := ds.NewHash(mk(), 4)
+			if added, err := h.Put(nil, 1, 10); err != nil || !added {
+				t.Fatalf("put: %v %v", added, err)
+			}
+			if added, _ := h.Put(nil, 1, 20); added {
+				t.Fatalf("overwrite must report existing key")
+			}
+			v, ok, err := h.Get(nil, 1)
+			if err != nil || !ok || v != 20 {
+				t.Fatalf("get: %d %v %v", v, ok, err)
+			}
+			if _, ok, _ := h.Get(nil, 2); ok {
+				t.Fatalf("missing key reported present")
+			}
+			if removed, _ := h.Delete(nil, 1); !removed {
+				t.Fatalf("delete failed")
+			}
+			if n, _ := h.Len(nil); n != 0 {
+				t.Fatalf("len = %d", n)
+			}
+		})
+	}
+}
+
+func TestHashMatchesReference(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		h := ds.NewHash(locktm.NewGlobalClock(), 8)
+		ref := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			k := uint64(op % 128)
+			switch rng.Intn(3) {
+			case 0:
+				v := uint64(rng.Intn(1000)) + 1
+				added, err := h.Put(nil, k, v)
+				_, existed := ref[k]
+				if err != nil || added == existed {
+					return false
+				}
+				ref[k] = v
+			case 1:
+				removed, err := h.Delete(nil, k)
+				_, existed := ref[k]
+				if err != nil || removed != existed {
+					return false
+				}
+				delete(ref, k)
+			default:
+				v, ok, err := h.Get(nil, k)
+				want, existed := ref[k]
+				if err != nil || ok != existed || (ok && v != want) {
+					return false
+				}
+			}
+		}
+		n, err := h.Len(nil)
+		return err == nil && n == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			q := ds.NewQueue(mk(), 4)
+			if q.Cap() != 4 {
+				t.Fatalf("cap %d", q.Cap())
+			}
+			for i := uint64(1); i <= 4; i++ {
+				ok, err := q.Enqueue(nil, i)
+				if err != nil || !ok {
+					t.Fatalf("enqueue %d: %v %v", i, ok, err)
+				}
+			}
+			if ok, _ := q.Enqueue(nil, 5); ok {
+				t.Fatalf("enqueue into full queue must fail")
+			}
+			for i := uint64(1); i <= 4; i++ {
+				v, ok, err := q.Dequeue(nil)
+				if err != nil || !ok || v != i {
+					t.Fatalf("dequeue: %d %v %v, want %d", v, ok, err, i)
+				}
+			}
+			if _, ok, _ := q.Dequeue(nil); ok {
+				t.Fatalf("dequeue from empty queue must fail")
+			}
+		})
+	}
+}
+
+func TestQueueConcurrentConservation(t *testing.T) {
+	q := ds.NewQueue(dstm.New(), 16)
+	const producers, items = 4, 50
+	var consumed sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				v := uint64(w*10000 + i + 1)
+				for {
+					ok, err := q.Enqueue(nil, v)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if ok {
+						break
+					}
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var consumerWg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		consumerWg.Add(1)
+		go func() {
+			defer consumerWg.Done()
+			for {
+				v, ok, err := q.Dequeue(nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					if _, dup := consumed.LoadOrStore(v, true); dup {
+						t.Errorf("value %d consumed twice", v)
+						return
+					}
+					continue
+				}
+				select {
+				case <-done:
+					// Drain once more after producers finished.
+					if v, ok, _ := q.Dequeue(nil); ok {
+						consumed.Store(v, true)
+						continue
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	consumerWg.Wait()
+	// Drain leftovers.
+	for {
+		v, ok, err := q.Dequeue(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		consumed.Store(v, true)
+	}
+	n := 0
+	consumed.Range(func(_, _ any) bool { n++; return true })
+	if n != producers*items {
+		t.Fatalf("consumed %d items, want %d", n, producers*items)
+	}
+}
+
+func TestStructuresOnAlg2(t *testing.T) {
+	// The impractical construction still runs the real structures.
+	tm := alg2.New()
+	s := ds.NewIntSet(tm)
+	for _, k := range []uint64{2, 1, 3} {
+		if added, err := s.Insert(nil, k); err != nil || !added {
+			t.Fatalf("insert %d on alg2: %v %v", k, added, err)
+		}
+	}
+	snap, err := s.Snapshot(nil)
+	if err != nil || len(snap) != 3 {
+		t.Fatalf("snapshot on alg2: %v %v", snap, err)
+	}
+}
+
+// TestEarlyReleaseTraversalSurvivesBehindWriter: with early release, a
+// traversal deep in the list is not aborted by an update behind it —
+// the scenario DSTM's early release exists for.
+func TestEarlyReleaseTraversalSurvivesBehindWriter(t *testing.T) {
+	tm := dstm.New()
+	s := ds.NewIntSetEarlyRelease(tm)
+	for k := uint64(10); k <= 100; k += 10 {
+		if _, err := s.Insert(nil, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Readers repeatedly look up the tail key while a writer churns the
+	// head region. With early release on DSTM, tail lookups drop the
+	// head nodes from their read sets, so the churn cannot invalidate
+	// them; every lookup must succeed.
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = s.Remove(nil, 10)
+			_, _ = s.Insert(nil, 10)
+		}
+	}()
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				ok, err := s.Contains(nil, 100)
+				if err != nil || !ok {
+					t.Errorf("tail lookup failed: %v %v", ok, err)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+// TestEarlyReleaseSetStillCorrect: the early-release set still behaves
+// like a set under a mixed concurrent workload (the release pattern is
+// the DSTM paper's, which preserves linearizability of the set ops).
+func TestEarlyReleaseSetStillCorrect(t *testing.T) {
+	s := ds.NewIntSetEarlyRelease(dstm.New())
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				k := uint64(w*1000 + i)
+				if added, err := s.Insert(nil, k); err != nil || !added {
+					t.Errorf("insert %d: %v %v", k, added, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap, err := s.Snapshot(nil)
+	if err != nil || len(snap) != 240 {
+		t.Fatalf("size %d (%v), want 240", len(snap), err)
+	}
+	if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i] < snap[j] }) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestHashUpdateAtomic(t *testing.T) {
+	h := ds.NewHash(dstm.New(), 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := h.Update(nil, 7, func(old uint64, _ bool) uint64 { return old + 1 }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, ok, err := h.Get(nil, 7)
+	if err != nil || !ok || v != 800 {
+		t.Fatalf("counter = %d (%v %v), want 800", v, ok, err)
+	}
+}

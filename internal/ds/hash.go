@@ -1,0 +1,123 @@
+package ds
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Hash is a fixed-bucket transactional hash map from uint64 keys to
+// uint64 values. Each bucket is a sorted list; operations touch a
+// single bucket, so transactions on different buckets are disjoint —
+// the workload shape used by the disjoint-access experiments.
+type Hash struct {
+	tm      core.TM
+	buckets []*list
+}
+
+// NewHash allocates a map with the given number of buckets (rounded up
+// to at least 1).
+func NewHash(tm core.TM, buckets int) *Hash {
+	if buckets < 1 {
+		buckets = 1
+	}
+	h := &Hash{tm: tm}
+	for i := 0; i < buckets; i++ {
+		h.buckets = append(h.buckets, newList(newArena(tm, fmt.Sprintf("hash.b%d", i), true)))
+	}
+	return h
+}
+
+func (h *Hash) bucket(k uint64) *list {
+	// Fibonacci hashing spreads adjacent keys across buckets.
+	return h.buckets[(k*0x9E3779B97F4A7C15)>>32%uint64(len(h.buckets))]
+}
+
+// Put stores k -> v, reporting whether the key was new.
+func (h *Hash) Put(p *sim.Proc, k, v uint64, opts ...core.RunOption) (bool, error) {
+	var added bool
+	var spare uint64
+	b := h.bucket(k)
+	err := core.Run(h.tm, p, func(tx core.Tx) error {
+		var err error
+		added, err = b.insert(tx, k, v, &spare)
+		return err
+	}, opts...)
+	return added, err
+}
+
+// Get returns the value for k and whether it is present.
+func (h *Hash) Get(p *sim.Proc, k uint64, opts ...core.RunOption) (uint64, bool, error) {
+	var val uint64
+	var ok bool
+	b := h.bucket(k)
+	err := core.Run(h.tm, p, func(tx core.Tx) error {
+		node, err := b.lookup(tx, k)
+		if err != nil {
+			return err
+		}
+		ok = node != 0
+		if ok {
+			val, err = tx.Read(b.a.valVar(node))
+			return err
+		}
+		val = 0
+		return nil
+	}, opts...)
+	return val, ok, err
+}
+
+// Delete removes k, reporting whether it was present.
+func (h *Hash) Delete(p *sim.Proc, k uint64, opts ...core.RunOption) (bool, error) {
+	var removed bool
+	b := h.bucket(k)
+	err := core.Run(h.tm, p, func(tx core.Tx) error {
+		var err error
+		removed, err = b.remove(tx, k)
+		return err
+	}, opts...)
+	return removed, err
+}
+
+// Len counts all entries atomically (a long read-only transaction
+// spanning every bucket).
+func (h *Hash) Len(p *sim.Proc, opts ...core.RunOption) (int, error) {
+	var n int
+	err := core.Run(h.tm, p, func(tx core.Tx) error {
+		n = 0
+		var keys []uint64
+		for _, b := range h.buckets {
+			keys = keys[:0]
+			if err := b.keys(tx, &keys); err != nil {
+				return err
+			}
+			n += len(keys)
+		}
+		return nil
+	}, opts...)
+	return n, err
+}
+
+// Update atomically transforms the value at k: f receives the current
+// value (and whether k was present) and returns the new value. The
+// whole read-modify-write is one transaction.
+func (h *Hash) Update(p *sim.Proc, k uint64, f func(old uint64, ok bool) uint64, opts ...core.RunOption) error {
+	var spare uint64
+	b := h.bucket(k)
+	return core.Run(h.tm, p, func(tx core.Tx) error {
+		node, err := b.lookup(tx, k)
+		if err != nil {
+			return err
+		}
+		var cur uint64
+		if node != 0 {
+			cur, err = tx.Read(b.a.valVar(node))
+			if err != nil {
+				return err
+			}
+		}
+		_, err = b.insert(tx, k, f(cur, node != 0), &spare)
+		return err
+	}, opts...)
+}

@@ -1,0 +1,75 @@
+package ds
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// IntSet is the classic sorted-linked-list set microbenchmark (the
+// workload DSTM [18] was evaluated on): Insert, Remove and Contains of
+// uint64 keys, each a single transaction traversing the list.
+type IntSet struct {
+	tm core.TM
+	l  *list
+}
+
+// NewIntSet allocates an empty set on the given engine.
+func NewIntSet(tm core.TM) *IntSet {
+	return &IntSet{tm: tm, l: newList(newArena(tm, "intset", false))}
+}
+
+// Insert adds k, reporting whether it was absent.
+func (s *IntSet) Insert(p *sim.Proc, k uint64, opts ...core.RunOption) (bool, error) {
+	var added bool
+	var spare uint64
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		var err error
+		added, err = s.l.insert(tx, k, 0, &spare)
+		return err
+	}, opts...)
+	return added, err
+}
+
+// Remove deletes k, reporting whether it was present.
+func (s *IntSet) Remove(p *sim.Proc, k uint64, opts ...core.RunOption) (bool, error) {
+	var removed bool
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		var err error
+		removed, err = s.l.remove(tx, k)
+		return err
+	}, opts...)
+	return removed, err
+}
+
+// Contains reports membership of k.
+func (s *IntSet) Contains(p *sim.Proc, k uint64, opts ...core.RunOption) (bool, error) {
+	var found bool
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		h, err := s.l.lookup(tx, k)
+		found = h != 0
+		return err
+	}, opts...)
+	return found, err
+}
+
+// Snapshot returns all keys in ascending order, read atomically in one
+// transaction.
+func (s *IntSet) Snapshot(p *sim.Proc, opts ...core.RunOption) ([]uint64, error) {
+	var keys []uint64
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		keys = keys[:0]
+		return s.l.keys(tx, &keys)
+	}, opts...)
+	return keys, err
+}
+
+// NewIntSetEarlyRelease allocates a set whose traversals use DSTM-style
+// early release when the engine supports it (core.Releaser): nodes
+// walked past are dropped from the read set, so updates behind the
+// traversal point no longer conflict with it. On engines without early
+// release the set behaves exactly like NewIntSet.
+func NewIntSetEarlyRelease(tm core.TM) *IntSet {
+	s := NewIntSet(tm)
+	s.l.earlyRelease = true
+	return s
+}

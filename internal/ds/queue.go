@@ -1,0 +1,105 @@
+package ds
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Queue is a bounded transactional FIFO ring buffer. Enqueue and
+// Dequeue are single transactions over the head/tail/size words and one
+// slot, so producers and consumers on a long queue mostly conflict only
+// on the counters — a useful contrast workload for the contention
+// managers.
+type Queue struct {
+	tm   core.TM
+	cap  uint64
+	buf  []core.Var
+	head core.Var // index of the oldest element
+	size core.Var // current element count
+}
+
+// NewQueue allocates a queue with the given capacity.
+func NewQueue(tm core.TM, capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{tm: tm, cap: uint64(capacity)}
+	for i := 0; i < capacity; i++ {
+		q.buf = append(q.buf, tm.NewVar(fmt.Sprintf("queue.slot%d", i), 0))
+	}
+	q.head = tm.NewVar("queue.head", 0)
+	q.size = tm.NewVar("queue.size", 0)
+	return q
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return int(q.cap) }
+
+// Enqueue appends v, reporting false if the queue was full.
+func (q *Queue) Enqueue(p *sim.Proc, v uint64, opts ...core.RunOption) (bool, error) {
+	var ok bool
+	err := core.Run(q.tm, p, func(tx core.Tx) error {
+		size, err := tx.Read(q.size)
+		if err != nil {
+			return err
+		}
+		if size >= q.cap {
+			ok = false
+			return nil
+		}
+		head, err := tx.Read(q.head)
+		if err != nil {
+			return err
+		}
+		slot := (head + size) % q.cap
+		if err := tx.Write(q.buf[slot], v); err != nil {
+			return err
+		}
+		if err := tx.Write(q.size, size+1); err != nil {
+			return err
+		}
+		ok = true
+		return nil
+	}, opts...)
+	return ok, err
+}
+
+// Dequeue removes and returns the oldest element; ok is false if the
+// queue was empty.
+func (q *Queue) Dequeue(p *sim.Proc, opts ...core.RunOption) (v uint64, ok bool, err error) {
+	err = core.Run(q.tm, p, func(tx core.Tx) error {
+		size, err := tx.Read(q.size)
+		if err != nil {
+			return err
+		}
+		if size == 0 {
+			ok = false
+			return nil
+		}
+		head, err := tx.Read(q.head)
+		if err != nil {
+			return err
+		}
+		v, err = tx.Read(q.buf[head])
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(q.head, (head+1)%q.cap); err != nil {
+			return err
+		}
+		if err := tx.Write(q.size, size-1); err != nil {
+			return err
+		}
+		ok = true
+		return nil
+	}, opts...)
+	return v, ok, err
+}
+
+// Len reads the current size.
+func (q *Queue) Len(p *sim.Proc, opts ...core.RunOption) (int, error) {
+	n, err := core.ReadVar(q.tm, p, q.size)
+	return int(n), err
+}

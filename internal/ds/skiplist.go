@@ -1,0 +1,244 @@
+package ds
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SkipList is a transactional sorted set with O(log n) expected search,
+// the "big" data structure of the STM benchmark canon. Node heights are
+// derived deterministically from the key (a hash-based geometric
+// distribution), which keeps simulated executions replayable — the same
+// operations always build the same structure.
+type SkipList struct {
+	tm     core.TM
+	levels int
+
+	mu    sync.Mutex
+	kind  string
+	keys  appendOnly[core.Var]   // node key
+	nexts appendOnly[[]core.Var] // node successors, one var per level
+
+	head uint64 // handle of the head sentinel (full height)
+}
+
+// NewSkipList allocates an empty skip list with the given number of
+// levels (2..16; default 8 when out of range).
+func NewSkipList(tm core.TM, levels int) *SkipList {
+	if levels < 2 || levels > 16 {
+		levels = 8
+	}
+	s := &SkipList{tm: tm, levels: levels, kind: "skip"}
+	s.head = s.alloc(0, levels)
+	return s
+}
+
+// alloc creates a node of the given height and returns its handle
+// (index+1; 0 is nil).
+func (s *SkipList) alloc(key uint64, height int) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.keys.length()
+	s.keys.append(s.tm.NewVar(fmt.Sprintf("%s.key%d", s.kind, idx), key))
+	next := make([]core.Var, height)
+	for l := range next {
+		next[l] = s.tm.NewVar(fmt.Sprintf("%s.next%d.%d", s.kind, idx, l), 0)
+	}
+	s.nexts.append(next)
+	return uint64(idx + 1)
+}
+
+func (s *SkipList) keyVar(h uint64) core.Var { return s.keys.get(int(h - 1)) }
+
+func (s *SkipList) nextVar(h uint64, level int) core.Var { return s.nexts.get(int(h - 1))[level] }
+
+func (s *SkipList) height(h uint64) int { return len(s.nexts.get(int(h - 1))) }
+
+// heightFor derives a deterministic pseudo-random height from the key:
+// geometric with p = 1/2, clamped to the list's levels.
+func (s *SkipList) heightFor(key uint64) int {
+	x := key*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	h := 1
+	for h < s.levels && x&1 == 1 {
+		h++
+		x >>= 1
+	}
+	return h
+}
+
+// findPreds fills preds[l] with the handle of the rightmost node at
+// level l whose key is < k, and returns the handle of the node at level
+// 0 that has key >= k (0 if none).
+func (s *SkipList) findPreds(tx core.Tx, k uint64, preds []uint64) (uint64, error) {
+	cur := s.head
+	for l := s.levels - 1; l >= 0; l-- {
+		for {
+			nxt, err := tx.Read(s.nextVar(cur, l))
+			if err != nil {
+				return 0, err
+			}
+			if nxt == 0 {
+				break
+			}
+			key, err := tx.Read(s.keyVar(nxt))
+			if err != nil {
+				return 0, err
+			}
+			if key >= k {
+				break
+			}
+			cur = nxt
+		}
+		preds[l] = cur
+	}
+	nxt, err := tx.Read(s.nextVar(cur, 0))
+	if err != nil {
+		return 0, err
+	}
+	return nxt, nil
+}
+
+// Insert adds k, reporting whether it was absent.
+func (s *SkipList) Insert(p *sim.Proc, k uint64, opts ...core.RunOption) (bool, error) {
+	var added bool
+	var spare uint64
+	preds := make([]uint64, s.levels)
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		added = false
+		cand, err := s.findPreds(tx, k, preds)
+		if err != nil {
+			return err
+		}
+		if cand != 0 {
+			key, err := tx.Read(s.keyVar(cand))
+			if err != nil {
+				return err
+			}
+			if key == k {
+				return nil // present
+			}
+		}
+		h := s.heightFor(k)
+		n := spare
+		if n == 0 {
+			n = s.alloc(k, h)
+			spare = n
+		}
+		if err := tx.Write(s.keyVar(n), k); err != nil {
+			return err
+		}
+		for l := 0; l < h; l++ {
+			succ, err := tx.Read(s.nextVar(preds[l], l))
+			if err != nil {
+				return err
+			}
+			if err := tx.Write(s.nextVar(n, l), succ); err != nil {
+				return err
+			}
+			if err := tx.Write(s.nextVar(preds[l], l), n); err != nil {
+				return err
+			}
+		}
+		added = true
+		return nil
+	}, opts...)
+	return added, err
+}
+
+// Remove deletes k, reporting whether it was present.
+func (s *SkipList) Remove(p *sim.Proc, k uint64, opts ...core.RunOption) (bool, error) {
+	var removed bool
+	preds := make([]uint64, s.levels)
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		removed = false
+		cand, err := s.findPreds(tx, k, preds)
+		if err != nil {
+			return err
+		}
+		if cand == 0 {
+			return nil
+		}
+		key, err := tx.Read(s.keyVar(cand))
+		if err != nil {
+			return err
+		}
+		if key != k {
+			return nil
+		}
+		for l := 0; l < s.height(cand); l++ {
+			// preds[l] may not point at cand at upper levels if cand is
+			// shorter than the search path descended; unlink only where
+			// it does.
+			nxt, err := tx.Read(s.nextVar(preds[l], l))
+			if err != nil {
+				return err
+			}
+			if nxt != cand {
+				continue
+			}
+			after, err := tx.Read(s.nextVar(cand, l))
+			if err != nil {
+				return err
+			}
+			if err := tx.Write(s.nextVar(preds[l], l), after); err != nil {
+				return err
+			}
+		}
+		removed = true
+		return nil
+	}, opts...)
+	return removed, err
+}
+
+// Contains reports membership of k.
+func (s *SkipList) Contains(p *sim.Proc, k uint64, opts ...core.RunOption) (bool, error) {
+	var found bool
+	preds := make([]uint64, s.levels)
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		cand, err := s.findPreds(tx, k, preds)
+		if err != nil {
+			return err
+		}
+		found = false
+		if cand != 0 {
+			key, err := tx.Read(s.keyVar(cand))
+			if err != nil {
+				return err
+			}
+			found = key == k
+		}
+		return nil
+	}, opts...)
+	return found, err
+}
+
+// Snapshot returns all keys in ascending order, atomically.
+func (s *SkipList) Snapshot(p *sim.Proc, opts ...core.RunOption) ([]uint64, error) {
+	var keys []uint64
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		keys = keys[:0]
+		cur, err := tx.Read(s.nextVar(s.head, 0))
+		if err != nil {
+			return err
+		}
+		for cur != 0 {
+			k, err := tx.Read(s.keyVar(cur))
+			if err != nil {
+				return err
+			}
+			keys = append(keys, k)
+			cur, err = tx.Read(s.nextVar(cur, 0))
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}, opts...)
+	return keys, err
+}

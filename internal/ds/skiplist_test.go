@@ -1,0 +1,182 @@
+package ds_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ds"
+	"repro/internal/dstm"
+	"repro/internal/locktm"
+)
+
+func TestSkipListSequential(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			s := ds.NewSkipList(mk(), 6)
+			keys := []uint64{17, 3, 99, 41, 8, 23, 64, 5}
+			for _, k := range keys {
+				added, err := s.Insert(nil, k)
+				if err != nil || !added {
+					t.Fatalf("insert %d: %v %v", k, added, err)
+				}
+			}
+			if added, _ := s.Insert(nil, 17); added {
+				t.Fatal("duplicate insert must report false")
+			}
+			for _, k := range keys {
+				ok, err := s.Contains(nil, k)
+				if err != nil || !ok {
+					t.Fatalf("contains %d: %v %v", k, ok, err)
+				}
+			}
+			if ok, _ := s.Contains(nil, 1000); ok {
+				t.Fatal("absent key reported present")
+			}
+			if removed, _ := s.Remove(nil, 41); !removed {
+				t.Fatal("remove 41 failed")
+			}
+			if removed, _ := s.Remove(nil, 41); removed {
+				t.Fatal("double remove must report false")
+			}
+			snap, err := s.Snapshot(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []uint64{3, 5, 8, 17, 23, 64, 99}
+			if len(snap) != len(want) {
+				t.Fatalf("snapshot %v, want %v", snap, want)
+			}
+			for i := range want {
+				if snap[i] != want[i] {
+					t.Fatalf("snapshot %v, want %v", snap, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSkipListMatchesReference(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		s := ds.NewSkipList(locktm.NewGlobalClock(), 6)
+		ref := map[uint64]bool{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			k := uint64(op%128) + 1
+			switch rng.Intn(3) {
+			case 0:
+				added, err := s.Insert(nil, k)
+				if err != nil || added == ref[k] {
+					return false
+				}
+				ref[k] = true
+			case 1:
+				removed, err := s.Remove(nil, k)
+				if err != nil || removed != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			default:
+				ok, err := s.Contains(nil, k)
+				if err != nil || ok != ref[k] {
+					return false
+				}
+			}
+		}
+		snap, err := s.Snapshot(nil)
+		if err != nil || len(snap) != len(ref) {
+			return false
+		}
+		return sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListConcurrent(t *testing.T) {
+	s := ds.NewSkipList(dstm.New(), 8)
+	const workers, per = 6, 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := uint64(w*1000 + i + 1)
+				added, err := s.Insert(nil, k)
+				if err != nil || !added {
+					t.Errorf("insert %d: %v %v", k, added, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap, err := s.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != workers*per {
+		t.Fatalf("size %d, want %d", len(snap), workers*per)
+	}
+	if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i] < snap[j] }) {
+		t.Fatal("snapshot not sorted")
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i] == snap[i-1] {
+			t.Fatalf("duplicate key %d", snap[i])
+		}
+	}
+}
+
+func TestSkipListMixedConcurrent(t *testing.T) {
+	s := ds.NewSkipList(dstm.New(), 8)
+	// Pre-populate.
+	for k := uint64(1); k <= 64; k += 2 {
+		if _, err := s.Insert(nil, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 100; i++ {
+				k := uint64(rng.Intn(64)) + 1
+				var err error
+				switch rng.Intn(3) {
+				case 0:
+					_, err = s.Insert(nil, k)
+				case 1:
+					_, err = s.Remove(nil, k)
+				default:
+					_, err = s.Contains(nil, k)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap, err := s.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i] < snap[j] }) {
+		t.Fatal("not sorted after mixed workload")
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i] == snap[i-1] {
+			t.Fatalf("duplicate key %d", snap[i])
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package dstm implements the DSTM-style obstruction-free STM the paper
+// uses as its reference OFTM (§1, "A typical OFTM"):
+//
+//   - To update a t-variable, a transaction acquires exclusive but
+//     revocable ownership with a CAS, installing a locator that points
+//     to its transaction descriptor together with the old and new
+//     values.
+//   - A reader never writes shared memory for the variables it only
+//     reads (invisible reads); it re-validates its read set on every
+//     subsequent read and at commit, which gives opacity.
+//   - Any transaction can forcefully abort a live owner by CASing the
+//     owner's status from live to aborted — ownership is revocable
+//     "without any interaction with Ti", which is what makes the design
+//     obstruction-free. A contention manager may delay (bounded) but
+//     never prevent that revocation.
+//   - Commit is a single CAS of the descriptor's status from live to
+//     committed.
+//
+// The transaction descriptor is the shared "hot spot" of Theorem 13:
+// two transactions with disjoint t-variable footprints both chase a
+// suspended third transaction's descriptor and conflict there. The
+// Figure 2 experiment drives this engine to that exact execution.
+package dstm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/cm"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Transaction status values stored in the descriptor's status word.
+const (
+	statusLive      uint64 = 0
+	statusCommitted uint64 = 1
+	statusAborted   uint64 = 2
+)
+
+// locator is the indirection record installed in a t-variable's cell by
+// a writer: which transaction owns the variable and the variable's value
+// before (oldVal) and after (newVal) that transaction.
+type locator struct {
+	owner  *txDesc
+	oldVal uint64
+	// newVal is written only by the owner while live and read by others
+	// only after observing the owner committed (the commit CAS orders
+	// the accesses), so a plain field is race-free.
+	newVal uint64
+}
+
+// txDesc is a transaction descriptor: the single word whose CAS commits
+// or aborts the transaction.
+type txDesc struct {
+	id     model.TxID
+	status *base.U64
+	start  int64
+	ops    atomic.Int64
+}
+
+func (d *txDesc) info() cm.TxInfo {
+	return cm.TxInfo{ID: d.id, Start: d.start, Ops: d.ops.Load()}
+}
+
+// tvar is a t-variable: one CAS cell holding the current locator.
+type tvar struct {
+	owner *DSTM
+	id    model.VarID
+	name  string
+	cell  *base.Cell[locator]
+}
+
+func (v *tvar) ID() model.VarID { return v.id }
+func (v *tvar) Name() string    { return v.name }
+
+// Option configures a DSTM instance.
+type Option func(*DSTM)
+
+// WithEnv runs the engine's base objects under the simulation
+// environment (sim mode).
+func WithEnv(env *sim.Env) Option {
+	return func(d *DSTM) { d.env = env }
+}
+
+// WithManager selects the contention manager (default Polite).
+func WithManager(m cm.Manager) Option {
+	return func(d *DSTM) { d.mgr = m }
+}
+
+// ValidateAtCommitOnly disables per-read read-set validation, keeping
+// only commit-time validation. This is the ablation knob for experiment
+// E8: it trades opacity (live transactions may observe inconsistent
+// states) for fewer validation steps. Serializability of committed
+// transactions is preserved.
+func ValidateAtCommitOnly() Option {
+	return func(d *DSTM) { d.validateOnRead = false }
+}
+
+// DSTM is the engine. It implements core.TM.
+type DSTM struct {
+	env            *sim.Env
+	mgr            cm.Manager
+	validateOnRead bool
+
+	mu      sync.Mutex
+	vars    []*tvar
+	nextTx  map[model.ProcID]int
+	rawSeq  atomic.Int64 // raw-mode (nil proc) transaction counter
+	tickets atomic.Int64
+
+	// initDesc is the descriptor all initial locators point to; it is
+	// permanently committed (the paper's assumed initializing
+	// transaction T0).
+	initDesc *txDesc
+
+	// Aborts counts forceful aborts inflicted via contention-manager
+	// decisions, for the benchmark reports.
+	Aborts atomic.Int64
+}
+
+// New returns a DSTM instance.
+func New(opts ...Option) *DSTM {
+	d := &DSTM{
+		mgr:            cm.Polite{},
+		validateOnRead: true,
+		nextTx:         map[model.ProcID]int{},
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	d.initDesc = &txDesc{
+		id:     model.TxID{Proc: 0, Seq: 0},
+		status: base.NewU64(d.env, "T0.status", statusCommitted),
+	}
+	return d
+}
+
+// Name implements core.TM.
+func (d *DSTM) Name() string { return "dstm" }
+
+// ObstructionFree implements core.TM.
+func (d *DSTM) ObstructionFree() bool { return true }
+
+// Manager returns the configured contention manager.
+func (d *DSTM) Manager() cm.Manager { return d.mgr }
+
+// NewVar implements core.TM.
+func (d *DSTM) NewVar(name string, init uint64) core.Var {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v := &tvar{
+		owner: d,
+		id:    model.VarID(len(d.vars)),
+		name:  name,
+		cell:  base.NewCell(d.env, name+".loc", &locator{owner: d.initDesc, oldVal: init, newVal: init}),
+	}
+	d.vars = append(d.vars, v)
+	return v
+}
+
+// Begin implements core.TM.
+func (d *DSTM) Begin(p *sim.Proc) core.Tx {
+	var id model.TxID
+	if p == nil {
+		// Raw mode: all goroutines share process id 0; an atomic counter
+		// disambiguates without taking the engine lock.
+		id = model.TxID{Proc: 0, Seq: int(d.rawSeq.Add(1))}
+	} else {
+		d.mu.Lock()
+		pid := p.ID()
+		d.nextTx[pid]++
+		id = model.TxID{Proc: pid, Seq: d.nextTx[pid]}
+		d.mu.Unlock()
+		p.SetTx(id)
+	}
+	desc := &txDesc{
+		id:    id,
+		start: d.tickets.Add(1),
+	}
+	if d.env != nil {
+		desc.status = base.NewU64(d.env, id.String()+".status", statusLive)
+	} else {
+		desc.status = base.NewU64(nil, "", statusLive)
+	}
+	return &dsTx{tm: d, p: p, desc: desc}
+}
+
+type readEntry struct {
+	loc *locator
+	val uint64
+}
+
+type dsTx struct {
+	tm   *DSTM
+	p    *sim.Proc
+	desc *txDesc
+	rset map[*tvar]readEntry
+	wset map[*tvar]*locator
+	// completedLocally caches the outcome once the transaction observed
+	// its own completion, to short-circuit further operations.
+	completedLocally model.Status
+}
+
+func (t *dsTx) ID() model.TxID { return t.desc.id }
+
+func (t *dsTx) Status() model.Status {
+	switch t.desc.status.Read(nil) {
+	case statusCommitted:
+		return model.Committed
+	case statusAborted:
+		return model.Aborted
+	}
+	return model.Live
+}
+
+func mustVar(d *DSTM, v core.Var) *tvar {
+	tv, ok := v.(*tvar)
+	if !ok || tv.owner != d {
+		panic(fmt.Sprintf("dstm: variable %v belongs to a different TM", v))
+	}
+	return tv
+}
+
+// abortSelf moves the transaction to aborted (if still live) and
+// returns ErrAborted.
+func (t *dsTx) abortSelf() error {
+	t.desc.status.CAS(t.p, statusLive, statusAborted)
+	t.completedLocally = model.Aborted
+	t.p.SetTx(model.NoTx)
+	return core.ErrAborted
+}
+
+// backoff delays a Retry decision in raw mode; in sim mode the
+// scheduler controls interleaving and the retry loop's own steps are
+// the backoff.
+func (t *dsTx) backoff(attempt int) {
+	if t.p != nil {
+		return
+	}
+	if attempt > 10 {
+		attempt = 10
+	}
+	time.Sleep(time.Duration(1<<attempt) * time.Microsecond)
+}
+
+// resolve determines the current committed value of the locator l,
+// forcefully aborting or waiting out a live owner according to the
+// contention manager. It returns the value and true, or false if the
+// transaction must abort itself (manager said AbortSelf).
+func (t *dsTx) resolve(tv *tvar, l *locator) (uint64, bool) {
+	attempt := 0
+	for {
+		switch l.owner.status.Read(t.p) {
+		case statusCommitted:
+			return l.newVal, true
+		case statusAborted:
+			return l.oldVal, true
+		}
+		// Live owner: consult the contention manager.
+		switch t.tm.mgr.OnConflict(t.desc.info(), l.owner.info(), attempt) {
+		case cm.AbortVictim:
+			if l.owner.status.CAS(t.p, statusLive, statusAborted) {
+				t.tm.Aborts.Add(1)
+			}
+			// Re-read the status on the next iteration: either our CAS
+			// succeeded (aborted) or the owner completed meanwhile.
+		case cm.Retry:
+			t.backoff(attempt)
+		case cm.AbortSelf:
+			return 0, false
+		}
+		attempt++
+	}
+}
+
+// validate re-checks every read-set entry: the variable must still hold
+// the very locator the value was read from, and the transaction itself
+// must still be live. This is the paper's "the state of y is re-read to
+// ensure that Ti still observes a consistent state of the system".
+func (t *dsTx) validate() bool {
+	for tv, e := range t.rset {
+		if tv.cell.Load(t.p) != e.loc {
+			return false
+		}
+	}
+	return t.desc.status.Read(t.p) == statusLive
+}
+
+func (t *dsTx) Read(v core.Var) (uint64, error) {
+	if t.completedLocally != model.Live {
+		return 0, core.ErrAborted
+	}
+	tv := mustVar(t.tm, v)
+	t.desc.ops.Add(1)
+	// Read-own-write.
+	if loc, ok := t.wset[tv]; ok {
+		return loc.newVal, nil
+	}
+	// Repeated read: the recorded value, provided the locator is
+	// unchanged.
+	if e, ok := t.rset[tv]; ok {
+		if tv.cell.Load(t.p) != e.loc {
+			return 0, t.abortSelf()
+		}
+		return e.val, nil
+	}
+	l := tv.cell.Load(t.p)
+	val, ok := t.resolve(tv, l)
+	if !ok {
+		return 0, t.abortSelf()
+	}
+	if t.rset == nil {
+		t.rset = map[*tvar]readEntry{}
+	}
+	t.rset[tv] = readEntry{loc: l, val: val}
+	if t.tm.validateOnRead && !t.validate() {
+		return 0, t.abortSelf()
+	}
+	return val, nil
+}
+
+func (t *dsTx) Write(v core.Var, val uint64) error {
+	if t.completedLocally != model.Live {
+		return core.ErrAborted
+	}
+	tv := mustVar(t.tm, v)
+	t.desc.ops.Add(1)
+	// Already owned: update the locator's new value in place.
+	if loc, ok := t.wset[tv]; ok {
+		loc.newVal = val
+		return nil
+	}
+	for {
+		l := tv.cell.Load(t.p)
+		cur, ok := t.resolve(tv, l)
+		if !ok {
+			return t.abortSelf()
+		}
+		// If we read this variable earlier, the value we acquire from
+		// must be the value we read, or our snapshot is stale.
+		if e, seen := t.rset[tv]; seen && (e.loc != l && cur != e.val) {
+			return t.abortSelf()
+		}
+		newLoc := &locator{owner: t.desc, oldVal: cur, newVal: val}
+		if tv.cell.CAS(t.p, l, newLoc) {
+			if t.wset == nil {
+				t.wset = map[*tvar]*locator{}
+			}
+			t.wset[tv] = newLoc
+			delete(t.rset, tv) // ownership supersedes the read entry
+			if t.tm.validateOnRead && !t.validate() {
+				return t.abortSelf()
+			}
+			return nil
+		}
+		// Lost the race to another writer; retry.
+	}
+}
+
+func (t *dsTx) Commit() error {
+	if t.completedLocally != model.Live {
+		return core.ErrAborted
+	}
+	if !t.validate() {
+		return t.abortSelf()
+	}
+	if !t.desc.status.CAS(t.p, statusLive, statusCommitted) {
+		// Someone forcefully aborted us between validation and the CAS.
+		t.completedLocally = model.Aborted
+		t.p.SetTx(model.NoTx)
+		return core.ErrAborted
+	}
+	t.completedLocally = model.Committed
+	t.p.SetTx(model.NoTx)
+	return nil
+}
+
+func (t *dsTx) Abort() {
+	if t.completedLocally != model.Live {
+		return
+	}
+	_ = t.abortSelf()
+}
+
+// Release implements core.Releaser: DSTM's early release ([18] §5).
+// The variable is dropped from the read set, so subsequent validations
+// no longer cover it.
+func (t *dsTx) Release(v core.Var) error {
+	if t.completedLocally != model.Live {
+		return core.ErrAborted
+	}
+	tv := mustVar(t.tm, v)
+	delete(t.rset, tv)
+	return nil
+}

@@ -1,0 +1,328 @@
+package dstm_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cm"
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/tmtest"
+)
+
+func TestConformance(t *testing.T) {
+	tmtest.Conformance(t, func(env *sim.Env) core.TM {
+		if env == nil {
+			return dstm.New()
+		}
+		return dstm.New(dstm.WithEnv(env))
+	})
+}
+
+func TestConformancePerManager(t *testing.T) {
+	for _, mgr := range cm.All() {
+		mgr := mgr
+		t.Run(mgr.Name(), func(t *testing.T) {
+			tmtest.Conformance(t, func(env *sim.Env) core.TM {
+				if env == nil {
+					return dstm.New(dstm.WithManager(mgr))
+				}
+				return dstm.New(dstm.WithEnv(env), dstm.WithManager(mgr))
+			})
+		})
+	}
+}
+
+func TestConformanceValidateAtCommitOnly(t *testing.T) {
+	tmtest.Conformance(t, func(env *sim.Env) core.TM {
+		if env == nil {
+			return dstm.New(dstm.ValidateAtCommitOnly())
+		}
+		return dstm.New(dstm.WithEnv(env), dstm.ValidateAtCommitOnly())
+	})
+}
+
+// TestSuspendedOwnerDoesNotBlock is the obstruction-freedom headline:
+// unlike two-phase locking, a transaction suspended while owning a
+// variable cannot prevent another process from completing — the other
+// process forcefully aborts it.
+func TestSuspendedOwnerDoesNotBlock(t *testing.T) {
+	env := sim.New()
+	tm := dstm.New(dstm.WithEnv(env), dstm.WithManager(cm.Aggressive{}))
+	x := tm.NewVar("x", 0)
+
+	var t1 core.Tx
+	env.Spawn(func(p *sim.Proc) { // p1: acquires x, then suspends forever
+		t1 = tm.Begin(p)
+		_ = t1.Write(x, 1)
+		_ = t1.Commit() // never reached: suspended by the script
+	})
+	var p2val uint64
+	var p2err error
+	env.Spawn(func(p *sim.Proc) { // p2: must complete despite p1
+		p2err = core.Run(tm, p, func(tx core.Tx) error {
+			v, err := tx.Read(x)
+			p2val = v
+			return err
+		}, core.MaxAttempts(10))
+	})
+	env.Run(sim.Script(
+		sim.Phase{Proc: 1, Steps: 3}, // p1 loads locator, resolves T0, CASes ownership
+		sim.Phase{Proc: 2, Steps: -1},
+	))
+	if p2err != nil {
+		t.Fatalf("p2 must complete under an OFTM, got %v", p2err)
+	}
+	if p2val != 0 {
+		t.Fatalf("p2 must read the pre-T1 value 0, got %d", p2val)
+	}
+	if t1.Status() != model.Aborted {
+		t.Fatalf("suspended owner must end up forcefully aborted, status %v", t1.Status())
+	}
+}
+
+// TestOpacityValidationOnRead: a transaction must not observe a mixed
+// snapshot. T1 reads x; T2 commits x=1,y=1; T1's read of y must abort
+// rather than return a state where x=0 but y=1.
+func TestOpacityValidationOnRead(t *testing.T) {
+	tm := dstm.New()
+	x := tm.NewVar("x", 0)
+	y := tm.NewVar("y", 0)
+
+	t1 := tm.Begin(nil)
+	vx, err := t1.Read(x)
+	if err != nil || vx != 0 {
+		t.Fatalf("t1 read x: %d %v", vx, err)
+	}
+	// T2 commits x=1, y=1.
+	if err := core.Run(tm, nil, func(tx core.Tx) error {
+		if err := tx.Write(x, 1); err != nil {
+			return err
+		}
+		return tx.Write(y, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(y); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("inconsistent snapshot must abort the reader, got %v", err)
+	}
+}
+
+// TestCommitFailsAfterForcefulAbort: the commit CAS must fail when the
+// transaction was aborted between validation and commit.
+func TestCommitFailsAfterForcefulAbort(t *testing.T) {
+	env := sim.New()
+	tm := dstm.New(dstm.WithEnv(env), dstm.WithManager(cm.Aggressive{}))
+	x := tm.NewVar("x", 0)
+
+	var commitErr error
+	env.Spawn(func(p *sim.Proc) { // p1: writes x, then tries to commit
+		tx := tm.Begin(p)
+		_ = tx.Write(x, 1)
+		commitErr = tx.Commit()
+	})
+	env.Spawn(func(p *sim.Proc) { // p2: aborts p1 by taking x
+		_ = core.Run(tm, p, func(tx core.Tx) error {
+			return tx.Write(x, 2)
+		}, core.MaxAttempts(10))
+	})
+	// p1 acquires x; p2 then steals it (aborting T1); p1 resumes commit.
+	env.Run(sim.Script(
+		sim.Phase{Proc: 1, Steps: 3},
+		sim.Phase{Proc: 2, Steps: -1},
+		sim.Phase{Proc: 1, Steps: -1},
+	))
+	if !errors.Is(commitErr, core.ErrAborted) {
+		t.Fatalf("commit after forceful abort must fail, got %v", commitErr)
+	}
+	if v, _ := core.ReadVar(tm, nil, x); v != 2 {
+		t.Fatalf("x = %d, want 2 (T2's write)", v)
+	}
+}
+
+// TestTimestampManagerYoungerAbortsSelf exercises the AbortSelf path:
+// an older transaction owns the variable, so the younger attacker backs
+// off and then aborts itself.
+func TestTimestampManagerYoungerAbortsSelf(t *testing.T) {
+	tm := dstm.New(dstm.WithManager(cm.Timestamp{MaxTries: 2}))
+	x := tm.NewVar("x", 0)
+
+	older := tm.Begin(nil)
+	if err := older.Write(x, 1); err != nil {
+		t.Fatal(err)
+	}
+	younger := tm.Begin(nil)
+	if _, err := younger.Read(x); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("younger attacker must abort itself, got %v", err)
+	}
+	// The older transaction was not harmed and can commit.
+	if err := older.Commit(); err != nil {
+		t.Fatalf("older owner must still commit: %v", err)
+	}
+	if v, _ := core.ReadVar(tm, nil, x); v != 1 {
+		t.Fatalf("x = %d, want 1", v)
+	}
+}
+
+// TestRepeatedReadStability: a second read of the same variable returns
+// the same value while the locator is unchanged, and aborts if it moved.
+func TestRepeatedReadStability(t *testing.T) {
+	tm := dstm.New()
+	x := tm.NewVar("x", 5)
+	t1 := tm.Begin(nil)
+	v1, err := t1.Read(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := t1.Read(x)
+	if err != nil || v2 != v1 {
+		t.Fatalf("repeated read: %d vs %d (%v)", v1, v2, err)
+	}
+	// Another transaction moves the locator.
+	if err := core.WriteVar(tm, nil, x, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(x); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("read after locator moved must abort, got %v", err)
+	}
+}
+
+// TestWriteAfterReadUpgrade: writing a variable previously read keeps
+// the snapshot consistent (acquire-from-value must match the read).
+func TestWriteAfterReadUpgrade(t *testing.T) {
+	tm := dstm.New()
+	x := tm.NewVar("x", 3)
+	t1 := tm.Begin(nil)
+	v, err := t1.Read(x)
+	if err != nil || v != 3 {
+		t.Fatal(err)
+	}
+	if err := t1.Write(x, v+1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := t1.Read(x)
+	if err != nil || got != 4 {
+		t.Fatalf("read-own-write after upgrade: %d %v", got, err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := core.ReadVar(tm, nil, x); v != 4 {
+		t.Fatalf("committed x = %d", v)
+	}
+}
+
+// TestWriteWriteConflictAbortsVictim: the second writer revokes the
+// first writer's ownership (aggressive manager).
+func TestWriteWriteConflictAbortsVictim(t *testing.T) {
+	tm := dstm.New(dstm.WithManager(cm.Aggressive{}))
+	x := tm.NewVar("x", 0)
+	t1 := tm.Begin(nil)
+	if err := t1.Write(x, 1); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin(nil)
+	if err := t2.Write(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("t1 must have been forcefully aborted, commit gave %v", err)
+	}
+	if v, _ := core.ReadVar(tm, nil, x); v != 2 {
+		t.Fatalf("x = %d, want 2", v)
+	}
+	if tm.Aborts.Load() == 0 {
+		t.Fatalf("forceful abort counter not incremented")
+	}
+}
+
+func TestForeignVarPanics(t *testing.T) {
+	tm1 := dstm.New()
+	tm2 := dstm.New()
+	x := tm2.NewVar("x", 0)
+	tx := tm1.Begin(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("foreign var must panic")
+		}
+	}()
+	_, _ = tx.Read(x)
+}
+
+func TestSafetyCampaign(t *testing.T) {
+	tmtest.SafetyCampaign(t, func(env *sim.Env) core.TM {
+		return dstm.New(dstm.WithEnv(env))
+	}, tmtest.CampaignConfig{Seeds: 25})
+}
+
+func TestSafetyCampaignAggressive(t *testing.T) {
+	tmtest.SafetyCampaign(t, func(env *sim.Env) core.TM {
+		return dstm.New(dstm.WithEnv(env), dstm.WithManager(cm.Aggressive{}))
+	}, tmtest.CampaignConfig{Seeds: 15})
+}
+
+// TestCrashCampaign: a crashed process never inhibits survivors, and
+// Definitions 2 and 3 both hold on crash histories (Theorem 5).
+func TestCrashCampaign(t *testing.T) {
+	tmtest.CrashCampaign(t, func(env *sim.Env) core.TM {
+		return dstm.New(dstm.WithEnv(env), dstm.WithManager(cm.Aggressive{}))
+	}, 25)
+}
+
+// TestEarlyRelease: after releasing a read variable, a conflicting
+// writer no longer aborts the reader — DSTM's early-release feature.
+func TestEarlyRelease(t *testing.T) {
+	tm := dstm.New()
+	x := tm.NewVar("x", 0)
+	y := tm.NewVar("y", 0)
+
+	t1 := tm.Begin(nil)
+	if _, err := t1.Read(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(y); err != nil {
+		t.Fatal(err)
+	}
+	if !core.Release(t1, x) {
+		t.Fatal("dstm must support early release")
+	}
+	// A writer moves x; without the release t1's validation would fail.
+	if err := core.WriteVar(tm, nil, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(y); err != nil {
+		t.Fatalf("released variable must not invalidate the snapshot: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("commit after release: %v", err)
+	}
+
+	// Control: without the release the same interleaving aborts.
+	t2 := tm.Begin(nil)
+	if _, err := t2.Read(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteVar(tm, nil, x, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("unreleased stale read must abort the commit, got %v", err)
+	}
+}
+
+// TestReleaseUnsupportedEngines: the helper reports false for engines
+// without early release.
+func TestReleaseUnsupportedEngines(t *testing.T) {
+	tm := dstm.New()
+	x := tm.NewVar("x", 0)
+	tx := tm.Begin(nil)
+	defer tx.Abort()
+	if !core.Release(tx, x) {
+		t.Fatal("dstm tx must implement Releaser")
+	}
+}

@@ -1,0 +1,211 @@
+// Package focons implements the paper's Section 4 constructions around
+// fail-only consensus:
+//
+//   - FromOFTM (Algorithm 1): fo-consensus from any OFTM — one
+//     transaction per propose, which by obstruction-freedom may only be
+//     forcefully aborted under step contention, exactly when
+//     fo-consensus is allowed to abort (Lemma 7).
+//   - FromEventual (Algorithm 3, Appendix A): fo-consensus from an
+//     *eventual ic*-OFTM — the propose retries transactions until one
+//     commits, detecting concurrent proposes through the R[1..n]
+//     registers (Theorem 6).
+//   - TwoConsensus: wait-free-in-practice 2-process consensus from
+//     fo-consensus objects and registers, the construction the paper
+//     imports from [6] to establish that an OFTM's consensus number is
+//     at least 2 (Corollary 11). Safety (agreement, validity) is
+//     unconditional; termination holds whenever some propose eventually
+//     runs without step contention, which obstruction-style schedules
+//     provide. See DESIGN.md for the scoping note.
+//
+// Together with Algorithm 2 (package alg2), these give the paper's
+// equivalence: OFTM ≡ fo-consensus.
+package focons
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/base"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// FromOFTM is Algorithm 1: fo-consensus implemented from an OFTM base
+// object. The t-variable V holds ⊥ (encoded 0) or a decided value
+// (encoded v+1).
+type FromOFTM struct {
+	tm core.TM
+	v  core.Var
+}
+
+// NewFromOFTM returns a fo-consensus over the given (obstruction-free)
+// TM. Each instance allocates one t-variable.
+func NewFromOFTM(tm core.TM) *FromOFTM {
+	return &FromOFTM{tm: tm, v: tm.NewVar("focons.V", 0)}
+}
+
+var _ base.Proposer = (*FromOFTM)(nil)
+
+// Propose implements base.Proposer, transcribing Algorithm 1:
+//
+//	upon propose(vi) do
+//	  within transaction Ti,k do
+//	    if V = ⊥ then V ← vi else vi ← V
+//	  on event Ci,k do return vi
+//	  on event Ai,k do return ⊥
+func (f *FromOFTM) Propose(p *sim.Proc, vi uint64) uint64 {
+	if vi == base.Bottom || vi+1 == 0 {
+		panic("focons: value out of domain")
+	}
+	tx := f.tm.Begin(p)
+	cur, err := tx.Read(f.v)
+	if err != nil {
+		return base.Bottom
+	}
+	d := vi
+	if cur == 0 {
+		if err := tx.Write(f.v, vi+1); err != nil {
+			return base.Bottom
+		}
+	} else {
+		d = cur - 1
+	}
+	if err := tx.Commit(); err != nil {
+		return base.Bottom
+	}
+	return d
+}
+
+// FromEventual is Algorithm 3: fo-consensus from an eventual ic-OFTM.
+// Unlike Algorithm 1 it keeps retrying transactions within a single
+// propose until one commits, or until a step of a concurrent propose is
+// detected through the R registers — in which case aborting does not
+// violate fo-obstruction-freedom.
+type FromEventual struct {
+	tm core.TM
+	v  core.Var
+	r  []*base.Reg // R[1..n]
+	n  int
+}
+
+// NewFromEventual returns a fo-consensus over the given TM for n
+// processes. Process p's slot is p.ID() (1-based); raw-mode callers
+// (nil proc) share slot 0, which is reserved for them.
+func NewFromEventual(tm core.TM, env *sim.Env, n int) *FromEventual {
+	f := &FromEventual{tm: tm, v: tm.NewVar("focons3.V", 0), n: n}
+	f.r = make([]*base.Reg, n+1)
+	for i := range f.r {
+		f.r[i] = base.NewReg(env, fmt.Sprintf("focons3.R[%d]", i), 0)
+	}
+	return f
+}
+
+var _ base.Proposer = (*FromEventual)(nil)
+
+// Propose implements base.Proposer, transcribing Algorithm 3:
+//
+//	r[1..n] ← R[1..n] (not atomic)
+//	while true do
+//	  d ← vi
+//	  R[i] ← R[i] + 1
+//	  within transaction Ti,k do
+//	    if V = ⊥ then V ← vi else d ← V
+//	  on event Ck do return d
+//	  if ∃ m≠i : r[m] ≠ R[m] then return ⊥
+func (f *FromEventual) Propose(p *sim.Proc, vi uint64) uint64 {
+	if vi == base.Bottom || vi+1 == 0 {
+		panic("focons: value out of domain")
+	}
+	i := int(p.ID())
+	if i > f.n {
+		panic(fmt.Sprintf("focons: process %d exceeds configured n=%d", i, f.n))
+	}
+	snap := make([]uint64, len(f.r))
+	for m := range f.r {
+		snap[m] = f.r[m].Read(p)
+	}
+	for {
+		d := vi
+		f.r[i].Write(p, f.r[i].Read(p)+1)
+		committed := false
+		err := func() error {
+			tx := f.tm.Begin(p)
+			cur, err := tx.Read(f.v)
+			if err != nil {
+				return err
+			}
+			if cur == 0 {
+				if err := tx.Write(f.v, vi+1); err != nil {
+					return err
+				}
+			} else {
+				d = cur - 1
+			}
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			committed = true
+			return nil
+		}()
+		if committed {
+			return d
+		}
+		if err != nil && !errors.Is(err, core.ErrAborted) {
+			panic("focons: unexpected transaction error: " + err.Error())
+		}
+		for m := range f.r {
+			if m != i && f.r[m].Read(p) != snap[m] {
+				return base.Bottom
+			}
+		}
+	}
+}
+
+// TwoConsensus solves consensus between two parties from one
+// fo-consensus object and registers ([6]). Each party retries the
+// fo-consensus until it returns a decision, announcing the outcome in a
+// register so late and slow parties converge. Aborted proposes adopt the
+// peer's announced proposal, which makes the eventual decision stable
+// under helping.
+type TwoConsensus struct {
+	f    base.Proposer
+	prop [2]*base.Reg
+	dec  *base.Reg
+}
+
+// NewTwoConsensus builds the object from a fo-consensus instance.
+func NewTwoConsensus(env *sim.Env, f base.Proposer) *TwoConsensus {
+	return &TwoConsensus{
+		f: f,
+		prop: [2]*base.Reg{
+			base.NewReg(env, "twocons.prop0", 0),
+			base.NewReg(env, "twocons.prop1", 0),
+		},
+		dec: base.NewReg(env, "twocons.dec", 0),
+	}
+}
+
+// Decide runs the consensus protocol for party who ∈ {0,1} with
+// proposal v and returns the decided value.
+func (c *TwoConsensus) Decide(p *sim.Proc, who int, v uint64) uint64 {
+	if who != 0 && who != 1 {
+		panic("focons: party must be 0 or 1")
+	}
+	c.prop[who].Write(p, v+1)
+	cur := v
+	for {
+		if d := c.dec.Read(p); d != 0 {
+			return d - 1
+		}
+		if res := c.f.Propose(p, cur); res != base.Bottom {
+			c.dec.Write(p, res+1)
+			return res
+		}
+		// Aborted: the peer is active; adopt its announced proposal so
+		// that whichever of us eventually gets through proposes a value
+		// both of us are happy to decide.
+		if o := c.prop[1-who].Read(p); o != 0 {
+			cur = o - 1
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package focons_test
+
+import (
+	"testing"
+
+	"repro/internal/alg2"
+	"repro/internal/base"
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/focons"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// proposerFactory builds a fresh fo-consensus implementation for a run.
+type proposerFactory func(env *sim.Env) base.Proposer
+
+func alg1OverDSTM(env *sim.Env) base.Proposer {
+	if env == nil {
+		return focons.NewFromOFTM(dstm.New())
+	}
+	return focons.NewFromOFTM(dstm.New(dstm.WithEnv(env)))
+}
+
+func alg1OverAlg2(env *sim.Env) base.Proposer {
+	if env == nil {
+		return focons.NewFromOFTM(alg2.New())
+	}
+	return focons.NewFromOFTM(alg2.New(alg2.WithEnv(env)))
+}
+
+func alg3OverDSTM(n int) proposerFactory {
+	return func(env *sim.Env) base.Proposer {
+		if env == nil {
+			return focons.NewFromEventual(dstm.New(), nil, n)
+		}
+		return focons.NewFromEventual(dstm.New(dstm.WithEnv(env)), env, n)
+	}
+}
+
+// checkFoConsensusProperties drives n processes proposing distinct
+// values under many random schedules and asserts the three fo-consensus
+// properties of §4.1 on the outcomes.
+func checkFoConsensusProperties(t *testing.T, name string, factory proposerFactory, n, seeds int) {
+	t.Helper()
+	aborts := 0
+	for seed := 0; seed < seeds; seed++ {
+		env := sim.New()
+		f := factory(env)
+		results := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			env.Spawn(func(p *sim.Proc) {
+				results[i] = f.Propose(p, uint64(i+10))
+			})
+		}
+		env.Run(sim.Random(int64(seed)))
+		if env.Truncated {
+			t.Fatalf("%s seed %d: run truncated (livelock?)", name, seed)
+		}
+		decided := map[uint64]bool{}
+		for _, r := range results {
+			if r == base.Bottom {
+				aborts++
+				continue
+			}
+			decided[r] = true
+		}
+		if len(decided) > 1 {
+			t.Fatalf("%s seed %d: agreement violated: %v", name, seed, results)
+		}
+		for v := range decided {
+			// fo-validity: the decided value's proposer must not have
+			// aborted (values are i+10, proposer index i).
+			i := int(v) - 10
+			if i < 0 || i >= n {
+				t.Fatalf("%s seed %d: decided value %d was never proposed", name, seed, v)
+			}
+			if results[i] == base.Bottom {
+				t.Fatalf("%s seed %d: decided value %d but its proposer aborted (fo-validity)", name, seed, v)
+			}
+		}
+	}
+	t.Logf("%s: %d aborts across %d seeds × %d procs", name, aborts, seeds, n)
+}
+
+func TestAlg1Properties(t *testing.T) {
+	checkFoConsensusProperties(t, "alg1/dstm", alg1OverDSTM, 3, 30)
+}
+
+func TestAlg1OverAlg2Properties(t *testing.T) {
+	// The full equivalence loop: fo-consensus (Algorithm 1) implemented
+	// over the OFTM that is itself implemented from fo-consensus
+	// (Algorithm 2).
+	checkFoConsensusProperties(t, "alg1/alg2", alg1OverAlg2, 3, 15)
+}
+
+func TestAlg3Properties(t *testing.T) {
+	checkFoConsensusProperties(t, "alg3/dstm", alg3OverDSTM(4), 4, 25)
+}
+
+// TestFoObstructionFreedom: a step-contention-free propose must not
+// abort (fo-obstruction-freedom), for both constructions.
+func TestFoObstructionFreedom(t *testing.T) {
+	for name, factory := range map[string]proposerFactory{
+		"alg1": alg1OverDSTM,
+		"alg3": alg3OverDSTM(2),
+	} {
+		env := sim.New()
+		f := factory(env)
+		var got uint64
+		env.Spawn(func(p *sim.Proc) { got = f.Propose(p, 42) })
+		env.Spawn(func(p *sim.Proc) { _ = f.Propose(p, 43) }) // never scheduled
+		env.Run(sim.Solo(1))
+		if got != 42 {
+			t.Errorf("%s: solo propose must decide its own value, got %d", name, got)
+		}
+	}
+}
+
+// TestAlg1AbortsOnlyUnderContention: drive an interleaving where p1's
+// propose overlaps p2's; whoever aborts must have been contended.
+func TestAlg1SequentialNeverAborts(t *testing.T) {
+	f := alg1OverDSTM(nil)
+	if got := f.Propose(nil, 5); got != 5 {
+		t.Fatalf("first propose: %d", got)
+	}
+	for i := uint64(0); i < 5; i++ {
+		if got := f.Propose(nil, 100+i); got != 5 {
+			t.Fatalf("later propose decided %d, want 5", got)
+		}
+	}
+}
+
+func TestAlg3SequentialNeverAborts(t *testing.T) {
+	f := alg3OverDSTM(2)(nil)
+	if got := f.Propose(nil, 9); got != 9 {
+		t.Fatalf("first propose: %d", got)
+	}
+	if got := f.Propose(nil, 11); got != 9 {
+		t.Fatalf("second propose decided %d, want 9", got)
+	}
+}
+
+// TestTwoConsensus validates the [6] construction the paper uses for
+// Corollary 11: two processes reach wait-free agreement from
+// fo-consensus + registers, under many schedules, even with the
+// adversarial abort policy.
+func TestTwoConsensus(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		env := sim.New()
+		env.MaxSteps = 100_000
+		f := base.NewFoCons(env, "F", base.AbortOnContention, seed)
+		c := focons.NewTwoConsensus(env, f)
+		var d0, d1 uint64
+		env.Spawn(func(p *sim.Proc) { d0 = c.Decide(p, 0, 100) })
+		env.Spawn(func(p *sim.Proc) { d1 = c.Decide(p, 1, 200) })
+		env.Run(sim.Random(seed))
+		if env.Truncated {
+			t.Fatalf("seed %d: consensus did not terminate", seed)
+		}
+		if d0 != d1 {
+			t.Fatalf("seed %d: agreement violated: %d vs %d", seed, d0, d1)
+		}
+		if d0 != 100 && d0 != 200 {
+			t.Fatalf("seed %d: validity violated: %d", seed, d0)
+		}
+	}
+}
+
+// TestTwoConsensusOverOFTM closes the loop for Corollary 11's lower
+// bound: 2-process consensus built from fo-consensus built from an OFTM.
+func TestTwoConsensusOverOFTM(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		env := sim.New()
+		env.MaxSteps = 200_000
+		f := alg1OverDSTM(env)
+		c := focons.NewTwoConsensus(env, f)
+		var d0, d1 uint64
+		env.Spawn(func(p *sim.Proc) { d0 = c.Decide(p, 0, 7) })
+		env.Spawn(func(p *sim.Proc) { d1 = c.Decide(p, 1, 8) })
+		env.Run(sim.Random(seed))
+		if env.Truncated {
+			t.Fatalf("seed %d: did not terminate", seed)
+		}
+		if d0 != d1 || (d0 != 7 && d0 != 8) {
+			t.Fatalf("seed %d: bad outcome %d %d", seed, d0, d1)
+		}
+	}
+}
+
+// TestTheorem6Composition builds the full chain of Theorem 6: an OFTM
+// (Algorithm 2) whose fo-consensus objects are Algorithm 3 instances
+// over an eventual ic-OFTM (DSTM — every OFTM is an eventual ic-OFTM).
+// The composed system must still be an opaque TM.
+func TestTheorem6Composition(t *testing.T) {
+	env := sim.New()
+	env.MaxSteps = 500_000
+	inner := dstm.New(dstm.WithEnv(env)) // the eventual ic-OFTM substrate
+	outer := alg2.New(
+		alg2.WithEnv(env),
+		alg2.WithFoConsFactory(func(name string) base.Proposer {
+			return focons.NewFromEventual(inner, env, 2)
+		}),
+	)
+	rtm := core.Recorded(outer, env.Recorder())
+	x := rtm.NewVar("x", 0)
+	y := rtm.NewVar("y", 0)
+	for i := 0; i < 2; i++ {
+		env.Spawn(func(p *sim.Proc) {
+			_ = core.Run(rtm, p, func(tx core.Tx) error {
+				v, err := tx.Read(x)
+				if err != nil {
+					return err
+				}
+				if err := tx.Write(x, v+1); err != nil {
+					return err
+				}
+				return tx.Write(y, v+1)
+			}, core.MaxAttempts(60))
+		})
+	}
+	h := env.Run(sim.Random(11))
+	if env.Truncated {
+		t.Fatalf("composed run truncated")
+	}
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("ill-formed: %v", err)
+	}
+	txs := model.Transactions(h)
+	if res := checker.CheckOpacity(txs, map[model.VarID]uint64{x.ID(): 0, y.ID(): 0}); !res.OK {
+		t.Fatalf("composed OFTM not opaque: %s", res.Reason)
+	}
+	// At least one increment must have committed.
+	vx, err := core.ReadVar(outer, nil, x)
+	if err != nil || vx == 0 {
+		t.Fatalf("no committed increments: x=%d err=%v", vx, err)
+	}
+}

@@ -1,0 +1,188 @@
+package locktm
+
+import (
+	"sort"
+
+	"repro/internal/base"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// GlobalClock is a TL2-style deferred-update STM with a global version
+// clock. Reads are invisible and validated against the clock value
+// sampled at begin; writes are buffered and applied under per-variable
+// locks at commit, stamped with a freshly incremented clock value.
+//
+// The paper singles this design out in §1: "every transaction has to
+// access a common memory location to determine its timestamp" — so the
+// engine is *not* strictly disjoint-access-parallel even for entirely
+// unrelated transactions. Experiment E7 measures exactly this: the
+// clock word shows up as the conflicting base object between
+// t-variable-disjoint transactions.
+type GlobalClock struct {
+	vars  varTable
+	ids   *txnIDs
+	clock *base.U64
+	spin  int
+}
+
+// NewGlobalClock returns a TL2-style STM.
+func NewGlobalClock(opts ...Option) *GlobalClock {
+	cfg := buildConfig(opts)
+	return &GlobalClock{
+		vars:  varTable{env: cfg.env, withVer: true},
+		ids:   newTxnIDs(),
+		clock: base.NewU64(cfg.env, "globalclock", 0),
+		spin:  cfg.spinLimit,
+	}
+}
+
+// Name implements core.TM.
+func (tm *GlobalClock) Name() string { return "tl2" }
+
+// ObstructionFree implements core.TM.
+func (tm *GlobalClock) ObstructionFree() bool { return false }
+
+// NewVar implements core.TM.
+func (tm *GlobalClock) NewVar(name string, init uint64) core.Var {
+	return tm.vars.newVar(name, init)
+}
+
+// Begin implements core.TM.
+func (tm *GlobalClock) Begin(p *sim.Proc) core.Tx {
+	id := tm.ids.take(p)
+	p.SetTx(id)
+	return &gcTx{tm: tm, p: p, id: id, wset: map[*tvar]uint64{}, rset: map[*tvar]bool{}}
+}
+
+type gcTx struct {
+	tm     *GlobalClock
+	p      *sim.Proc
+	id     model.TxID
+	status model.Status
+	rv     uint64 // read version: clock sampled at first operation
+	rvSet  bool
+	rset   map[*tvar]bool
+	wset   map[*tvar]uint64
+}
+
+func (t *gcTx) ID() model.TxID       { return t.id }
+func (t *gcTx) Status() model.Status { return t.status }
+
+// readVersion lazily samples the global clock. Sampling at the first
+// operation (rather than at Begin) keeps the shared access inside a
+// high-level operation, as the paper's model requires; it is the shared
+// access every transaction performs, which is what makes the engine not
+// strictly disjoint-access-parallel.
+func (t *gcTx) readVersion() uint64 {
+	if !t.rvSet {
+		t.rv = t.tm.clock.Read(t.p)
+		t.rvSet = true
+	}
+	return t.rv
+}
+
+func (t *gcTx) abortSelf() error {
+	t.status = model.Aborted
+	t.p.SetTx(model.NoTx)
+	return core.ErrAborted
+}
+
+func (t *gcTx) Read(v core.Var) (uint64, error) {
+	if t.status != model.Live {
+		return 0, core.ErrAborted
+	}
+	tv := mustTvar(&t.tm.vars, v)
+	if val, ok := t.wset[tv]; ok {
+		return val, nil
+	}
+	// The read version MUST be sampled before the variable is examined:
+	// a version observed as <= rv then proves the value predates every
+	// commit after the sample. (Sampling after the value read is the
+	// classic TL2 correctness bug — caught by the safety campaign.)
+	rv := t.readVersion()
+	// TL2 read protocol: sample version+lock, read value, re-validate.
+	if tv.lock.Read(t.p) != 0 {
+		return 0, t.abortSelf()
+	}
+	v1 := tv.ver.Read(t.p)
+	val := tv.val.Read(t.p)
+	if tv.lock.Read(t.p) != 0 || tv.ver.Read(t.p) != v1 || v1 > rv {
+		return 0, t.abortSelf()
+	}
+	t.rset[tv] = true
+	return val, nil
+}
+
+func (t *gcTx) Write(v core.Var, val uint64) error {
+	if t.status != model.Live {
+		return core.ErrAborted
+	}
+	t.wset[mustTvar(&t.tm.vars, v)] = val
+	return nil
+}
+
+func (t *gcTx) Commit() error {
+	if t.status != model.Live {
+		return core.ErrAborted
+	}
+	if len(t.wset) == 0 {
+		// Read-only transactions validated every read against rv.
+		t.status = model.Committed
+		t.p.SetTx(model.NoTx)
+		return nil
+	}
+	// Lock the write set in id order (deadlock avoidance), bounded spin.
+	locked := make([]*tvar, 0, len(t.wset))
+	ordered := make([]*tvar, 0, len(t.wset))
+	for tv := range t.wset {
+		ordered = append(ordered, tv)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].id < ordered[j].id })
+	unlock := func() {
+		for _, tv := range locked {
+			tv.lock.Write(t.p, 0)
+		}
+	}
+	for _, tv := range ordered {
+		if !spinLock(t.p, tv.lock, t.id.Handle(), t.tm.spin) {
+			unlock()
+			return t.abortSelf()
+		}
+		locked = append(locked, tv)
+	}
+	// Increment the global clock: the write that makes every committing
+	// writer conflict with every concurrent transaction's begin-read.
+	wv := t.tm.clock.Add(t.p, 1)
+	// Validate the read set.
+	for tv := range t.rset {
+		if _, mine := t.wset[tv]; !mine {
+			if tv.lock.Read(t.p) != 0 {
+				unlock()
+				return t.abortSelf()
+			}
+		}
+		if tv.ver.Read(t.p) > t.readVersion() {
+			unlock()
+			return t.abortSelf()
+		}
+	}
+	// Write back and stamp.
+	for _, tv := range ordered {
+		tv.val.Write(t.p, t.wset[tv])
+		tv.ver.Write(t.p, wv)
+	}
+	unlock()
+	t.status = model.Committed
+	t.p.SetTx(model.NoTx)
+	return nil
+}
+
+func (t *gcTx) Abort() {
+	if t.status != model.Live {
+		return
+	}
+	t.status = model.Aborted
+	t.p.SetTx(model.NoTx)
+}

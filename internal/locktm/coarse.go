@@ -1,0 +1,127 @@
+package locktm
+
+import (
+	"repro/internal/base"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Coarse serializes every transaction behind one global lock — the
+// "coarse-grained locking" the paper's introduction says transactions
+// are as easy to use as. It is trivially serializable and trivially not
+// scalable; the throughput benchmarks use it as the floor.
+type Coarse struct {
+	vars varTable
+	ids  *txnIDs
+	lock *base.U64
+	spin int
+}
+
+// NewCoarse returns a global-lock STM.
+func NewCoarse(opts ...Option) *Coarse {
+	cfg := buildConfig(opts)
+	return &Coarse{
+		vars: varTable{env: cfg.env},
+		ids:  newTxnIDs(),
+		lock: base.NewU64(cfg.env, "globallock", 0),
+		spin: cfg.spinLimit,
+	}
+}
+
+// Name implements core.TM.
+func (tm *Coarse) Name() string { return "coarse" }
+
+// ObstructionFree implements core.TM.
+func (tm *Coarse) ObstructionFree() bool { return false }
+
+// NewVar implements core.TM.
+func (tm *Coarse) NewVar(name string, init uint64) core.Var {
+	return tm.vars.newVar(name, init)
+}
+
+// Begin implements core.TM. The global lock is taken lazily by the
+// first operation so that Begin itself cannot block.
+func (tm *Coarse) Begin(p *sim.Proc) core.Tx {
+	id := tm.ids.take(p)
+	p.SetTx(id)
+	return &coarseTx{tm: tm, p: p, id: id, undo: map[*tvar]uint64{}}
+}
+
+type coarseTx struct {
+	tm     *Coarse
+	p      *sim.Proc
+	id     model.TxID
+	status model.Status
+	held   bool
+	undo   map[*tvar]uint64
+}
+
+func (t *coarseTx) ID() model.TxID       { return t.id }
+func (t *coarseTx) Status() model.Status { return t.status }
+
+func (t *coarseTx) enter() error {
+	if t.held {
+		return nil
+	}
+	if !spinLock(t.p, t.tm.lock, t.id.Handle(), t.tm.spin) {
+		t.status = model.Aborted
+		t.p.SetTx(model.NoTx)
+		return core.ErrAborted
+	}
+	t.held = true
+	return nil
+}
+
+func (t *coarseTx) leave() {
+	if t.held {
+		t.tm.lock.Write(t.p, 0)
+		t.held = false
+	}
+	t.p.SetTx(model.NoTx)
+}
+
+func (t *coarseTx) Read(v core.Var) (uint64, error) {
+	if t.status != model.Live {
+		return 0, core.ErrAborted
+	}
+	if err := t.enter(); err != nil {
+		return 0, err
+	}
+	return mustTvar(&t.tm.vars, v).val.Read(t.p), nil
+}
+
+func (t *coarseTx) Write(v core.Var, val uint64) error {
+	if t.status != model.Live {
+		return core.ErrAborted
+	}
+	if err := t.enter(); err != nil {
+		return err
+	}
+	tv := mustTvar(&t.tm.vars, v)
+	if _, ok := t.undo[tv]; !ok {
+		t.undo[tv] = tv.val.Read(t.p)
+	}
+	tv.val.Write(t.p, val)
+	return nil
+}
+
+func (t *coarseTx) Commit() error {
+	if t.status != model.Live {
+		return core.ErrAborted
+	}
+	t.status = model.Committed
+	t.leave()
+	return nil
+}
+
+func (t *coarseTx) Abort() {
+	if t.status != model.Live {
+		return
+	}
+	for tv, old := range t.undo {
+		tv.val.Write(t.p, old)
+	}
+	t.status = model.Aborted
+	t.leave()
+}

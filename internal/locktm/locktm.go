@@ -1,0 +1,152 @@
+// Package locktm provides the lock-based STM baselines the paper's
+// introduction contrasts with OFTMs:
+//
+//   - TwoPhase: encounter-time exclusive locking (strict two-phase
+//     locking, in the spirit of TL [11]). It is strictly
+//     disjoint-access-parallel — transactions on disjoint t-variables
+//     touch disjoint base objects — but not obstruction-free: a
+//     suspended lock holder blocks everyone behind it.
+//   - GlobalClock: a TL2-style [10] deferred-update STM with a global
+//     version clock. Not strictly disjoint-access-parallel (every
+//     transaction reads the clock and every committing writer bumps it —
+//     the paper's example of a timestamp hot spot), and not
+//     obstruction-free.
+//   - Coarse: one global lock around every transaction; the simplest
+//     correct TM and the scalability strawman.
+//
+// All three abort only by self-abort after a bounded lock spin, so a
+// caller using core.Run sees livelock as repeated ErrAborted — which is
+// precisely how the non-obstruction-freedom of locking shows up in the
+// Figure 2 experiment: with the lock holder suspended, retries never
+// succeed.
+package locktm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/base"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Option configures the engines.
+type Option func(*config)
+
+type config struct {
+	env       *sim.Env
+	spinLimit int
+}
+
+// WithEnv runs the engine's base objects in the given simulation
+// environment (sim mode). Default is raw mode.
+func WithEnv(env *sim.Env) Option {
+	return func(c *config) { c.env = env }
+}
+
+// WithSpinLimit bounds how many times a transaction retries a lock
+// acquisition before self-aborting. The default is 64 in sim mode and
+// 1024 in raw mode.
+func WithSpinLimit(n int) Option {
+	return func(c *config) { c.spinLimit = n }
+}
+
+func buildConfig(opts []Option) config {
+	c := config{spinLimit: -1}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.spinLimit < 0 {
+		if c.env != nil {
+			c.spinLimit = 64
+		} else {
+			c.spinLimit = 1024
+		}
+	}
+	return c
+}
+
+// tvar is the per-variable storage shared by the lock-based engines:
+// a value word, an exclusive lock word (0 = free, else transaction
+// handle), and a version word (used by GlobalClock only).
+type tvar struct {
+	owner *varTable
+	id    model.VarID
+	name  string
+	val   *base.U64
+	lock  *base.U64
+	ver   *base.U64
+}
+
+func (v *tvar) ID() model.VarID { return v.id }
+func (v *tvar) Name() string    { return v.name }
+
+// varTable allocates tvars for one engine instance.
+type varTable struct {
+	mu   sync.Mutex
+	env  *sim.Env
+	vars []*tvar
+	// withVer controls whether a version word is allocated.
+	withVer bool
+}
+
+func (t *varTable) newVar(name string, init uint64) *tvar {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := model.VarID(len(t.vars))
+	v := &tvar{
+		owner: t,
+		id:    id,
+		name:  name,
+		val:   base.NewU64(t.env, name+".val", init),
+		lock:  base.NewU64(t.env, name+".lock", 0),
+	}
+	if t.withVer {
+		v.ver = base.NewU64(t.env, name+".ver", 0)
+	}
+	t.vars = append(t.vars, v)
+	return v
+}
+
+// txnIDs hands out per-process transaction identifiers. In raw mode all
+// goroutines share process id 0 and take ids from a lock-free counter;
+// sim mode uses per-process counters under a mutex.
+type txnIDs struct {
+	mu   sync.Mutex
+	next map[model.ProcID]int
+	raw  atomic.Int64
+}
+
+func newTxnIDs() *txnIDs { return &txnIDs{next: map[model.ProcID]int{}} }
+
+func (t *txnIDs) take(p *sim.Proc) model.TxID {
+	if p == nil {
+		return model.TxID{Proc: 0, Seq: int(t.raw.Add(1))}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pid := p.ID()
+	t.next[pid]++
+	return model.TxID{Proc: pid, Seq: t.next[pid]}
+}
+
+func mustTvar(t *varTable, v core.Var) *tvar {
+	tv, ok := v.(*tvar)
+	if !ok || tv.owner != t {
+		panic(fmt.Sprintf("locktm: variable %v belongs to a different TM", v))
+	}
+	return tv
+}
+
+// spinLock repeatedly CASes the lock word from 0 to handle, giving up
+// after limit attempts. Each attempt is one step.
+func spinLock(p *sim.Proc, l *base.U64, handle uint64, limit int) bool {
+	for i := 0; i < limit; i++ {
+		if l.CAS(p, 0, handle) {
+			return true
+		}
+	}
+	return false
+}

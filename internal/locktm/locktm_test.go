@@ -1,0 +1,170 @@
+package locktm_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locktm"
+	"repro/internal/sim"
+	"repro/internal/tmtest"
+)
+
+func TestTwoPhaseConformance(t *testing.T) {
+	tmtest.Conformance(t, func(env *sim.Env) core.TM {
+		if env == nil {
+			return locktm.NewTwoPhase()
+		}
+		return locktm.NewTwoPhase(locktm.WithEnv(env))
+	})
+}
+
+func TestGlobalClockConformance(t *testing.T) {
+	tmtest.Conformance(t, func(env *sim.Env) core.TM {
+		if env == nil {
+			return locktm.NewGlobalClock()
+		}
+		return locktm.NewGlobalClock(locktm.WithEnv(env))
+	})
+}
+
+func TestCoarseConformance(t *testing.T) {
+	tmtest.Conformance(t, func(env *sim.Env) core.TM {
+		if env == nil {
+			return locktm.NewCoarse()
+		}
+		return locktm.NewCoarse(locktm.WithEnv(env))
+	})
+}
+
+// TestSuspendedLockHolderBlocksOthers is the negative side of
+// obstruction-freedom: under two-phase locking, a transaction suspended
+// while holding a lock starves every later transaction on the same
+// variable — exactly the failure mode the paper's OFTMs rule out.
+func TestSuspendedLockHolderBlocksOthers(t *testing.T) {
+	env := sim.New()
+	tm := locktm.NewTwoPhase(locktm.WithEnv(env), locktm.WithSpinLimit(8))
+	x := tm.NewVar("x", 0)
+
+	env.Spawn(func(p *sim.Proc) { // p1: acquires x, then is suspended
+		tx := tm.Begin(p)
+		_ = tx.Write(x, 1)
+		// Never commits: the scheduler suspends p1 here.
+		tx2 := tm.Begin(p)
+		_, _ = tx2.Read(x)
+	})
+	var p2err error
+	env.Spawn(func(p *sim.Proc) { // p2: tries to access x, must fail
+		p2err = core.Run(tm, p, func(tx core.Tx) error {
+			_, err := tx.Read(x)
+			return err
+		}, core.MaxAttempts(5))
+	})
+	// p1 runs long enough to take the lock (spin CAS + value ops), then
+	// p2 runs alone.
+	env.Run(sim.Script(
+		sim.Phase{Proc: 1, Steps: 3},
+		sim.Phase{Proc: 2, Steps: -1},
+	))
+	if !errors.Is(p2err, core.ErrAborted) {
+		t.Fatalf("p2 should starve behind the suspended lock holder, got %v", p2err)
+	}
+}
+
+// TestGlobalClockReadValidation: a transaction that began before a
+// concurrent writer committed must abort if it would read the new value
+// past its read version... and a fresh transaction sees the new value.
+func TestGlobalClockReadValidation(t *testing.T) {
+	tm := locktm.NewGlobalClock()
+	x := tm.NewVar("x", 1)
+	y := tm.NewVar("y", 0)
+
+	old := tm.Begin(nil)
+	// Pin old's read version at 0 by performing a first read now.
+	if _, err := old.Read(y); err != nil {
+		t.Fatal(err)
+	}
+	// Writer commits, bumping the clock and x's version to 1 > 0.
+	if err := core.Run(tm, nil, func(tx core.Tx) error { return tx.Write(x, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Read(x); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("stale-rv read must abort, got %v", err)
+	}
+	v, err := core.ReadVar(tm, nil, x)
+	if err != nil || v != 2 {
+		t.Fatalf("fresh read: %d (%v), want 2", v, err)
+	}
+}
+
+func TestForeignVarPanics(t *testing.T) {
+	tm1 := locktm.NewTwoPhase()
+	tm2 := locktm.NewCoarse()
+	x := tm2.NewVar("x", 0)
+	tx := tm1.Begin(nil)
+	defer tx.Abort()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("foreign var must panic")
+		}
+	}()
+	_, _ = tx.Read(x)
+}
+
+func TestCoarseSingleLockSerializesEverything(t *testing.T) {
+	env := sim.New()
+	tm := locktm.NewCoarse(locktm.WithEnv(env), locktm.WithSpinLimit(4))
+	x := tm.NewVar("x", 0)
+	y := tm.NewVar("y", 0)
+	// Even transactions on disjoint variables contend: p1 holds the
+	// global lock (suspended), p2 touching only y still aborts.
+	env.Spawn(func(p *sim.Proc) {
+		tx := tm.Begin(p)
+		_ = tx.Write(x, 1)
+		_ = tx.Commit()
+	})
+	var p2err error
+	env.Spawn(func(p *sim.Proc) {
+		p2err = core.Run(tm, p, func(tx core.Tx) error {
+			_, err := tx.Read(y)
+			return err
+		}, core.MaxAttempts(3))
+	})
+	env.Run(sim.Script(
+		sim.Phase{Proc: 1, Steps: 2}, // p1 acquires the global lock
+		sim.Phase{Proc: 2, Steps: -1},
+	))
+	if !errors.Is(p2err, core.ErrAborted) {
+		t.Fatalf("disjoint-variable transaction should still starve under coarse lock, got %v", p2err)
+	}
+}
+
+func TestSafetyCampaignTwoPhase(t *testing.T) {
+	tmtest.SafetyCampaign(t, func(env *sim.Env) core.TM {
+		return locktm.NewTwoPhase(locktm.WithEnv(env))
+	}, tmtest.CampaignConfig{Seeds: 15})
+}
+
+func TestSafetyCampaignGlobalClock(t *testing.T) {
+	tmtest.SafetyCampaign(t, func(env *sim.Env) core.TM {
+		return locktm.NewGlobalClock(locktm.WithEnv(env))
+	}, tmtest.CampaignConfig{Seeds: 15})
+}
+
+func TestSafetyCampaignCoarse(t *testing.T) {
+	tmtest.SafetyCampaign(t, func(env *sim.Env) core.TM {
+		return locktm.NewCoarse(locktm.WithEnv(env))
+	}, tmtest.CampaignConfig{Seeds: 15})
+}
+
+// TestCrashCampaignLockBased: lock-based engines under crashes — only
+// safety is required (survivors may starve, which is the point of the
+// paper's obstruction-freedom).
+func TestCrashCampaignLockBased(t *testing.T) {
+	tmtest.CrashCampaign(t, func(env *sim.Env) core.TM {
+		return locktm.NewTwoPhase(locktm.WithEnv(env), locktm.WithSpinLimit(16))
+	}, 15)
+	tmtest.CrashCampaign(t, func(env *sim.Env) core.TM {
+		return locktm.NewGlobalClock(locktm.WithEnv(env), locktm.WithSpinLimit(16))
+	}, 15)
+}

@@ -1,0 +1,134 @@
+package locktm
+
+import (
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// TwoPhase is the strict two-phase-locking STM: every access (read or
+// write) first acquires the variable's exclusive lock; locks are held
+// until commit or abort; writes are in-place with an undo log. Because a
+// transaction only ever touches the lock and value words of the
+// t-variables it accesses, TwoPhase is strictly disjoint-access-parallel
+// (Definition 12) — the property Theorem 13 proves no OFTM can have.
+type TwoPhase struct {
+	vars varTable
+	ids  *txnIDs
+	spin int
+}
+
+// NewTwoPhase returns a two-phase-locking STM.
+func NewTwoPhase(opts ...Option) *TwoPhase {
+	cfg := buildConfig(opts)
+	return &TwoPhase{
+		vars: varTable{env: cfg.env},
+		ids:  newTxnIDs(),
+		spin: cfg.spinLimit,
+	}
+}
+
+// Name implements core.TM.
+func (tm *TwoPhase) Name() string { return "2pl" }
+
+// ObstructionFree implements core.TM: locking is not obstruction-free.
+func (tm *TwoPhase) ObstructionFree() bool { return false }
+
+// NewVar implements core.TM.
+func (tm *TwoPhase) NewVar(name string, init uint64) core.Var {
+	return tm.vars.newVar(name, init)
+}
+
+// Begin implements core.TM.
+func (tm *TwoPhase) Begin(p *sim.Proc) core.Tx {
+	id := tm.ids.take(p)
+	p.SetTx(id)
+	return &tpTx{tm: tm, p: p, id: id, undo: map[*tvar]uint64{}, locked: map[*tvar]bool{}}
+}
+
+type tpTx struct {
+	tm     *TwoPhase
+	p      *sim.Proc
+	id     model.TxID
+	status model.Status
+	locked map[*tvar]bool
+	undo   map[*tvar]uint64 // first-write old values, for rollback
+	order  []*tvar          // lock acquisition order, for release
+}
+
+func (t *tpTx) ID() model.TxID       { return t.id }
+func (t *tpTx) Status() model.Status { return t.status }
+
+func (t *tpTx) acquire(v *tvar) error {
+	if t.locked[v] {
+		return nil
+	}
+	if !spinLock(t.p, v.lock, t.id.Handle(), t.tm.spin) {
+		t.rollback()
+		return core.ErrAborted
+	}
+	t.locked[v] = true
+	t.order = append(t.order, v)
+	return nil
+}
+
+func (t *tpTx) rollback() {
+	for v, old := range t.undo {
+		v.val.Write(t.p, old)
+	}
+	t.release()
+	t.status = model.Aborted
+	t.p.SetTx(model.NoTx)
+}
+
+func (t *tpTx) release() {
+	for _, v := range t.order {
+		v.lock.Write(t.p, 0)
+	}
+	t.order = nil
+	t.locked = map[*tvar]bool{}
+}
+
+func (t *tpTx) Read(v core.Var) (uint64, error) {
+	if t.status != model.Live {
+		return 0, core.ErrAborted
+	}
+	tv := mustTvar(&t.tm.vars, v)
+	if err := t.acquire(tv); err != nil {
+		return 0, err
+	}
+	return tv.val.Read(t.p), nil
+}
+
+func (t *tpTx) Write(v core.Var, val uint64) error {
+	if t.status != model.Live {
+		return core.ErrAborted
+	}
+	tv := mustTvar(&t.tm.vars, v)
+	if err := t.acquire(tv); err != nil {
+		return err
+	}
+	if _, ok := t.undo[tv]; !ok {
+		t.undo[tv] = tv.val.Read(t.p)
+	}
+	tv.val.Write(t.p, val)
+	return nil
+}
+
+func (t *tpTx) Commit() error {
+	if t.status != model.Live {
+		return core.ErrAborted
+	}
+	t.status = model.Committed
+	t.undo = map[*tvar]uint64{}
+	t.release()
+	t.p.SetTx(model.NoTx)
+	return nil
+}
+
+func (t *tpTx) Abort() {
+	if t.status != model.Live {
+		return
+	}
+	t.rollback()
+}

@@ -1,0 +1,226 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// History is a low-level history in the sense of §2.1: the sequence of
+// all high-level TM operation events and all steps on base objects, in a
+// single total order given by their timestamps. Ops and Steps are each
+// kept in time order; merging by Time yields the full sequence E, and
+// Ops alone is the corresponding high-level history E|H.
+type History struct {
+	Ops   []Op
+	Steps []Step
+}
+
+// OpsOf returns the subsequence H|T of operations of one transaction.
+func (h *History) OpsOf(tx TxID) []Op {
+	var out []Op
+	for _, o := range h.Ops {
+		if o.Tx == tx {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// StepsOf returns the steps executed by one process, in order.
+func (h *History) StepsOf(p ProcID) []Step {
+	var out []Step
+	for _, s := range h.Steps {
+		if s.Proc == p {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// StepsBetween returns the steps with from < Time < to, by any process in
+// procs (or by any process at all if procs is nil).
+func (h *History) StepsBetween(from, to int64, procs func(ProcID) bool) []Step {
+	var out []Step
+	for _, s := range h.Steps {
+		if s.Time > from && s.Time < to && (procs == nil || procs(s.Proc)) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// String renders the merged history, one event per line, for debugging
+// and for the trace renderer.
+func (h *History) String() string {
+	type line struct {
+		t int64
+		s string
+	}
+	var lines []line
+	for _, o := range h.Ops {
+		lines = append(lines, line{o.Inv, fmt.Sprintf("inv  %v", o)})
+		if !o.Pending() {
+			lines = append(lines, line{o.Resp, fmt.Sprintf("resp %v", o)})
+		}
+	}
+	for _, s := range h.Steps {
+		lines = append(lines, line{s.Time, fmt.Sprintf("step %v", s)})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].t < lines[j].t })
+	var b strings.Builder
+	for _, l := range lines {
+		fmt.Fprintf(&b, "%4d %s\n", l.t, l.s)
+	}
+	return b.String()
+}
+
+// WellFormedness violations are reported as errors by History.WellFormed.
+//
+// A high-level history is well-formed if at each process operations do
+// not overlap (invocation, response, invocation, response, ...), and a
+// low-level history additionally requires that steps only occur between
+// an invocation and its matching response (§2.1).
+func (h *History) WellFormed() error {
+	// Per process, merge that process's op events and steps and check the
+	// alternation discipline.
+	type ev struct {
+		t      int64
+		isStep bool
+		inv    bool // for op events: invocation (true) or response (false)
+		op     Op
+	}
+	byProc := map[ProcID][]ev{}
+	for _, o := range h.Ops {
+		byProc[o.Proc] = append(byProc[o.Proc], ev{t: o.Inv, inv: true, op: o})
+		if !o.Pending() {
+			byProc[o.Proc] = append(byProc[o.Proc], ev{t: o.Resp, inv: false, op: o})
+		}
+	}
+	for _, s := range h.Steps {
+		byProc[s.Proc] = append(byProc[s.Proc], ev{t: s.Time, isStep: true})
+	}
+	for p, evs := range byProc {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+		open := false
+		for _, e := range evs {
+			switch {
+			case e.isStep:
+				if !open {
+					return fmt.Errorf("model: process %v executes a step outside any high-level operation at t=%d", p, e.t)
+				}
+			case e.inv:
+				if open {
+					return fmt.Errorf("model: process %v invokes %v while another operation is pending", p, e.op)
+				}
+				open = true
+			default:
+				if !open {
+					return fmt.Errorf("model: process %v responds %v without invocation", p, e.op)
+				}
+				open = false
+			}
+		}
+	}
+	// No two operations of the same transaction may overlap, and a
+	// transaction executes at a single process.
+	procOf := map[TxID]ProcID{}
+	for _, o := range h.Ops {
+		if prev, ok := procOf[o.Tx]; ok && prev != o.Proc {
+			return fmt.Errorf("model: transaction %v executed by both %v and %v", o.Tx, prev, o.Proc)
+		}
+		procOf[o.Tx] = o.Proc
+	}
+	// Completed transactions take no further actions.
+	done := map[TxID]int64{}
+	for _, o := range h.Ops {
+		if o.Pending() {
+			continue
+		}
+		if o.Kind == OpTryCommit && !o.Aborted || o.Aborted {
+			if prev, ok := done[o.Tx]; !ok || o.Resp < prev {
+				done[o.Tx] = o.Resp
+			}
+		}
+	}
+	for _, o := range h.Ops {
+		if end, ok := done[o.Tx]; ok && o.Inv > end {
+			return fmt.Errorf("model: transaction %v issues %v after completing at t=%d", o.Tx, o, end)
+		}
+	}
+	return nil
+}
+
+// Recorder collects a History from a running system. It is safe for
+// concurrent use: engines running in raw (non-simulated) mode record
+// from many goroutines. The recorder shares a Clock with the simulation
+// environment so that operation events and steps are totally ordered.
+type Recorder struct {
+	mu    sync.Mutex
+	clock *Clock
+	hist  History
+	// pending invocation times for in-flight operations keyed by (proc).
+	inflight map[ProcID]int64
+}
+
+// NewRecorder returns a recorder stamping events with the given clock.
+func NewRecorder(clock *Clock) *Recorder {
+	return &Recorder{clock: clock, inflight: map[ProcID]int64{}}
+}
+
+// Clock returns the recorder's clock.
+func (r *Recorder) Clock() *Clock { return r.clock }
+
+// Invoke stamps and registers the invocation of a high-level operation
+// by proc. It returns the invocation time to be passed to Respond.
+func (r *Recorder) Invoke(proc ProcID) int64 {
+	t := r.clock.Tick()
+	r.mu.Lock()
+	r.inflight[proc] = t
+	r.mu.Unlock()
+	return t
+}
+
+// Respond stamps the response and appends the completed operation.
+func (r *Recorder) Respond(inv int64, op Op) {
+	op.Inv = inv
+	op.Resp = r.clock.Tick()
+	r.mu.Lock()
+	delete(r.inflight, op.Proc)
+	r.hist.Ops = append(r.hist.Ops, op)
+	r.mu.Unlock()
+}
+
+// Cut records an operation that was invoked but will never respond (the
+// process crashed or the run was stopped): a pending operation.
+func (r *Recorder) Cut(inv int64, op Op) {
+	op.Inv = inv
+	op.Resp = -1
+	r.mu.Lock()
+	delete(r.inflight, op.Proc)
+	r.hist.Ops = append(r.hist.Ops, op)
+	r.mu.Unlock()
+}
+
+// RecordStep appends a low-level step, stamping it with the clock.
+func (r *Recorder) RecordStep(s Step) {
+	s.Time = r.clock.Tick()
+	r.mu.Lock()
+	r.hist.Steps = append(r.hist.Steps, s)
+	r.mu.Unlock()
+}
+
+// History returns a snapshot of the recorded history with Ops and Steps
+// sorted by time.
+func (r *Recorder) History() *History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := &History{
+		Ops:   append([]Op(nil), r.hist.Ops...),
+		Steps: append([]Step(nil), r.hist.Steps...),
+	}
+	sort.Slice(out.Ops, func(i, j int) bool { return out.Ops[i].Inv < out.Ops[j].Inv })
+	sort.Slice(out.Steps, func(i, j int) bool { return out.Steps[i].Time < out.Steps[j].Time })
+	return out
+}

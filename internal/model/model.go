@@ -1,0 +1,185 @@
+// Package model defines the formal vocabulary of the paper "On
+// Obstruction-Free Transactions" (Guerraoui & Kapałka, SPAA 2008):
+// processes, transactions, transactional variables, high-level operation
+// events, low-level steps on base objects, and histories (§2 of the
+// paper). The checker package interprets these structures to decide
+// serializability (Definition 1), opacity (Appendix B), obstruction
+// freedom (Definition 2) and strict disjoint-access-parallelism
+// (Definition 12).
+package model
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ProcID identifies a process p_i. Process ids are small dense integers
+// starting at 1, matching the paper's p_1 ... p_n notation. ProcID 0 is
+// reserved to mean "no process" (e.g. unmonitored raw-mode accesses).
+type ProcID int
+
+// String renders the id in the paper's notation, e.g. "p3".
+func (p ProcID) String() string { return fmt.Sprintf("p%d", int(p)) }
+
+// TxID identifies a transaction T_{i,k}: transaction number k executed by
+// process p_i. The paper notes (footnote 3) that identifiers of this shape
+// can be generated locally by combining the process id with a per-process
+// counter; that is exactly what the engines in this repository do.
+type TxID struct {
+	Proc ProcID // process executing the transaction (pE(T))
+	Seq  int    // per-process transaction counter, starting at 1
+}
+
+// NoTx is the zero TxID, used to tag steps executed outside any
+// transaction (for example, test setup).
+var NoTx = TxID{}
+
+// IsZero reports whether the id is NoTx.
+func (t TxID) IsZero() bool { return t == NoTx }
+
+// String renders the id in the paper's notation, e.g. "T3.2" for the
+// second transaction of process p3.
+func (t TxID) String() string {
+	if t.IsZero() {
+		return "T?"
+	}
+	return fmt.Sprintf("T%d.%d", int(t.Proc), t.Seq)
+}
+
+// Handle packs the TxID into a single non-zero word so that transaction
+// identifiers can be proposed to fo-consensus objects and stored in
+// registers, which hold uint64 values. Handle(NoTx) == 0.
+func (t TxID) Handle() uint64 {
+	return uint64(t.Proc)<<32 | uint64(uint32(t.Seq))
+}
+
+// TxFromHandle reverses TxID.Handle.
+func TxFromHandle(h uint64) TxID {
+	if h == 0 {
+		return NoTx
+	}
+	return TxID{Proc: ProcID(h >> 32), Seq: int(uint32(h))}
+}
+
+// VarID identifies a transactional variable (t-variable). Ids are dense
+// indices assigned by each TM engine in creation order.
+type VarID int
+
+// String renders the id as "x0", "x1", ...
+func (v VarID) String() string { return fmt.Sprintf("x%d", int(v)) }
+
+// ObjID identifies a base object (a low-level shared memory location such
+// as a register, CAS cell or fo-consensus object). Base objects are
+// registered with the simulation environment, which assigns dense ids.
+type ObjID int
+
+// OpKind enumerates the operations of the TM external interface (§2.2):
+// reading or writing a t-variable within a transaction, and requesting
+// commit (tryC) or abort (tryA).
+type OpKind int
+
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpTryCommit
+	OpTryAbort
+)
+
+// String returns the paper's name for the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "R"
+	case OpWrite:
+		return "W"
+	case OpTryCommit:
+		return "tryC"
+	case OpTryAbort:
+		return "tryA"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op records one completed high-level TM operation: the invocation and
+// the matching response, with global timestamps that interleave with
+// low-level steps. A response of A_k (the transaction was aborted) is
+// recorded by Aborted == true.
+type Op struct {
+	Proc    ProcID
+	Tx      TxID
+	Kind    OpKind
+	Var     VarID  // for OpRead / OpWrite
+	Arg     uint64 // value written, for OpWrite
+	Ret     uint64 // value returned, for OpRead
+	Aborted bool   // response was the abort event A_k
+	Inv     int64  // global time of the invocation event
+	Resp    int64  // global time of the response event; -1 if pending
+}
+
+// Pending reports whether the operation has an invocation but no
+// response yet. Histories produced by the recorder only contain pending
+// entries for operations cut off by a crash or suspension.
+func (o Op) Pending() bool { return o.Resp < 0 }
+
+// String renders the operation in the paper's figure notation, e.g.
+// "T1.1 R(x0):5" or "T2.3 tryC -> A".
+func (o Op) String() string {
+	suffix := ""
+	if o.Aborted {
+		suffix = " -> A"
+	}
+	switch o.Kind {
+	case OpRead:
+		if o.Aborted {
+			return fmt.Sprintf("%v R(%v)%s", o.Tx, o.Var, suffix)
+		}
+		return fmt.Sprintf("%v R(%v):%d", o.Tx, o.Var, o.Ret)
+	case OpWrite:
+		return fmt.Sprintf("%v W(%v,%d)%s", o.Tx, o.Var, o.Arg, suffix)
+	case OpTryCommit:
+		if o.Aborted {
+			return fmt.Sprintf("%v tryC -> A", o.Tx)
+		}
+		if o.Pending() {
+			return fmt.Sprintf("%v tryC -> ?", o.Tx)
+		}
+		return fmt.Sprintf("%v tryC -> C", o.Tx)
+	case OpTryAbort:
+		return fmt.Sprintf("%v tryA -> A", o.Tx)
+	}
+	return fmt.Sprintf("%v op?", o.Tx)
+}
+
+// Step records one low-level event: an operation executed on a base
+// object by a process, on behalf of whatever transaction that process was
+// executing at the time (NoTx if none). Steps are what Definition 2's
+// step contention is about.
+type Step struct {
+	Proc  ProcID
+	Tx    TxID
+	Obj   ObjID
+	Name  string // base-object operation, e.g. "read", "cas", "propose"
+	Write bool   // whether the operation may modify the base object state
+	Time  int64  // global time
+}
+
+// String renders the step, e.g. "p1/T1.1 cas(obj3)".
+func (s Step) String() string {
+	return fmt.Sprintf("%v/%v %s(obj%d)", s.Proc, s.Tx, s.Name, int(s.Obj))
+}
+
+// Clock is a shared monotonic counter producing the total order on events
+// that §2.1 of the paper assumes ("all events can be totally ordered
+// according to their execution time"). A single Clock is shared between
+// the simulation environment (which stamps steps) and the operation
+// recorder (which stamps invocation and response events).
+type Clock struct{ c atomic.Int64 }
+
+// NewClock returns a clock starting at time 1.
+func NewClock() *Clock { return &Clock{} }
+
+// Tick advances the clock and returns the new time.
+func (c *Clock) Tick() int64 { return c.c.Add(1) }
+
+// Now returns the current time without advancing.
+func (c *Clock) Now() int64 { return c.c.Load() }

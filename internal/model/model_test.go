@@ -1,0 +1,292 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTxIDHandleRoundTrip(t *testing.T) {
+	cases := []TxID{
+		{Proc: 1, Seq: 1},
+		{Proc: 3, Seq: 42},
+		{Proc: 255, Seq: 1 << 20},
+	}
+	for _, id := range cases {
+		if got := TxFromHandle(id.Handle()); got != id {
+			t.Errorf("round trip %v -> %d -> %v", id, id.Handle(), got)
+		}
+	}
+	if TxFromHandle(0) != NoTx {
+		t.Errorf("handle 0 must decode to NoTx")
+	}
+	if NoTx.Handle() != 0 {
+		t.Errorf("NoTx must encode to 0")
+	}
+}
+
+func TestTxIDHandleRoundTripQuick(t *testing.T) {
+	f := func(p uint8, seq uint16) bool {
+		id := TxID{Proc: ProcID(p) + 1, Seq: int(seq) + 1}
+		return TxFromHandle(id.Handle()) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxIDString(t *testing.T) {
+	id := TxID{Proc: 2, Seq: 7}
+	if id.String() != "T2.7" {
+		t.Errorf("got %q", id.String())
+	}
+	if ProcID(4).String() != "p4" {
+		t.Errorf("got %q", ProcID(4).String())
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	c := NewClock()
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		n := c.Tick()
+		if n <= prev {
+			t.Fatalf("clock not monotonic: %d after %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+// buildHistory assembles a small committed history:
+//
+//	T1.1: W(x0,5), tryC -> C
+//	T2.1: R(x0):5, tryC -> C
+func buildHistory() *History {
+	c := NewClock()
+	r := NewRecorder(c)
+	t1 := TxID{Proc: 1, Seq: 1}
+	t2 := TxID{Proc: 2, Seq: 1}
+
+	inv := r.Invoke(1)
+	r.Respond(inv, Op{Proc: 1, Tx: t1, Kind: OpWrite, Var: 0, Arg: 5})
+	inv = r.Invoke(1)
+	r.Respond(inv, Op{Proc: 1, Tx: t1, Kind: OpTryCommit})
+
+	inv = r.Invoke(2)
+	r.Respond(inv, Op{Proc: 2, Tx: t2, Kind: OpRead, Var: 0, Ret: 5})
+	inv = r.Invoke(2)
+	r.Respond(inv, Op{Proc: 2, Tx: t2, Kind: OpTryCommit})
+	return r.History()
+}
+
+func TestRecorderAndTransactions(t *testing.T) {
+	h := buildHistory()
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("well-formedness: %v", err)
+	}
+	txs := Transactions(h)
+	if len(txs) != 2 {
+		t.Fatalf("want 2 transactions, got %d", len(txs))
+	}
+	t1, t2 := txs[0], txs[1]
+	if t1.Status != Committed || t2.Status != Committed {
+		t.Fatalf("statuses: %v %v", t1.Status, t2.Status)
+	}
+	if t1.Writes[0] != 5 {
+		t.Errorf("t1 writes: %v", t1.Writes)
+	}
+	if len(t2.Reads) != 1 || t2.Reads[0].Val != 5 {
+		t.Errorf("t2 reads: %v", t2.Reads)
+	}
+	if !Precedes(t1, t2) {
+		t.Errorf("t1 should precede t2 in real time")
+	}
+	if Precedes(t2, t1) {
+		t.Errorf("t2 must not precede t1")
+	}
+}
+
+func TestLegality(t *testing.T) {
+	h := buildHistory()
+	txs := Transactions(h)
+	if !Legal(txs, nil) {
+		t.Errorf("T1 then T2 should be legal")
+	}
+	if Legal([]*TxView{txs[1], txs[0]}, nil) {
+		t.Errorf("T2 before T1 reads 5 from initial state; must be illegal")
+	}
+	if Legal([]*TxView{txs[1]}, nil) {
+		t.Errorf("T2 alone must be illegal (reads 5, initial is 0)")
+	}
+	if Legal([]*TxView{txs[1]}, map[VarID]uint64{0: 5}) == false {
+		t.Errorf("T2 alone with init x0=5 should be legal")
+	}
+}
+
+func TestReadsLegalLocalOverlay(t *testing.T) {
+	// A transaction that writes then reads its own value must be legal
+	// regardless of the shared state.
+	tx := TxID{Proc: 1, Seq: 1}
+	tv := &TxView{
+		ID:     tx,
+		Writes: map[VarID]uint64{0: 9},
+		Ops: []Op{
+			{Tx: tx, Kind: OpWrite, Var: 0, Arg: 9, Inv: 1, Resp: 2},
+			{Tx: tx, Kind: OpRead, Var: 0, Ret: 9, Inv: 3, Resp: 4},
+		},
+	}
+	if !ReadsLegal(tv, NewVarState(nil)) {
+		t.Errorf("read-own-write must be legal")
+	}
+	tv.Ops[1].Ret = 7
+	if ReadsLegal(tv, NewVarState(nil)) {
+		t.Errorf("read-own-write returning a different value must be illegal")
+	}
+}
+
+func TestForcedAbortDetection(t *testing.T) {
+	c := NewClock()
+	r := NewRecorder(c)
+	t1 := TxID{Proc: 1, Seq: 1}
+	t2 := TxID{Proc: 2, Seq: 1}
+	// T1 aborted without tryA: forceful. T2 invokes tryA: not forceful.
+	inv := r.Invoke(1)
+	r.Respond(inv, Op{Proc: 1, Tx: t1, Kind: OpRead, Var: 0, Aborted: true})
+	inv = r.Invoke(2)
+	r.Respond(inv, Op{Proc: 2, Tx: t2, Kind: OpTryAbort, Aborted: true})
+	txs := Transactions(r.History())
+	byID := map[TxID]*TxView{}
+	for _, tv := range txs {
+		byID[tv.ID] = tv
+	}
+	if !byID[t1].ForcedAbort {
+		t.Errorf("T1 must be forcefully aborted")
+	}
+	if byID[t2].ForcedAbort {
+		t.Errorf("T2 invoked tryA; not forceful")
+	}
+	if byID[t1].Status != Aborted || byID[t2].Status != Aborted {
+		t.Errorf("both must be aborted")
+	}
+}
+
+func TestCommitPending(t *testing.T) {
+	c := NewClock()
+	r := NewRecorder(c)
+	t1 := TxID{Proc: 1, Seq: 1}
+	inv := r.Invoke(1)
+	r.Respond(inv, Op{Proc: 1, Tx: t1, Kind: OpWrite, Var: 0, Arg: 1})
+	inv = r.Invoke(1)
+	r.Cut(inv, Op{Proc: 1, Tx: t1, Kind: OpTryCommit})
+	txs := Transactions(r.History())
+	if len(txs) != 1 {
+		t.Fatalf("want 1 tx")
+	}
+	if !txs[0].CommitPending {
+		t.Errorf("tryC with no response must be commit-pending")
+	}
+	if txs[0].Status != Live {
+		t.Errorf("commit-pending transaction is live until completed, got %v", txs[0].Status)
+	}
+}
+
+func TestWellFormednessViolations(t *testing.T) {
+	c := NewClock()
+	r := NewRecorder(c)
+	t1 := TxID{Proc: 1, Seq: 1}
+	// A step outside any operation is ill-formed.
+	r.RecordStep(Step{Proc: 1, Tx: t1, Obj: 0, Name: "read"})
+	h := r.History()
+	if err := h.WellFormed(); err == nil {
+		t.Errorf("step outside operation must be ill-formed")
+	}
+
+	// Steps inside an operation are fine.
+	c2 := NewClock()
+	r2 := NewRecorder(c2)
+	inv := r2.Invoke(1)
+	r2.RecordStep(Step{Proc: 1, Tx: t1, Obj: 0, Name: "read"})
+	r2.Respond(inv, Op{Proc: 1, Tx: t1, Kind: OpRead, Var: 0, Ret: 0})
+	if err := r2.History().WellFormed(); err != nil {
+		t.Errorf("step inside operation: %v", err)
+	}
+
+	// An operation after completion is ill-formed.
+	c3 := NewClock()
+	r3 := NewRecorder(c3)
+	inv = r3.Invoke(1)
+	r3.Respond(inv, Op{Proc: 1, Tx: t1, Kind: OpTryCommit})
+	inv = r3.Invoke(1)
+	r3.Respond(inv, Op{Proc: 1, Tx: t1, Kind: OpRead, Var: 0})
+	if err := r3.History().WellFormed(); err == nil {
+		t.Errorf("operation after commit must be ill-formed")
+	}
+
+	// A transaction executed by two processes is ill-formed.
+	c4 := NewClock()
+	r4 := NewRecorder(c4)
+	inv = r4.Invoke(1)
+	r4.Respond(inv, Op{Proc: 1, Tx: t1, Kind: OpRead, Var: 0})
+	inv = r4.Invoke(2)
+	r4.Respond(inv, Op{Proc: 2, Tx: t1, Kind: OpRead, Var: 0})
+	if err := r4.History().WellFormed(); err == nil {
+		t.Errorf("transaction at two processes must be ill-formed")
+	}
+}
+
+func TestHistoryStringAndAccessors(t *testing.T) {
+	h := buildHistory()
+	if s := h.String(); s == "" {
+		t.Errorf("empty rendering")
+	}
+	t1 := TxID{Proc: 1, Seq: 1}
+	ops := h.OpsOf(t1)
+	if len(ops) != 2 {
+		t.Errorf("T1 has 2 ops, got %d", len(ops))
+	}
+	if got := len(h.StepsOf(1)); got != 0 {
+		t.Errorf("no steps recorded, got %d", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	tx := TxID{Proc: 1, Seq: 1}
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Tx: tx, Kind: OpRead, Var: 0, Ret: 5, Resp: 1}, "T1.1 R(x0):5"},
+		{Op{Tx: tx, Kind: OpWrite, Var: 1, Arg: 3, Resp: 1}, "T1.1 W(x1,3)"},
+		{Op{Tx: tx, Kind: OpTryCommit, Resp: 1}, "T1.1 tryC -> C"},
+		{Op{Tx: tx, Kind: OpTryCommit, Aborted: true, Resp: 1}, "T1.1 tryC -> A"},
+		{Op{Tx: tx, Kind: OpTryAbort, Aborted: true, Resp: 1}, "T1.1 tryA -> A"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("got %q want %q", got, c.want)
+		}
+	}
+}
+
+func TestVarSetAndStepsBetween(t *testing.T) {
+	h := buildHistory()
+	txs := Transactions(h)
+	vs := txs[0].VarSet()
+	if !vs[0] || len(vs) != 1 {
+		t.Errorf("T1 var set: %v", vs)
+	}
+	c := NewClock()
+	r := NewRecorder(c)
+	inv := r.Invoke(1)
+	r.RecordStep(Step{Proc: 1, Obj: 3, Name: "cas", Write: true})
+	r.RecordStep(Step{Proc: 2, Obj: 3, Name: "read"})
+	r.Respond(inv, Op{Proc: 1, Tx: TxID{Proc: 1, Seq: 1}, Kind: OpTryCommit})
+	hh := r.History()
+	all := hh.StepsBetween(0, 1<<60, nil)
+	if len(all) != 2 {
+		t.Fatalf("want 2 steps, got %d", len(all))
+	}
+	only2 := hh.StepsBetween(0, 1<<60, func(p ProcID) bool { return p == 2 })
+	if len(only2) != 1 || only2[0].Proc != 2 {
+		t.Errorf("filter by proc: %v", only2)
+	}
+}

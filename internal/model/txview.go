@@ -1,0 +1,239 @@
+package model
+
+import "sort"
+
+// Status is the completion status of a transaction in a history (§2.2).
+type Status int
+
+const (
+	Live Status = iota
+	Committed
+	Aborted
+)
+
+// String returns "live", "committed" or "aborted".
+func (s Status) String() string {
+	switch s {
+	case Live:
+		return "live"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	}
+	return "status?"
+}
+
+// ReadObs is one observed read: transaction read Val from Var. Reads that
+// were served from the transaction's own earlier write (local reads) are
+// flagged so legality checks can skip them.
+type ReadObs struct {
+	Var   VarID
+	Val   uint64
+	Local bool
+}
+
+// TxView is the derived per-transaction summary of a history used by the
+// checkers: its operations, status, read observations and final writes.
+type TxView struct {
+	ID     TxID
+	Proc   ProcID
+	Status Status
+	// ForcedAbort reports that the transaction is forcefully aborted in
+	// the paper's sense: it received an abort event without ever invoking
+	// tryA (§2.2). Obstruction-freedom constrains exactly these.
+	ForcedAbort bool
+	// CommitPending reports that tryC was invoked but no response was
+	// recorded; such a transaction may be credited as committed by a
+	// commit-completion of the history (Definition 1).
+	CommitPending bool
+	Ops           []Op
+	Reads         []ReadObs
+	// Writes holds the transaction's final write per variable (the value
+	// that becomes visible if it commits).
+	Writes map[VarID]uint64
+	// WriteOrder lists written variables in first-write order, for
+	// deterministic iteration.
+	WriteOrder []VarID
+	// First is the time of the transaction's first event; End the time of
+	// its commit/abort event (or the last recorded event if live).
+	First, End int64
+}
+
+// VarSet returns the set of t-variables accessed (read or written).
+func (t *TxView) VarSet() map[VarID]bool {
+	s := map[VarID]bool{}
+	for _, r := range t.Reads {
+		s[r.Var] = true
+	}
+	for v := range t.Writes {
+		s[v] = true
+	}
+	return s
+}
+
+// Transactions derives the TxView for every transaction appearing in the
+// history, ordered by first event time.
+func Transactions(h *History) []*TxView {
+	byTx := map[TxID]*TxView{}
+	var order []TxID
+	for _, o := range h.Ops {
+		tv, ok := byTx[o.Tx]
+		if !ok {
+			tv = &TxView{ID: o.Tx, Proc: o.Proc, Writes: map[VarID]uint64{}, First: o.Inv, End: o.Inv}
+			byTx[o.Tx] = tv
+			order = append(order, o.Tx)
+		}
+		tv.Ops = append(tv.Ops, o)
+		if o.Inv < tv.First {
+			tv.First = o.Inv
+		}
+		end := o.Resp
+		if o.Pending() {
+			end = o.Inv
+		}
+		if end > tv.End {
+			tv.End = end
+		}
+	}
+	for _, id := range order {
+		tv := byTx[id]
+		sort.Slice(tv.Ops, func(i, j int) bool { return tv.Ops[i].Inv < tv.Ops[j].Inv })
+		local := map[VarID]bool{}
+		invokedTryA := false
+		for _, o := range tv.Ops {
+			switch o.Kind {
+			case OpRead:
+				if !o.Aborted && !o.Pending() {
+					tv.Reads = append(tv.Reads, ReadObs{Var: o.Var, Val: o.Ret, Local: local[o.Var]})
+				}
+			case OpWrite:
+				if !o.Aborted && !o.Pending() {
+					if _, seen := tv.Writes[o.Var]; !seen {
+						tv.WriteOrder = append(tv.WriteOrder, o.Var)
+					}
+					tv.Writes[o.Var] = o.Arg
+					local[o.Var] = true
+				}
+			case OpTryAbort:
+				invokedTryA = true
+			}
+			if o.Aborted && !o.Pending() {
+				tv.Status = Aborted
+				tv.End = o.Resp
+			}
+			if o.Kind == OpTryCommit {
+				switch {
+				case o.Pending():
+					tv.CommitPending = true
+				case !o.Aborted:
+					tv.Status = Committed
+					tv.End = o.Resp
+				}
+			}
+		}
+		tv.ForcedAbort = tv.Status == Aborted && !invokedTryA
+		if tv.Status == Live && !tv.CommitPending {
+			// Live transaction: keep zero-value Live status.
+			_ = tv
+		}
+	}
+	out := make([]*TxView, 0, len(order))
+	for _, id := range order {
+		out = append(out, byTx[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].First < out[j].First })
+	return out
+}
+
+// Precedes reports whether a precedes b in the history's real-time order:
+// a is completed and a's last event precedes b's first event (§2.2).
+func Precedes(a, b *TxView) bool {
+	return (a.Status == Committed || a.Status == Aborted) && a.End < b.First
+}
+
+// VarState is the evolving state of the t-variables during a sequential
+// replay, used by legality checks. Missing variables hold their initial
+// value as given by Init (zero by default).
+type VarState struct {
+	Init map[VarID]uint64
+	Cur  map[VarID]uint64
+}
+
+// NewVarState returns a state with the given initial values (may be nil).
+func NewVarState(init map[VarID]uint64) *VarState {
+	return &VarState{Init: init, Cur: map[VarID]uint64{}}
+}
+
+// Get returns the current value of v.
+func (s *VarState) Get(v VarID) uint64 {
+	if val, ok := s.Cur[v]; ok {
+		return val
+	}
+	if s.Init != nil {
+		return s.Init[v]
+	}
+	return 0
+}
+
+// Apply installs the final writes of a committed transaction.
+func (s *VarState) Apply(t *TxView) {
+	for v, val := range t.Writes {
+		s.Cur[v] = val
+	}
+}
+
+// Clone returns an independent copy of the state.
+func (s *VarState) Clone() *VarState {
+	c := NewVarState(s.Init)
+	for k, v := range s.Cur {
+		c.Cur[k] = v
+	}
+	return c
+}
+
+// ReadsLegal reports whether every non-local read of t would be legal if
+// t executed atomically against state s (its own prior writes shadow the
+// shared state; the recorder marks those reads Local already, but a read
+// after a write within the transaction is also resolved here from the
+// transaction's op order for engines that do not flag local reads).
+func ReadsLegal(t *TxView, s *VarState) bool {
+	overlay := map[VarID]uint64{}
+	for _, o := range t.Ops {
+		switch o.Kind {
+		case OpRead:
+			if o.Aborted || o.Pending() {
+				continue
+			}
+			want, ok := overlay[o.Var]
+			if !ok {
+				want = s.Get(o.Var)
+			}
+			if o.Ret != want {
+				return false
+			}
+		case OpWrite:
+			if o.Aborted || o.Pending() {
+				continue
+			}
+			overlay[o.Var] = o.Arg
+		}
+	}
+	return true
+}
+
+// Legal reports whether the given sequential order of transactions is
+// legal (every read returns the value written by the last preceding
+// committed write, or the initial value): the paper's legality of a
+// sequential history S. All transactions in order are treated as
+// committed.
+func Legal(order []*TxView, init map[VarID]uint64) bool {
+	s := NewVarState(init)
+	for _, t := range order {
+		if !ReadsLegal(t, s) {
+			return false
+		}
+		s.Apply(t)
+	}
+	return true
+}

@@ -1,0 +1,390 @@
+// Package nztm implements a zero-indirection obstruction-free STM in
+// the spirit of NZTM [29], the OFTM the paper cites as questioning
+// DSTM's indirection cost (§7). Where DSTM reaches every value through
+// a locator, here the current value lives *in place* in the variable's
+// value word:
+//
+//   - A writer acquires revocable exclusive ownership by CASing the
+//     variable's owner cell to its descriptor, records the pre-value in
+//     its undo log, and then writes the new value directly into the
+//     value word (eager update).
+//   - Readers are invisible: they resolve the logical value from the
+//     (owner, status, value-word, undo-log) quadruple and validate their
+//     read set on every read (opacity) and at commit.
+//   - Aborting a transaction is a single CAS on its status word; nobody
+//     rolls values back — the resolution rule charges readers of a
+//     variable owned by an aborted transaction with fetching the
+//     pre-value from the owner's undo log. The next writer overwrites
+//     the stale in-place value.
+//
+// This is the repository's second full OFTM design point: eager
+// (undo-log) versus DSTM's lazy (redo-locator) updates. It satisfies
+// the same theory — obstruction-freedom (Definition 2), opacity, and,
+// inevitably, Theorem 13's strict-DAP violation (its hot spot is the
+// descriptor's status word and undo log).
+package nztm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/cm"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+const (
+	statusLive      uint64 = 0
+	statusCommitted uint64 = 1
+	statusAborted   uint64 = 2
+)
+
+// desc is a transaction descriptor: status word plus the undo log that
+// other processes consult when this transaction is aborted.
+type desc struct {
+	id     model.TxID
+	status *base.U64
+	start  int64
+	ops    atomic.Int64
+
+	// undo holds the pre-ownership value of every variable this
+	// transaction acquired. Guarded by mu; accesses are modelled as
+	// steps on undoObj so conflict analysis sees them.
+	mu      sync.Mutex
+	undo    map[model.VarID]uint64
+	undoObj model.ObjID
+	env     *sim.Env
+}
+
+func (d *desc) info() cm.TxInfo {
+	return cm.TxInfo{ID: d.id, Start: d.start, Ops: d.ops.Load()}
+}
+
+// undoGet reads the undo entry for v (one step on the undo object).
+func (d *desc) undoGet(p *sim.Proc, v model.VarID) (uint64, bool) {
+	var val uint64
+	var ok bool
+	sim.Step(p, d.undoObj, "read", false, func() {
+		d.mu.Lock()
+		val, ok = d.undo[v]
+		d.mu.Unlock()
+	})
+	return val, ok
+}
+
+// undoPut records the undo entry for v (one step on the undo object).
+// Overwrite semantics: the entry is (re)written on every acquisition
+// attempt BEFORE the ownership CAS, so by the time this descriptor is
+// visible in an owner cell its undo entry for the variable is already
+// in place — resolvers never observe an owner without a pre-value.
+func (d *desc) undoPut(p *sim.Proc, v model.VarID, val uint64) {
+	sim.Step(p, d.undoObj, "write", true, func() {
+		d.mu.Lock()
+		if d.undo == nil {
+			d.undo = map[model.VarID]uint64{}
+		}
+		d.undo[v] = val
+		d.mu.Unlock()
+	})
+}
+
+// tvar is a t-variable: an owner cell and the in-place value word.
+type tvar struct {
+	eng   *TM
+	id    model.VarID
+	name  string
+	owner *base.Cell[desc]
+	val   *base.U64
+}
+
+func (v *tvar) ID() model.VarID { return v.id }
+func (v *tvar) Name() string    { return v.name }
+
+// Option configures the engine.
+type Option func(*TM)
+
+// WithEnv runs the engine under the simulator.
+func WithEnv(env *sim.Env) Option { return func(t *TM) { t.env = env } }
+
+// WithManager selects the contention manager (default Polite).
+func WithManager(m cm.Manager) Option { return func(t *TM) { t.mgr = m } }
+
+// TM is the zero-indirection OFTM engine. It implements core.TM.
+type TM struct {
+	env *sim.Env
+	mgr cm.Manager
+
+	mu      sync.Mutex
+	vars    []*tvar
+	nextTx  map[model.ProcID]int
+	rawSeq  atomic.Int64
+	tickets atomic.Int64
+
+	// Aborts counts forceful aborts inflicted on owners.
+	Aborts atomic.Int64
+}
+
+// New returns an engine instance.
+func New(opts ...Option) *TM {
+	t := &TM{mgr: cm.Polite{}, nextTx: map[model.ProcID]int{}}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Name implements core.TM.
+func (t *TM) Name() string { return "nztm" }
+
+// ObstructionFree implements core.TM.
+func (t *TM) ObstructionFree() bool { return true }
+
+// NewVar implements core.TM.
+func (t *TM) NewVar(name string, init uint64) core.Var {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := &tvar{
+		eng:   t,
+		id:    model.VarID(len(t.vars)),
+		name:  name,
+		owner: base.NewCell[desc](t.env, name+".owner", nil),
+		val:   base.NewU64(t.env, name+".val", init),
+	}
+	t.vars = append(t.vars, v)
+	return v
+}
+
+// Begin implements core.TM.
+func (t *TM) Begin(p *sim.Proc) core.Tx {
+	var id model.TxID
+	if p == nil {
+		id = model.TxID{Proc: 0, Seq: int(t.rawSeq.Add(1))}
+	} else {
+		t.mu.Lock()
+		pid := p.ID()
+		t.nextTx[pid]++
+		id = model.TxID{Proc: pid, Seq: t.nextTx[pid]}
+		t.mu.Unlock()
+		p.SetTx(id)
+	}
+	d := &desc{id: id, start: t.tickets.Add(1), env: t.env}
+	if t.env != nil {
+		d.status = base.NewU64(t.env, id.String()+".status", statusLive)
+		d.undoObj = t.env.RegisterObj(id.String() + ".undo")
+	} else {
+		d.status = base.NewU64(nil, "", statusLive)
+	}
+	return &tx{eng: t, p: p, d: d}
+}
+
+// readEntry records the value read and the owner descriptor it was
+// resolved under. Validation is by owner identity: every acquisition
+// installs a fresh descriptor and the statuses a resolution returns
+// under (nil owner, committed, aborted) are terminal, so an unchanged
+// owner pointer implies an unchanged logical value — immune to ABA on
+// the value word.
+type readEntry struct {
+	val   uint64
+	owner *desc
+}
+
+type tx struct {
+	eng  *TM
+	p    *sim.Proc
+	d    *desc
+	rset map[*tvar]readEntry
+	wset map[*tvar]uint64 // current (written) value of owned vars
+	done model.Status
+}
+
+func (x *tx) ID() model.TxID { return x.d.id }
+
+func (x *tx) Status() model.Status {
+	switch x.d.status.Read(nil) {
+	case statusCommitted:
+		return model.Committed
+	case statusAborted:
+		return model.Aborted
+	}
+	return model.Live
+}
+
+func mustVar(t *TM, v core.Var) *tvar {
+	tv, ok := v.(*tvar)
+	if !ok || tv.eng != t {
+		panic(fmt.Sprintf("nztm: variable %v belongs to a different TM", v))
+	}
+	return tv
+}
+
+func (x *tx) abortSelf() error {
+	x.d.status.CAS(x.p, statusLive, statusAborted)
+	x.done = model.Aborted
+	x.p.SetTx(model.NoTx)
+	return core.ErrAborted
+}
+
+func (x *tx) backoff(attempt int) {
+	if x.p != nil {
+		return
+	}
+	if attempt > 10 {
+		attempt = 10
+	}
+	time.Sleep(time.Duration(1<<attempt) * time.Microsecond)
+}
+
+// resolve returns the current logical value of v and the owner
+// descriptor it was resolved under (nil if unowned), dealing with a
+// live owner through the contention manager. ok=false means abort self.
+func (x *tx) resolve(v *tvar) (val uint64, owner *desc, ok bool) {
+	attempt := 0
+	for {
+		o := v.owner.Load(x.p)
+		if o == nil {
+			return v.val.Read(x.p), nil, true
+		}
+		switch o.status.Read(x.p) {
+		case statusCommitted:
+			// Committed owner's eager writes are the current value. If
+			// the owner acquired but never wrote, the value word was
+			// untouched — also correct.
+			return v.val.Read(x.p), o, true
+		case statusAborted:
+			// The aborted owner may have left a stale value in place;
+			// the pre-value lives in its undo log.
+			if old, ok := o.undoGet(x.p, v.id); ok {
+				return old, o, true
+			}
+			return v.val.Read(x.p), o, true
+		}
+		// Live owner.
+		switch x.eng.mgr.OnConflict(x.d.info(), o.info(), attempt) {
+		case cm.AbortVictim:
+			if o.status.CAS(x.p, statusLive, statusAborted) {
+				x.eng.Aborts.Add(1)
+			}
+		case cm.Retry:
+			x.backoff(attempt)
+		case cm.AbortSelf:
+			return 0, nil, false
+		}
+		attempt++
+	}
+}
+
+// validate checks every read-set entry by owner identity (the owner
+// cell still holds the descriptor the value was resolved under) and
+// that this transaction is still live.
+func (x *tx) validate() bool {
+	for tv, e := range x.rset {
+		if tv.owner.Load(x.p) != e.owner {
+			return false
+		}
+	}
+	return x.d.status.Read(x.p) == statusLive
+}
+
+func (x *tx) Read(v core.Var) (uint64, error) {
+	if x.done != model.Live {
+		return 0, core.ErrAborted
+	}
+	tv := mustVar(x.eng, v)
+	x.d.ops.Add(1)
+	if val, ok := x.wset[tv]; ok {
+		return val, nil
+	}
+	if e, ok := x.rset[tv]; ok {
+		if tv.owner.Load(x.p) != e.owner {
+			return 0, x.abortSelf()
+		}
+		return e.val, nil
+	}
+	val, owner, ok := x.resolve(tv)
+	if !ok {
+		return 0, x.abortSelf()
+	}
+	if x.rset == nil {
+		x.rset = map[*tvar]readEntry{}
+	}
+	x.rset[tv] = readEntry{val: val, owner: owner}
+	if !x.validate() {
+		return 0, x.abortSelf()
+	}
+	return val, nil
+}
+
+func (x *tx) Write(v core.Var, val uint64) error {
+	if x.done != model.Live {
+		return core.ErrAborted
+	}
+	tv := mustVar(x.eng, v)
+	x.d.ops.Add(1)
+	if _, owned := x.wset[tv]; owned {
+		x.wset[tv] = val
+		tv.val.Write(x.p, val)
+		return nil
+	}
+	for {
+		cur, prev, ok := x.resolve(tv)
+		if !ok {
+			return x.abortSelf()
+		}
+		// Snapshot consistency: a variable we read earlier must still be
+		// resolved under the same owner we read it under.
+		if e, seen := x.rset[tv]; seen && prev != e.owner {
+			return x.abortSelf()
+		}
+		// Record the pre-value BEFORE publishing ownership: once the CAS
+		// below lands, any process may abort us and resolve the variable
+		// through our undo log, which must already hold the pre-value
+		// (the value word may still contain a previous aborted owner's
+		// in-place garbage — the safety campaign found exactly this
+		// laundering bug in an earlier record-after-CAS version).
+		x.d.undoPut(x.p, tv.id, cur)
+		if !tv.owner.CAS(x.p, prev, x.d) {
+			continue // lost the race; retry with a fresh pre-value
+		}
+		// We may have been aborted between resolve and CAS; the in-place
+		// write below is then harmless garbage that resolution hides
+		// behind the undo entry, but we must not continue operating.
+		tv.val.Write(x.p, val)
+		if x.wset == nil {
+			x.wset = map[*tvar]uint64{}
+		}
+		x.wset[tv] = val
+		delete(x.rset, tv)
+		if !x.validate() {
+			return x.abortSelf()
+		}
+		return nil
+	}
+}
+
+func (x *tx) Commit() error {
+	if x.done != model.Live {
+		return core.ErrAborted
+	}
+	if !x.validate() {
+		return x.abortSelf()
+	}
+	if !x.d.status.CAS(x.p, statusLive, statusCommitted) {
+		x.done = model.Aborted
+		x.p.SetTx(model.NoTx)
+		return core.ErrAborted
+	}
+	x.done = model.Committed
+	x.p.SetTx(model.NoTx)
+	return nil
+}
+
+func (x *tx) Abort() {
+	if x.done != model.Live {
+		return
+	}
+	_ = x.abortSelf()
+}

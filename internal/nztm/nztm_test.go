@@ -1,0 +1,175 @@
+package nztm_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cm"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/nztm"
+	"repro/internal/sim"
+	"repro/internal/tmtest"
+)
+
+func factory(env *sim.Env) core.TM {
+	if env == nil {
+		return nztm.New()
+	}
+	return nztm.New(nztm.WithEnv(env))
+}
+
+func TestConformance(t *testing.T) {
+	tmtest.Conformance(t, factory)
+}
+
+func TestConformancePerManager(t *testing.T) {
+	for _, mgr := range cm.All() {
+		mgr := mgr
+		t.Run(mgr.Name(), func(t *testing.T) {
+			tmtest.Conformance(t, func(env *sim.Env) core.TM {
+				if env == nil {
+					return nztm.New(nztm.WithManager(mgr))
+				}
+				return nztm.New(nztm.WithEnv(env), nztm.WithManager(mgr))
+			})
+		})
+	}
+}
+
+func TestSafetyCampaign(t *testing.T) {
+	tmtest.SafetyCampaign(t, factory, tmtest.CampaignConfig{Seeds: 30})
+}
+
+func TestSafetyCampaignAggressive(t *testing.T) {
+	tmtest.SafetyCampaign(t, func(env *sim.Env) core.TM {
+		return nztm.New(nztm.WithEnv(env), nztm.WithManager(cm.Aggressive{}))
+	}, tmtest.CampaignConfig{Seeds: 20})
+}
+
+// TestAbortedOwnerLeavesNoTrace: the defining zero-indirection hazard —
+// an aborted writer's eager in-place write must be invisible: readers
+// fetch the pre-value from the undo log and the next writer overwrites
+// the stale word.
+func TestAbortedOwnerLeavesNoTrace(t *testing.T) {
+	tm := nztm.New(nztm.WithManager(cm.Aggressive{}))
+	x := tm.NewVar("x", 7)
+
+	t1 := tm.Begin(nil)
+	if err := t1.Write(x, 99); err != nil { // eager: 99 is now in place
+		t.Fatal(err)
+	}
+	// A reader forcefully aborts T1 and must see 7, not 99.
+	v, err := core.ReadVar(tm, nil, x)
+	if err != nil || v != 7 {
+		t.Fatalf("read after aborting eager writer: %d (%v), want 7", v, err)
+	}
+	if err := t1.Commit(); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("t1 must be aborted, commit gave %v", err)
+	}
+	// A new writer overwrites the stale word; later reads are clean.
+	if err := core.WriteVar(tm, nil, x, 8); err != nil {
+		t.Fatal(err)
+	}
+	v, err = core.ReadVar(tm, nil, x)
+	if err != nil || v != 8 {
+		t.Fatalf("x = %d (%v), want 8", v, err)
+	}
+}
+
+// TestSuspendedOwnerDoesNotBlock mirrors the DSTM obstruction test.
+func TestSuspendedOwnerDoesNotBlock(t *testing.T) {
+	env := sim.New()
+	tm := nztm.New(nztm.WithEnv(env), nztm.WithManager(cm.Aggressive{}))
+	x := tm.NewVar("x", 3)
+
+	env.Spawn(func(p *sim.Proc) {
+		tx := tm.Begin(p)
+		_ = tx.Write(x, 1)
+		_ = tx.Commit()
+	})
+	var p2val uint64
+	var p2err error
+	env.Spawn(func(p *sim.Proc) {
+		p2err = core.Run(tm, p, func(tx core.Tx) error {
+			v, err := tx.Read(x)
+			p2val = v
+			return err
+		}, core.MaxAttempts(10))
+	})
+	// p1: owner.Load + val read (resolve) + owner CAS + undo write + val
+	// write = suspend mid-update, after the eager value write.
+	env.Run(sim.Script(
+		sim.Phase{Proc: 1, Steps: 5},
+		sim.Phase{Proc: 2, Steps: -1},
+	))
+	if p2err != nil {
+		t.Fatalf("p2 must complete: %v", p2err)
+	}
+	if p2val != 3 {
+		t.Fatalf("p2 must read pre-T1 value 3 from the undo log, got %d", p2val)
+	}
+}
+
+// TestOwnerIdentityValidationCatchesWriters: a reader's snapshot is
+// invalidated by any new acquisition of a read variable.
+func TestOwnerIdentityValidationCatchesWriters(t *testing.T) {
+	tm := nztm.New()
+	x := tm.NewVar("x", 0)
+	y := tm.NewVar("y", 0)
+
+	t1 := tm.Begin(nil)
+	if v, err := t1.Read(x); err != nil || v != 0 {
+		t.Fatalf("read x: %d %v", v, err)
+	}
+	// T2 commits x=1, y=1.
+	if err := core.Run(tm, nil, func(tx core.Tx) error {
+		if err := tx.Write(x, 1); err != nil {
+			return err
+		}
+		return tx.Write(y, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(y); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("mixed snapshot must abort, got %v", err)
+	}
+}
+
+// TestStatusLifecycle exercises Status through the lifecycle.
+func TestStatusLifecycle(t *testing.T) {
+	tm := nztm.New()
+	x := tm.NewVar("x", 0)
+	tx := tm.Begin(nil)
+	if tx.Status() != model.Live {
+		t.Fatalf("status %v", tx.Status())
+	}
+	if err := tx.Write(x, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Status() != model.Committed {
+		t.Fatalf("status %v", tx.Status())
+	}
+}
+
+func TestForeignVarPanics(t *testing.T) {
+	tm1 := nztm.New()
+	tm2 := nztm.New()
+	x := tm2.NewVar("x", 0)
+	tx := tm1.Begin(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("foreign var must panic")
+		}
+	}()
+	_, _ = tx.Read(x)
+}
+
+func TestCrashCampaign(t *testing.T) {
+	tmtest.CrashCampaign(t, func(env *sim.Env) core.TM {
+		return nztm.New(nztm.WithEnv(env), nztm.WithManager(cm.Aggressive{}))
+	}, 25)
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// RoundRobin grants steps to waiting processes in cyclic id order.
+func RoundRobin() Scheduler {
+	last := model.ProcID(0)
+	return PickFunc(func(waiting []*Proc, _ *Env) int {
+		for i, p := range waiting {
+			if p.id > last {
+				last = p.id
+				return i
+			}
+		}
+		last = waiting[0].id
+		return 0
+	})
+}
+
+// Random grants steps uniformly at random among waiting processes, with
+// a fixed seed for reproducibility.
+func Random(seed int64) Scheduler {
+	rng := rand.New(rand.NewSource(seed))
+	return PickFunc(func(waiting []*Proc, _ *Env) int {
+		return rng.Intn(len(waiting))
+	})
+}
+
+// Solo grants every step to the single process with the given id and
+// stops the run (killing the others) once it finishes. Processes other
+// than id never take a step, which is exactly the paper's
+// "step-contention-free" execution for id.
+func Solo(id model.ProcID) Scheduler {
+	return PickFunc(func(waiting []*Proc, _ *Env) int {
+		for i, p := range waiting {
+			if p.id == id {
+				return i
+			}
+		}
+		return -1
+	})
+}
+
+// Phase is one phase of a scripted schedule: grant Steps steps to Proc
+// (Steps < 0 means: until Proc finishes). A phase whose process has
+// already finished is skipped.
+type Phase struct {
+	Proc  model.ProcID
+	Steps int
+}
+
+// Script runs the given phases in order and stops the run when the
+// script is exhausted (remaining processes are killed, i.e. they crash
+// or stay suspended forever). This is the adversary of the Figure 2
+// scenario: run p1 for t steps, suspend it, run p2 to completion, ...
+func Script(phases ...Phase) Scheduler {
+	i := 0
+	return PickFunc(func(waiting []*Proc, _ *Env) int {
+		for i < len(phases) {
+			ph := &phases[i]
+			if ph.Steps == 0 {
+				i++
+				continue
+			}
+			for j, p := range waiting {
+				if p.id == ph.Proc {
+					if ph.Steps > 0 {
+						ph.Steps--
+					}
+					return j
+				}
+			}
+			// The phase's process is not waiting: it finished. Advance.
+			i++
+		}
+		return -1
+	})
+}
+
+// Choices replays an explicit sequence of process ids (used by the
+// exhaustive explorers). When the sequence is exhausted, fallback
+// decides (nil fallback stops the run).
+func Choices(seq []model.ProcID, fallback Scheduler) Scheduler {
+	i := 0
+	return PickFunc(func(waiting []*Proc, env *Env) int {
+		for i < len(seq) {
+			id := seq[i]
+			i++
+			for j, p := range waiting {
+				if p.id == id {
+					return j
+				}
+			}
+			// Process already finished; skip the choice.
+		}
+		if fallback == nil {
+			return -1
+		}
+		return fallback.Pick(waiting, env)
+	})
+}
+
+// Bounded stops the run after at most n grants, delegating to inner
+// until then.
+func Bounded(n int, inner Scheduler) Scheduler {
+	return PickFunc(func(waiting []*Proc, env *Env) int {
+		if n <= 0 {
+			return -1
+		}
+		n--
+		return inner.Pick(waiting, env)
+	})
+}
+
+// Observer wraps a scheduler and reports every grant decision: which
+// processes were waiting and which was picked. Used by the explorers to
+// enumerate branch points.
+func Observer(inner Scheduler, onPick func(waiting []model.ProcID, picked model.ProcID)) Scheduler {
+	return PickFunc(func(waiting []*Proc, env *Env) int {
+		idx := inner.Pick(waiting, env)
+		if onPick != nil {
+			ids := make([]model.ProcID, len(waiting))
+			for i, p := range waiting {
+				ids[i] = p.id
+			}
+			picked := model.ProcID(-1)
+			if idx >= 0 && idx < len(waiting) {
+				picked = waiting[idx].id
+			}
+			onPick(ids, picked)
+		}
+		return idx
+	})
+}
+
+// CrashAfter wraps a scheduler so that the given process stops being
+// granted steps after its first `after` grants — the paper's crash/
+// indefinite-suspension adversary. The crash time is recorded for the
+// ic-obstruction-freedom checker.
+func CrashAfter(victim model.ProcID, after int, inner Scheduler) Scheduler {
+	granted := 0
+	crashed := false
+	return PickFunc(func(waiting []*Proc, env *Env) int {
+		if !crashed && granted >= after {
+			crashed = true
+			env.MarkCrashed(victim)
+		}
+		if !crashed {
+			idx := inner.Pick(waiting, env)
+			if idx >= 0 && idx < len(waiting) && waiting[idx].id == victim {
+				granted++
+			}
+			return idx
+		}
+		// Filter the victim out of the waiting set.
+		alive := make([]*Proc, 0, len(waiting))
+		back := make([]int, 0, len(waiting))
+		for i, p := range waiting {
+			if p.id != victim {
+				alive = append(alive, p)
+				back = append(back, i)
+			}
+		}
+		if len(alive) == 0 {
+			return -1
+		}
+		idx := inner.Pick(alive, env)
+		if idx < 0 || idx >= len(alive) {
+			return -1
+		}
+		return back[idx]
+	})
+}

@@ -1,0 +1,388 @@
+// Package sim is the asynchronous shared-memory substrate of the
+// reproduction: n processes of which any may be delayed arbitrarily or
+// crash (§2.1 of the paper). Every operation on a base object is a
+// *step* that must be granted by a scheduler before it executes, so a
+// test or experiment controls the exact interleaving of steps — the
+// power the paper's adversary has and real hardware does not expose.
+//
+// A process that is never granted another step is indistinguishable, to
+// the other processes, from a crashed one; this is how the suspension
+// scenarios of Theorem 13 (Figure 2) and the valency argument of
+// Theorem 9 are realized mechanically.
+//
+// Base objects (package base) accept a *Proc on every operation. With a
+// nil Proc the operation executes directly on sync/atomic primitives
+// ("raw mode", used by the benchmarks); with a non-nil Proc it is gated
+// through the environment's scheduler and recorded in the low-level
+// history ("sim mode", used by the checkers and proof-scenario drivers).
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+)
+
+// killed is the panic payload used to tear down a process whose run was
+// stopped (crash, suspension at end of run, or scheduler stop). Engines
+// must not recover it; the Spawn wrapper does.
+type killed struct{}
+
+// Proc is a simulated process. All base-object operations performed on
+// behalf of the process take the *Proc so they can be scheduled and
+// recorded. A Proc is owned by the goroutine running its body.
+type Proc struct {
+	id  model.ProcID
+	env *Env
+
+	resume  chan bool // true = go, false = killed
+	mySteps atomic.Int64
+
+	// curTx tags subsequent steps with the transaction the process is
+	// executing, so checkers can attribute base-object conflicts to
+	// transactions. Read by the scheduler goroutine while the proc is
+	// parked, hence atomic.
+	curTx atomic.Uint64
+}
+
+// ID returns the process id.
+func (p *Proc) ID() model.ProcID {
+	if p == nil {
+		return 0
+	}
+	return p.id
+}
+
+// Env returns the environment the process belongs to (nil for a nil
+// Proc, i.e. raw mode).
+func (p *Proc) Env() *Env {
+	if p == nil {
+		return nil
+	}
+	return p.env
+}
+
+// SetTx tags the process as executing transaction tx; pass model.NoTx to
+// clear. Engines call this at transaction begin and completion.
+func (p *Proc) SetTx(tx model.TxID) {
+	if p == nil {
+		return
+	}
+	p.curTx.Store(tx.Handle())
+}
+
+// Tx returns the transaction currently tagged on the process.
+func (p *Proc) Tx() model.TxID {
+	if p == nil {
+		return model.NoTx
+	}
+	return model.TxFromHandle(p.curTx.Load())
+}
+
+// Mark is a snapshot of step counters used to detect step contention:
+// whether any *other* process executed a step since the mark was taken
+// (the definition underlying Definition 2 and fo-consensus's
+// fo-obstruction-freedom).
+type Mark struct {
+	total, mine int64
+}
+
+// Mark snapshots the global and per-process step counters. A nil Proc
+// returns a zero Mark.
+func (p *Proc) Mark() Mark {
+	if p == nil {
+		return Mark{}
+	}
+	return Mark{total: p.env.totalSteps.Load(), mine: p.mySteps.Load()}
+}
+
+// ContendedSince reports whether a process other than p executed a step
+// after the mark was taken. In raw mode (nil Proc) it always reports
+// false: raw mode cannot observe other processes' steps, so components
+// relying on contention detection behave as if contention-free.
+func (p *Proc) ContendedSince(m Mark) bool {
+	if p == nil {
+		return false
+	}
+	others := (p.env.totalSteps.Load() - m.total) - (p.mySteps.Load() - m.mine)
+	return others > 0
+}
+
+// Step executes one base-object operation: it parks until the scheduler
+// grants the step, records it in the low-level history, and then runs
+// action. With a nil Proc the action runs immediately and nothing is
+// recorded.
+func Step(p *Proc, obj model.ObjID, name string, write bool, action func()) {
+	if p == nil {
+		action()
+		return
+	}
+	p.env.reqCh <- p
+	ok := <-p.resume
+	if !ok {
+		panic(killed{})
+	}
+	p.env.totalSteps.Add(1)
+	p.mySteps.Add(1)
+	p.env.rec.RecordStep(model.Step{
+		Proc:  p.id,
+		Tx:    p.Tx(),
+		Obj:   obj,
+		Name:  name,
+		Write: write,
+	})
+	action()
+	p.env.doneCh <- p
+}
+
+// Scheduler decides, whenever every unfinished process is parked waiting
+// for a step grant, which process runs next. waiting is sorted by
+// process id. Returning -1 stops the run: all parked processes are
+// killed (equivalently: they crash).
+type Scheduler interface {
+	Pick(waiting []*Proc, env *Env) int
+}
+
+// PickFunc adapts a function to the Scheduler interface.
+type PickFunc func(waiting []*Proc, env *Env) int
+
+// Pick implements Scheduler.
+func (f PickFunc) Pick(waiting []*Proc, env *Env) int { return f(waiting, env) }
+
+// Env is one simulated execution environment: a set of processes, a
+// registry of base objects, a shared clock and the recorded history.
+// Create one Env per run; they are cheap.
+type Env struct {
+	clock *model.Clock
+	rec   *model.Recorder
+
+	mu       sync.Mutex
+	objNames []string
+	procs    []*Proc
+
+	totalSteps atomic.Int64
+
+	reqCh  chan *Proc
+	doneCh chan *Proc
+	bodies map[*Proc]func(*Proc)
+
+	// MaxSteps bounds the run; when exceeded the run is stopped and
+	// Truncated is set. The default protects tests against livelock.
+	MaxSteps int64
+	// Truncated reports that the last Run hit MaxSteps or a Scheduler
+	// stop while processes were still unfinished.
+	Truncated bool
+	// WatchdogTimeout aborts the run with a panic if no process parks or
+	// finishes for this long — a deadlock in the system under test.
+	WatchdogTimeout time.Duration
+
+	killedAt map[model.ProcID]int64
+}
+
+// New returns an empty environment.
+func New() *Env {
+	clock := model.NewClock()
+	return &Env{
+		clock:           clock,
+		rec:             model.NewRecorder(clock),
+		reqCh:           make(chan *Proc, 64),
+		doneCh:          make(chan *Proc, 64),
+		bodies:          map[*Proc]func(*Proc){},
+		killedAt:        map[model.ProcID]int64{},
+		MaxSteps:        2_000_000,
+		WatchdogTimeout: 30 * time.Second,
+	}
+}
+
+// Clock returns the environment's shared clock.
+func (e *Env) Clock() *model.Clock { return e.clock }
+
+// Recorder returns the history recorder shared by steps and high-level
+// operation events.
+func (e *Env) Recorder() *model.Recorder { return e.rec }
+
+// RegisterObj assigns an id to a base object. Safe to call from process
+// bodies (objects may be created dynamically, e.g. Algorithm 2 grows its
+// Owner arrays during acquire).
+func (e *Env) RegisterObj(name string) model.ObjID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.objNames = append(e.objNames, name)
+	return model.ObjID(len(e.objNames) - 1)
+}
+
+// ObjName returns the registration name of a base object.
+func (e *Env) ObjName(id model.ObjID) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(e.objNames) {
+		return fmt.Sprintf("obj%d", int(id))
+	}
+	return e.objNames[id]
+}
+
+// TotalSteps returns the number of steps granted so far.
+func (e *Env) TotalSteps() int64 { return e.totalSteps.Load() }
+
+// CrashTimes returns, for every process that was killed at the end of a
+// run (crashed or suspended forever), the clock time of its death. Used
+// by the ic-obstruction-freedom checker (Definition 3). A process that
+// stopped being scheduled earlier than the end of the run effectively
+// crashed at its last granted step; MarkCrashed lets schedulers record
+// that intent.
+func (e *Env) CrashTimes() map[model.ProcID]int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := map[model.ProcID]int64{}
+	for k, v := range e.killedAt {
+		out[k] = v
+	}
+	return out
+}
+
+// MarkCrashed records that a scheduler stopped granting steps to proc
+// at the current time (the process is considered crashed from then on,
+// even though its goroutine is reaped only at the end of the run).
+func (e *Env) MarkCrashed(proc model.ProcID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.killedAt[proc]; !ok {
+		e.killedAt[proc] = e.clock.Now()
+	}
+}
+
+// Spawn registers a process with the given body. Bodies start executing
+// when Run is called. Process ids are assigned 1, 2, ... in spawn order.
+func (e *Env) Spawn(body func(*Proc)) *Proc {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := &Proc{
+		id:     model.ProcID(len(e.procs) + 1),
+		env:    e,
+		resume: make(chan bool),
+	}
+	e.procs = append(e.procs, p)
+	e.bodies[p] = body
+	return p
+}
+
+// Procs returns the spawned processes in id order.
+func (e *Env) Procs() []*Proc {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Proc(nil), e.procs...)
+}
+
+// Run executes all spawned processes under the given scheduler until
+// every process finishes, the scheduler stops the run, or MaxSteps is
+// hit. It returns the recorded history. Run may be called once per Env.
+func (e *Env) Run(sched Scheduler) *model.History {
+	e.mu.Lock()
+	procs := append([]*Proc(nil), e.procs...)
+	bodies := e.bodies
+	e.bodies = map[*Proc]func(*Proc){}
+	e.mu.Unlock()
+
+	finished := make(chan *Proc, len(procs))
+	for _, p := range procs {
+		p := p
+		body := bodies[p]
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killed); !ok {
+						panic(r)
+					}
+				}
+				finished <- p
+			}()
+			body(p)
+		}()
+	}
+
+	parked := map[*Proc]bool{}
+	done := map[*Proc]bool{}
+	granted := (*Proc)(nil) // proc currently executing a granted action
+	nFinished := 0
+
+	timer := time.NewTimer(e.WatchdogTimeout)
+	defer timer.Stop()
+	waitEvent := func() bool {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(e.WatchdogTimeout)
+		select {
+		case p := <-e.reqCh:
+			parked[p] = true
+			return true
+		case p := <-e.doneCh:
+			if granted == p {
+				granted = nil
+			}
+			return true
+		case p := <-finished:
+			done[p] = true
+			delete(parked, p)
+			nFinished++
+			if granted == p {
+				granted = nil
+			}
+			return true
+		case <-timer.C:
+			panic(fmt.Sprintf("sim: watchdog: no progress for %v (%d parked, %d finished of %d; a process is blocked outside the scheduler)",
+				e.WatchdogTimeout, len(parked), nFinished, len(procs)))
+		}
+	}
+
+	killAll := func() {
+		e.Truncated = true
+		now := e.clock.Now()
+		for p := range parked {
+			if _, ok := e.killedAt[p.id]; !ok {
+				e.killedAt[p.id] = now
+			}
+			p.resume <- false
+		}
+		for nFinished < len(procs) {
+			waitEvent()
+		}
+	}
+
+	for nFinished < len(procs) {
+		// Wait until every unfinished process is parked and no granted
+		// action is in flight.
+		for granted != nil || len(parked)+nFinished < len(procs) {
+			waitEvent()
+		}
+		if nFinished == len(procs) {
+			break
+		}
+		if e.totalSteps.Load() >= e.MaxSteps {
+			killAll()
+			break
+		}
+		waiting := make([]*Proc, 0, len(parked))
+		for p := range parked {
+			waiting = append(waiting, p)
+		}
+		sort.Slice(waiting, func(i, j int) bool { return waiting[i].id < waiting[j].id })
+		idx := sched.Pick(waiting, e)
+		if idx < 0 || idx >= len(waiting) {
+			killAll()
+			break
+		}
+		p := waiting[idx]
+		delete(parked, p)
+		granted = p
+		p.resume <- true
+	}
+	return e.rec.History()
+}

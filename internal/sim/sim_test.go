@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// counterBody increments a shared (plain, scheduler-serialized) counter
+// n times, one step per increment.
+func counterBody(obj model.ObjID, counter *int64, n int) func(*Proc) {
+	return func(p *Proc) {
+		for i := 0; i < n; i++ {
+			Step(p, obj, "inc", true, func() { *counter++ })
+		}
+	}
+}
+
+func TestRoundRobinRunsAllSteps(t *testing.T) {
+	env := New()
+	obj := env.RegisterObj("counter")
+	var counter int64
+	for i := 0; i < 3; i++ {
+		env.Spawn(counterBody(obj, &counter, 5))
+	}
+	h := env.Run(RoundRobin())
+	if counter != 15 {
+		t.Fatalf("counter = %d, want 15", counter)
+	}
+	if env.Truncated {
+		t.Fatalf("run truncated unexpectedly")
+	}
+	if len(h.Steps) != 15 {
+		t.Fatalf("recorded %d steps, want 15", len(h.Steps))
+	}
+	// Round robin alternates p1 p2 p3 p1 p2 p3 ...
+	for i, s := range h.Steps {
+		want := model.ProcID(i%3 + 1)
+		if s.Proc != want {
+			t.Fatalf("step %d by %v, want %v", i, s.Proc, want)
+		}
+	}
+}
+
+func TestSoloSchedulerGivesNoContention(t *testing.T) {
+	env := New()
+	obj := env.RegisterObj("counter")
+	var counter int64
+	env.Spawn(counterBody(obj, &counter, 4))
+	env.Spawn(counterBody(obj, &counter, 4))
+	h := env.Run(Solo(2))
+	if counter != 4 {
+		t.Fatalf("counter = %d, want 4 (only p2 runs)", counter)
+	}
+	for _, s := range h.Steps {
+		if s.Proc != 2 {
+			t.Fatalf("step by %v under Solo(2)", s.Proc)
+		}
+	}
+	if !env.Truncated {
+		t.Fatalf("p1 was killed; run must be marked truncated")
+	}
+}
+
+func TestScriptSchedule(t *testing.T) {
+	env := New()
+	obj := env.RegisterObj("counter")
+	var counter int64
+	env.Spawn(counterBody(obj, &counter, 10)) // p1
+	env.Spawn(counterBody(obj, &counter, 3))  // p2
+	// p1 takes 2 steps, then p2 runs to completion, then stop.
+	h := env.Run(Script(Phase{Proc: 1, Steps: 2}, Phase{Proc: 2, Steps: -1}))
+	if counter != 5 {
+		t.Fatalf("counter = %d, want 5", counter)
+	}
+	procs := make([]model.ProcID, 0, len(h.Steps))
+	for _, s := range h.Steps {
+		procs = append(procs, s.Proc)
+	}
+	want := []model.ProcID{1, 1, 2, 2, 2}
+	for i := range want {
+		if procs[i] != want[i] {
+			t.Fatalf("step order %v, want %v", procs, want)
+		}
+	}
+}
+
+func TestChoicesReplay(t *testing.T) {
+	env := New()
+	obj := env.RegisterObj("counter")
+	var counter int64
+	env.Spawn(counterBody(obj, &counter, 2))
+	env.Spawn(counterBody(obj, &counter, 2))
+	seq := []model.ProcID{2, 1, 2, 1}
+	h := env.Run(Choices(seq, nil))
+	if counter != 4 {
+		t.Fatalf("counter = %d, want 4", counter)
+	}
+	for i, s := range h.Steps {
+		if s.Proc != seq[i] {
+			t.Fatalf("step %d by %v, want %v", i, s.Proc, seq[i])
+		}
+	}
+}
+
+func TestBoundedStops(t *testing.T) {
+	env := New()
+	obj := env.RegisterObj("counter")
+	var counter int64
+	env.Spawn(counterBody(obj, &counter, 1000))
+	env.Run(Bounded(7, RoundRobin()))
+	if counter != 7 {
+		t.Fatalf("counter = %d, want 7", counter)
+	}
+	if !env.Truncated {
+		t.Fatalf("bounded run must be truncated")
+	}
+}
+
+func TestMaxStepsGuardsLivelock(t *testing.T) {
+	env := New()
+	env.MaxSteps = 50
+	obj := env.RegisterObj("spin")
+	env.Spawn(func(p *Proc) {
+		for { // livelock: spins forever
+			Step(p, obj, "read", false, func() {})
+		}
+	})
+	env.Run(RoundRobin())
+	if !env.Truncated {
+		t.Fatalf("livelock must truncate at MaxSteps")
+	}
+	if got := env.TotalSteps(); got != 50 {
+		t.Fatalf("steps = %d, want 50", got)
+	}
+}
+
+func TestContentionDetection(t *testing.T) {
+	env := New()
+	obj := env.RegisterObj("o")
+	var sawContention, sawQuiet bool
+	env.Spawn(func(p *Proc) {
+		m := p.Mark()
+		Step(p, obj, "read", false, func() {})
+		sawQuiet = !p.ContendedSince(m) // p2 has not run yet under Script
+		m = p.Mark()
+		Step(p, obj, "read", false, func() {})
+		Step(p, obj, "read", false, func() {})
+		sawContention = p.ContendedSince(m) // p2 stepped in between
+	})
+	env.Spawn(func(p *Proc) {
+		Step(p, obj, "read", false, func() {})
+	})
+	env.Run(Script(
+		Phase{Proc: 1, Steps: 1},
+		Phase{Proc: 2, Steps: 1},
+		Phase{Proc: 1, Steps: -1},
+	))
+	if !sawQuiet {
+		t.Errorf("p1 observed contention before p2 ran")
+	}
+	if !sawContention {
+		t.Errorf("p1 failed to observe p2's step")
+	}
+}
+
+func TestNilProcRawMode(t *testing.T) {
+	ran := false
+	Step(nil, 0, "read", false, func() { ran = true })
+	if !ran {
+		t.Fatalf("raw-mode step must execute the action")
+	}
+	var p *Proc
+	if p.ID() != 0 || p.Env() != nil || p.Tx() != model.NoTx {
+		t.Fatalf("nil proc accessors must return zero values")
+	}
+	if p.ContendedSince(p.Mark()) {
+		t.Fatalf("nil proc never observes contention")
+	}
+	p.SetTx(model.TxID{Proc: 1, Seq: 1}) // must not panic
+}
+
+func TestTxTagging(t *testing.T) {
+	env := New()
+	obj := env.RegisterObj("o")
+	tx := model.TxID{Proc: 1, Seq: 9}
+	env.Spawn(func(p *Proc) {
+		p.SetTx(tx)
+		Step(p, obj, "write", true, func() {})
+		p.SetTx(model.NoTx)
+		Step(p, obj, "write", true, func() {})
+	})
+	h := env.Run(RoundRobin())
+	if h.Steps[0].Tx != tx {
+		t.Errorf("step 0 tagged %v, want %v", h.Steps[0].Tx, tx)
+	}
+	if h.Steps[1].Tx != model.NoTx {
+		t.Errorf("step 1 tagged %v, want NoTx", h.Steps[1].Tx)
+	}
+}
+
+func TestKilledProcDoesNotLeakActions(t *testing.T) {
+	env := New()
+	obj := env.RegisterObj("o")
+	var after atomic.Bool
+	env.Spawn(func(p *Proc) {
+		Step(p, obj, "read", false, func() {})
+		Step(p, obj, "read", false, func() {}) // never granted
+		after.Store(true)
+	})
+	env.Run(Bounded(1, RoundRobin()))
+	if after.Load() {
+		t.Fatalf("killed process continued past its denied step")
+	}
+}
+
+func TestObserverSeesChoices(t *testing.T) {
+	env := New()
+	obj := env.RegisterObj("o")
+	var counter int64
+	env.Spawn(counterBody(obj, &counter, 2))
+	env.Spawn(counterBody(obj, &counter, 2))
+	var picks []model.ProcID
+	var avail [][]model.ProcID
+	env.Run(Observer(RoundRobin(), func(w []model.ProcID, picked model.ProcID) {
+		avail = append(avail, w)
+		picks = append(picks, picked)
+	}))
+	if len(picks) != 4 {
+		t.Fatalf("want 4 picks, got %d", len(picks))
+	}
+	if len(avail[0]) != 2 {
+		t.Fatalf("both procs should be waiting at the first pick: %v", avail[0])
+	}
+}
+
+func TestObjRegistry(t *testing.T) {
+	env := New()
+	a := env.RegisterObj("alpha")
+	b := env.RegisterObj("beta")
+	if env.ObjName(a) != "alpha" || env.ObjName(b) != "beta" {
+		t.Fatalf("names: %q %q", env.ObjName(a), env.ObjName(b))
+	}
+	if env.ObjName(model.ObjID(99)) == "" {
+		t.Fatalf("unknown obj must still render")
+	}
+}
+
+func TestHistoryWellFormedWithOps(t *testing.T) {
+	// Steps recorded inside a high-level op must yield a well-formed
+	// low-level history.
+	env := New()
+	obj := env.RegisterObj("o")
+	rec := env.Recorder()
+	tx := model.TxID{Proc: 1, Seq: 1}
+	env.Spawn(func(p *Proc) {
+		p.SetTx(tx)
+		inv := rec.Invoke(1)
+		Step(p, obj, "read", false, func() {})
+		rec.Respond(inv, model.Op{Proc: 1, Tx: tx, Kind: model.OpRead, Var: 0, Ret: 0})
+		inv = rec.Invoke(1)
+		Step(p, obj, "cas", true, func() {})
+		rec.Respond(inv, model.Op{Proc: 1, Tx: tx, Kind: model.OpTryCommit})
+	})
+	h := env.Run(RoundRobin())
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("well-formedness: %v", err)
+	}
+}

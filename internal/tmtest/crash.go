@@ -1,0 +1,109 @@
+package tmtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// CrashCampaign drives the engine with a process crashing (stopping
+// forever) at a random point mid-run — the failure model of §2.1, where
+// n-1 of n processes may crash. For every seed it checks:
+//
+//   - the surviving processes complete all their transactions when the
+//     engine is obstruction-free (the crashed process cannot inhibit
+//     them — the defining OFTM guarantee);
+//   - the recorded history remains well-formed and opaque;
+//   - obstruction-freedom (Definition 2) and ic-obstruction-freedom
+//     (Definition 3, using the recorded crash times) both hold, which
+//     is Theorem 5 observed empirically.
+//
+// For non-obstruction-free engines only the safety half is checked:
+// survivors are allowed to starve, not to corrupt.
+func CrashCampaign(t *testing.T, factory Factory, seeds int) {
+	t.Helper()
+	if seeds == 0 {
+		seeds = 20
+	}
+	for seed := 0; seed < seeds; seed++ {
+		env := sim.New()
+		tm := core.Recorded(factory(env), env.Recorder())
+		of := tm.ObstructionFree()
+		vars := make([]core.Var, 3)
+		init := map[model.VarID]uint64{}
+		for i := range vars {
+			vars[i] = tm.NewVar(fmt.Sprintf("x%d", i), 0)
+			init[vars[i].ID()] = 0
+		}
+		const procs = 3
+		errs := make([]error, procs)
+		for pi := 0; pi < procs; pi++ {
+			pi := pi
+			env.Spawn(func(p *sim.Proc) {
+				rng := rand.New(rand.NewSource(int64(seed)*313 + int64(pi)))
+				for k := 0; k < 2; k++ {
+					err := core.Run(tm, p, func(tx core.Tx) error {
+						for j := 0; j < 3; j++ {
+							v := vars[rng.Intn(len(vars))]
+							if rng.Intn(2) == 0 {
+								if _, err := tx.Read(v); err != nil {
+									return err
+								}
+							} else if err := tx.Write(v, uint64(rng.Intn(30)+1)); err != nil {
+								return err
+							}
+						}
+						return nil
+					}, core.MaxAttempts(100))
+					if err != nil {
+						errs[pi] = err
+						return
+					}
+				}
+			})
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		victim := model.ProcID(rng.Intn(procs) + 1)
+		crashPoint := rng.Intn(12)
+		h := env.Run(sim.CrashAfter(victim, crashPoint, sim.Random(int64(seed))))
+
+		if err := h.WellFormed(); err != nil {
+			t.Fatalf("seed %d: ill-formed: %v", seed, err)
+		}
+		if of {
+			for pi := 0; pi < procs; pi++ {
+				if model.ProcID(pi+1) == victim {
+					continue
+				}
+				if errs[pi] != nil && errors.Is(errs[pi], core.ErrAborted) {
+					t.Fatalf("seed %d: survivor p%d starved behind crashed p%d on an OFTM (crash@%d)",
+						seed, pi+1, victim, crashPoint)
+				}
+			}
+		}
+		txs := model.Transactions(h)
+		if len(txs) <= checker.ExactLimit {
+			if res := checker.CheckOpacity(txs, init); !res.OK {
+				t.Fatalf("seed %d: opacity violated under crash: %s", seed, res.Reason)
+			}
+		} else if res := checker.CheckSerializableWitness(txs, init); !res.OK {
+			if res2 := checker.CheckSerializable(txs, init); len(txs) <= checker.ExactLimit && !res2.OK {
+				t.Fatalf("seed %d: serializability violated under crash: %s", seed, res2.Reason)
+			}
+		}
+		if of {
+			if v := checker.CheckObstructionFree(h); len(v) != 0 {
+				t.Fatalf("seed %d: obstruction-freedom violated: %v", seed, v)
+			}
+			if v := checker.CheckICObstructionFree(h, env.CrashTimes()); len(v) != 0 {
+				t.Fatalf("seed %d: ic-obstruction-freedom violated: %v", seed, v)
+			}
+		}
+	}
+}

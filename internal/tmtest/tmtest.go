@@ -1,0 +1,307 @@
+// Package tmtest is a conformance kit exercised against every STM
+// engine in the repository: sequential semantics, abort/commit state
+// machine, isolation under real concurrency (raw mode), and — once an
+// engine runs under the simulator — recorded-history well-formedness.
+// Engine test files call Conformance with a factory; experiment-level
+// safety checks (serializability, opacity, obstruction-freedom) live in
+// package checker and are applied by the engines' own tests and by
+// cmd/oftm-check.
+package tmtest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Factory builds a fresh engine instance. env is nil for raw mode.
+type Factory func(env *sim.Env) core.TM
+
+// Conformance runs the full engine-generic suite.
+func Conformance(t *testing.T, factory Factory) {
+	t.Helper()
+	t.Run("SequentialSemantics", func(t *testing.T) { sequentialSemantics(t, factory) })
+	t.Run("ReadYourWrites", func(t *testing.T) { readYourWrites(t, factory) })
+	t.Run("AbortDiscardsWrites", func(t *testing.T) { abortDiscardsWrites(t, factory) })
+	t.Run("OpsAfterCompletion", func(t *testing.T) { opsAfterCompletion(t, factory) })
+	t.Run("StatusMachine", func(t *testing.T) { statusMachine(t, factory) })
+	t.Run("TxIDsUnique", func(t *testing.T) { txIDsUnique(t, factory) })
+	t.Run("ConcurrentCounter", func(t *testing.T) { concurrentCounter(t, factory) })
+	t.Run("BankInvariant", func(t *testing.T) { bankInvariant(t, factory) })
+	t.Run("SimWellFormedHistory", func(t *testing.T) { simWellFormed(t, factory) })
+}
+
+func sequentialSemantics(t *testing.T, factory Factory) {
+	tm := factory(nil)
+	x := tm.NewVar("x", 10)
+	y := tm.NewVar("y", 20)
+
+	if err := core.Run(tm, nil, func(tx core.Tx) error {
+		vx, err := tx.Read(x)
+		if err != nil {
+			return err
+		}
+		if vx != 10 {
+			return fmt.Errorf("x = %d, want 10", vx)
+		}
+		if err := tx.Write(y, vx+5); err != nil {
+			return err
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("transaction failed: %v", err)
+	}
+
+	got, err := core.ReadVar(tm, nil, y)
+	if err != nil || got != 15 {
+		t.Fatalf("y = %d (%v), want 15", got, err)
+	}
+	got, err = core.ReadVar(tm, nil, x)
+	if err != nil || got != 10 {
+		t.Fatalf("x = %d (%v), want 10", got, err)
+	}
+}
+
+func readYourWrites(t *testing.T, factory Factory) {
+	tm := factory(nil)
+	x := tm.NewVar("x", 1)
+	err := core.Run(tm, nil, func(tx core.Tx) error {
+		if err := tx.Write(x, 2); err != nil {
+			return err
+		}
+		v, err := tx.Read(x)
+		if err != nil {
+			return err
+		}
+		if v != 2 {
+			return fmt.Errorf("read-own-write: got %d, want 2", v)
+		}
+		if err := tx.Write(x, 3); err != nil {
+			return err
+		}
+		v, err = tx.Read(x)
+		if err != nil {
+			return err
+		}
+		if v != 3 {
+			return fmt.Errorf("second read-own-write: got %d, want 3", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := core.ReadVar(tm, nil, x); v != 3 {
+		t.Fatalf("committed x = %d, want 3", v)
+	}
+}
+
+func abortDiscardsWrites(t *testing.T, factory Factory) {
+	tm := factory(nil)
+	x := tm.NewVar("x", 7)
+	tx := tm.Begin(nil)
+	if err := tx.Write(x, 99); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	tx.Abort()
+	if v, _ := core.ReadVar(tm, nil, x); v != 7 {
+		t.Fatalf("aborted write leaked: x = %d, want 7", v)
+	}
+}
+
+func opsAfterCompletion(t *testing.T, factory Factory) {
+	tm := factory(nil)
+	x := tm.NewVar("x", 0)
+
+	tx := tm.Begin(nil)
+	tx.Abort()
+	if _, err := tx.Read(x); !errors.Is(err, core.ErrAborted) {
+		t.Errorf("read after abort: %v, want ErrAborted", err)
+	}
+	if err := tx.Write(x, 1); !errors.Is(err, core.ErrAborted) {
+		t.Errorf("write after abort: %v, want ErrAborted", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, core.ErrAborted) {
+		t.Errorf("commit after abort: %v, want ErrAborted", err)
+	}
+}
+
+func statusMachine(t *testing.T, factory Factory) {
+	tm := factory(nil)
+	x := tm.NewVar("x", 0)
+
+	tx := tm.Begin(nil)
+	if tx.Status() != model.Live {
+		t.Fatalf("fresh tx status %v, want live", tx.Status())
+	}
+	if err := tx.Write(x, 1); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if tx.Status() != model.Committed {
+		t.Fatalf("status after commit %v", tx.Status())
+	}
+
+	tx2 := tm.Begin(nil)
+	tx2.Abort()
+	if tx2.Status() != model.Aborted {
+		t.Fatalf("status after abort %v", tx2.Status())
+	}
+	// Abort is idempotent.
+	tx2.Abort()
+	if tx2.Status() != model.Aborted {
+		t.Fatalf("second abort changed status to %v", tx2.Status())
+	}
+}
+
+func txIDsUnique(t *testing.T, factory Factory) {
+	tm := factory(nil)
+	seen := map[model.TxID]bool{}
+	for i := 0; i < 10; i++ {
+		tx := tm.Begin(nil)
+		if seen[tx.ID()] {
+			t.Fatalf("duplicate transaction id %v", tx.ID())
+		}
+		seen[tx.ID()] = true
+		tx.Abort()
+	}
+}
+
+func concurrentCounter(t *testing.T, factory Factory) {
+	tm := factory(nil)
+	ctr := tm.NewVar("ctr", 0)
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				errs[w] = core.Run(tm, nil, func(tx core.Tx) error {
+					v, err := tx.Read(ctr)
+					if err != nil {
+						return err
+					}
+					return tx.Write(ctr, v+1)
+				})
+				if errs[w] != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	got, err := core.ReadVar(tm, nil, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+}
+
+func bankInvariant(t *testing.T, factory Factory) {
+	tm := factory(nil)
+	const accounts = 16
+	const initial = 100
+	vars := make([]core.Var, accounts)
+	for i := range vars {
+		vars[i] = tm.NewVar(fmt.Sprintf("acct%d", i), initial)
+	}
+	const workers, transfers = 6, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				from := (w*7 + i*3) % accounts
+				to := (from + 1 + i%5) % accounts
+				if from == to {
+					continue
+				}
+				_ = core.Run(tm, nil, func(tx core.Tx) error {
+					a, err := tx.Read(vars[from])
+					if err != nil {
+						return err
+					}
+					b, err := tx.Read(vars[to])
+					if err != nil {
+						return err
+					}
+					if a == 0 {
+						return nil
+					}
+					if err := tx.Write(vars[from], a-1); err != nil {
+						return err
+					}
+					return tx.Write(vars[to], b+1)
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The total must be conserved: read it in one transaction.
+	var total uint64
+	err := core.Run(tm, nil, func(tx core.Tx) error {
+		total = 0
+		for _, v := range vars {
+			x, err := tx.Read(v)
+			if err != nil {
+				return err
+			}
+			total += x
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d (atomicity violated)", total, accounts*initial)
+	}
+}
+
+func simWellFormed(t *testing.T, factory Factory) {
+	env := sim.New()
+	tm := factory(env)
+	rtm := core.Recorded(tm, env.Recorder())
+	x := rtm.NewVar("x", 0)
+	y := rtm.NewVar("y", 0)
+	for i := 0; i < 2; i++ {
+		env.Spawn(func(p *sim.Proc) {
+			for k := 0; k < 3; k++ {
+				_ = core.Run(rtm, p, func(tx core.Tx) error {
+					v, err := tx.Read(x)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(y, v+1); err != nil {
+						return err
+					}
+					return tx.Write(x, v+1)
+				}, core.MaxAttempts(50))
+			}
+		})
+	}
+	h := env.Run(sim.Random(42))
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("recorded history ill-formed: %v\n%s", err, h.String())
+	}
+	if len(h.Ops) == 0 || len(h.Steps) == 0 {
+		t.Fatalf("history empty: %d ops, %d steps", len(h.Ops), len(h.Steps))
+	}
+}

@@ -1,0 +1,127 @@
+// Package trace renders recorded histories as ASCII timelines in the
+// style of the paper's figures: one lane per process, high-level
+// operation events and low-level steps on a shared time axis. The
+// cmd/oftm-trace tool uses it to regenerate Figure 1 (the two-level
+// execution model) and Figure 2 (the disjoint-access-parallelism
+// impossibility scenario) from live runs.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Event is one rendered timeline entry.
+type Event struct {
+	Time int64
+	Proc model.ProcID
+	Text string
+	Step bool
+}
+
+// Timeline flattens a history into per-time events.
+func Timeline(h *model.History, objName func(model.ObjID) string) []Event {
+	var evs []Event
+	for _, o := range h.Ops {
+		evs = append(evs, Event{Time: o.Inv, Proc: o.Proc, Text: "inv " + opText(o)})
+		if !o.Pending() {
+			evs = append(evs, Event{Time: o.Resp, Proc: o.Proc, Text: "ret " + retText(o)})
+		}
+	}
+	for _, s := range h.Steps {
+		name := fmt.Sprintf("obj%d", int(s.Obj))
+		if objName != nil {
+			name = objName(s.Obj)
+		}
+		evs = append(evs, Event{Time: s.Time, Proc: s.Proc, Text: s.Name + "(" + name + ")", Step: true})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+	return evs
+}
+
+func opText(o model.Op) string {
+	switch o.Kind {
+	case model.OpRead:
+		return fmt.Sprintf("%v R(%v)", o.Tx, o.Var)
+	case model.OpWrite:
+		return fmt.Sprintf("%v W(%v,%d)", o.Tx, o.Var, o.Arg)
+	case model.OpTryCommit:
+		return fmt.Sprintf("%v tryC", o.Tx)
+	case model.OpTryAbort:
+		return fmt.Sprintf("%v tryA", o.Tx)
+	}
+	return o.Tx.String()
+}
+
+func retText(o model.Op) string {
+	if o.Aborted {
+		return fmt.Sprintf("%v -> A", o.Tx)
+	}
+	switch o.Kind {
+	case model.OpRead:
+		return fmt.Sprintf("%v R:%d", o.Tx, o.Ret)
+	case model.OpWrite:
+		return fmt.Sprintf("%v W ok", o.Tx)
+	case model.OpTryCommit:
+		return fmt.Sprintf("%v -> C", o.Tx)
+	}
+	return o.Tx.String()
+}
+
+// Render draws the timeline with one column lane per process, matching
+// the paper's horizontal-lanes figures rotated to vertical (time flows
+// down). Steps are indented under the enclosing operation.
+func Render(h *model.History, objName func(model.ObjID) string) string {
+	evs := Timeline(h, objName)
+	procs := map[model.ProcID]bool{}
+	for _, e := range evs {
+		procs[e.Proc] = true
+	}
+	var order []model.ProcID
+	for p := range procs {
+		order = append(order, p)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	col := map[model.ProcID]int{}
+	for i, p := range order {
+		col[p] = i
+	}
+
+	const width = 34
+	var b strings.Builder
+	b.WriteString("time ")
+	for _, p := range order {
+		fmt.Fprintf(&b, "| %-*s", width-2, p.String())
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 5+len(order)*width) + "\n")
+	for _, e := range evs {
+		fmt.Fprintf(&b, "%4d ", e.Time)
+		for i := range order {
+			cell := ""
+			if i == col[e.Proc] {
+				if e.Step {
+					cell = "  . " + e.Text
+				} else {
+					cell = e.Text
+				}
+			}
+			fmt.Fprintf(&b, "| %-*s", width-2, clip(cell, width-2))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "~"
+}

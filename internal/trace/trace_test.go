@@ -1,0 +1,92 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestRenderFigure1(t *testing.T) {
+	h, names := adversary.RunFig1(func(env *sim.Env) core.TM {
+		return dstm.New(dstm.WithEnv(env))
+	})
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("fig1 history ill-formed: %v", err)
+	}
+	out := trace.Render(h, names)
+	for _, want := range []string{"p1", "p2", "R(x0)", "tryC", "-> C", "x.loc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Both levels must be present: operation events and steps.
+	if !strings.Contains(out, "inv ") || !strings.Contains(out, "  . ") {
+		t.Errorf("two-level structure missing:\n%s", out)
+	}
+}
+
+func TestTimelineOrdering(t *testing.T) {
+	h, names := adversary.RunFig1(func(env *sim.Env) core.TM {
+		return dstm.New(dstm.WithEnv(env))
+	})
+	evs := trace.Timeline(h, names)
+	if len(evs) == 0 {
+		t.Fatal("empty timeline")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("timeline out of order at %d", i)
+		}
+	}
+	// p1's commit response must precede p2's read response (scripted
+	// order; invocation events are local and may interleave freely).
+	p2ReadResp := -1
+	p1Commit := -1
+	for i, e := range evs {
+		if e.Proc == 2 && p2ReadResp < 0 && strings.Contains(e.Text, "ret") && strings.Contains(e.Text, "R:") {
+			p2ReadResp = i
+		}
+		if e.Proc == 1 && strings.Contains(e.Text, "-> C") {
+			p1Commit = i
+		}
+	}
+	if p1Commit < 0 || p2ReadResp < 0 {
+		t.Fatalf("expected both a p1 commit and a p2 read response")
+	}
+	if p2ReadResp < p1Commit {
+		t.Fatalf("p2's read responded before p1 committed under the script")
+	}
+}
+
+func TestRenderHandlesPendingOps(t *testing.T) {
+	rec := model.NewRecorder(model.NewClock())
+	tx := model.TxID{Proc: 1, Seq: 1}
+	inv := rec.Invoke(1)
+	rec.Cut(inv, model.Op{Proc: 1, Tx: tx, Kind: model.OpTryCommit})
+	out := trace.Render(rec.History(), nil)
+	if !strings.Contains(out, "tryC") {
+		t.Fatalf("pending op missing:\n%s", out)
+	}
+}
+
+func TestClipLongCells(t *testing.T) {
+	rec := model.NewRecorder(model.NewClock())
+	tx := model.TxID{Proc: 1, Seq: 1}
+	inv := rec.Invoke(1)
+	rec.RecordStep(model.Step{Proc: 1, Tx: tx, Obj: 3, Name: "averyveryverylongoperationname", Write: true})
+	rec.Respond(inv, model.Op{Proc: 1, Tx: tx, Kind: model.OpRead, Var: 0})
+	out := trace.Render(rec.History(), func(model.ObjID) string {
+		return "an-extremely-long-object-name-that-overflows"
+	})
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 120 {
+			t.Fatalf("line not clipped: %q", line)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package oftm_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	oftm "repro"
+)
+
+func allEngines() map[string]func() oftm.TM {
+	return map[string]func() oftm.TM{
+		"dstm":   func() oftm.TM { return oftm.NewDSTM() },
+		"alg2":   func() oftm.TM { return oftm.NewAlg2() },
+		"2pl":    func() oftm.TM { return oftm.NewTwoPhaseLocking() },
+		"tl2":    func() oftm.TM { return oftm.NewTL2() },
+		"coarse": func() oftm.TM { return oftm.NewCoarseLock() },
+	}
+}
+
+func TestFacadeQuickstart(t *testing.T) {
+	for name, mk := range allEngines() {
+		t.Run(name, func(t *testing.T) {
+			tm := mk()
+			x := tm.NewVar("x", 0)
+			if err := oftm.Atomically(tm, func(tx oftm.Tx) error {
+				v, err := tx.Read(x)
+				if err != nil {
+					return err
+				}
+				return tx.Write(x, v+1)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var got uint64
+			if err := oftm.Atomically(tm, func(tx oftm.Tx) error {
+				v, err := tx.Read(x)
+				got = v
+				return err
+			}); err != nil || got != 1 {
+				t.Fatalf("x = %d (%v)", got, err)
+			}
+		})
+	}
+}
+
+func TestFacadeManagers(t *testing.T) {
+	for _, m := range []oftm.ContentionManager{oftm.Aggressive, oftm.Polite, oftm.Karma, oftm.Timestamp} {
+		tm := oftm.NewDSTM(oftm.WithManager(m))
+		c := oftm.NewCounter(tm, 0)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if err := c.Inc(nil); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		v, err := c.Value(nil)
+		if err != nil || v != 200 {
+			t.Fatalf("manager %s: counter = %d (%v)", m.Name(), v, err)
+		}
+	}
+}
+
+func TestFacadeSimMode(t *testing.T) {
+	env := oftm.NewSim()
+	tm := oftm.NewDSTM(oftm.InSim(env))
+	x := tm.NewVar("x", 0)
+	var errs [2]error
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Spawn(func(p *oftm.Proc) {
+			errs[i] = oftm.AtomicallyOn(tm, p, func(tx oftm.Tx) error {
+				v, err := tx.Read(x)
+				if err != nil {
+					return err
+				}
+				return tx.Write(x, v+1)
+			}, oftm.MaxAttempts(20))
+		})
+	}
+
+	env.Run(oftm.RoundRobin())
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("errors: %v %v", errs[0], errs[1])
+	}
+	var got uint64
+	if err := oftm.Atomically(tm, func(tx oftm.Tx) error {
+		v, err := tx.Read(x)
+		got = v
+		return err
+	}); err != nil || got != 2 {
+		t.Fatalf("x = %d (%v), want 2", got, err)
+	}
+}
+
+func TestFacadeStructures(t *testing.T) {
+	tm := oftm.NewTL2()
+	b := oftm.NewBank(tm, 4, 25)
+	if err := b.Transfer(nil, 0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	total, err := b.Total(nil)
+	if err != nil || total != 100 {
+		t.Fatalf("total %d (%v)", total, err)
+	}
+	s := oftm.NewIntSet(tm)
+	if added, err := s.Insert(nil, 3); err != nil || !added {
+		t.Fatalf("insert: %v %v", added, err)
+	}
+	h := oftm.NewHash(tm, 4)
+	if added, err := h.Put(nil, 1, 2); err != nil || !added {
+		t.Fatalf("put: %v %v", added, err)
+	}
+	q := oftm.NewQueue(tm, 2)
+	if ok, err := q.Enqueue(nil, 9); err != nil || !ok {
+		t.Fatalf("enqueue: %v %v", ok, err)
+	}
+	v, ok, err := q.Dequeue(nil)
+	if err != nil || !ok || v != 9 {
+		t.Fatalf("dequeue: %d %v %v", v, ok, err)
+	}
+}
+
+func TestFacadeErrAborted(t *testing.T) {
+	tm := oftm.NewDSTM()
+	x := tm.NewVar("x", 0)
+	tx := tm.Begin(nil)
+	tx.Abort()
+	if _, err := tx.Read(x); !errors.Is(err, oftm.ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFacadeAblationVariants(t *testing.T) {
+	tm := oftm.NewDSTM(oftm.ValidateAtCommitOnly())
+	x := tm.NewVar("x", 0)
+	if err := oftm.Atomically(tm, func(tx oftm.Tx) error { return tx.Write(x, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	tm2 := oftm.NewAlg2(oftm.AdversarialFoCons())
+	y := tm2.NewVar("y", 0)
+	if err := oftm.Atomically(tm2, func(tx oftm.Tx) error { return tx.Write(y, 1) }); err != nil {
+		t.Fatal(err)
+	}
+}
