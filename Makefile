@@ -1,0 +1,49 @@
+#!/usr/bin/make -f
+
+########################################
+### Build / test / verify
+
+GO ?= go
+PKGS = ./...
+
+build:
+	@echo "Building all packages and commands..."
+	@$(GO) build $(PKGS)
+
+test:
+	@echo "Running the full test suite (conformance, safety campaigns, checkers, adversary scenarios)..."
+	@$(GO) test $(PKGS)
+
+test-race:
+	@echo "Running the full test suite under the race detector..."
+	@$(GO) test -race $(PKGS)
+
+vet:
+	@echo "Vetting..."
+	@$(GO) vet $(PKGS)
+
+check: build vet test
+
+########################################
+### Benchmarks / experiments
+
+BENCHTIME ?= 1s
+
+bench:
+	@echo "Running the Go benchmark suite (ns/op + allocs/op)..."
+	@$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) .
+
+bench-readheavy:
+	@echo "Read-heavy benchmark (commit-epoch validation hot path)..."
+	@$(GO) test -run '^$$' -bench BenchmarkReadHeavy -benchmem -benchtime $(BENCHTIME) .
+
+experiments:
+	@echo "Regenerating the E1..E8 experiment tables..."
+	@$(GO) run ./cmd/oftm-bench
+
+BENCH_JSON ?= BENCH_PR1.json
+bench-json:
+	@echo "Measuring the perf-tracking grid into $(BENCH_JSON)..."
+	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON)
+
+.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json

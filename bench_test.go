@@ -32,6 +32,14 @@ import (
 	"repro/internal/sim"
 )
 
+// runThreads splits b.N across exactly `threads` goroutines. (The
+// obvious b.SetParallelism(threads)+RunParallel combination runs
+// threads*GOMAXPROCS workers, so "threads=N" labels would lie.)
+func runThreads(b *testing.B, threads int, fn func(threadID int, rng *rand.Rand, iters int)) {
+	b.Helper()
+	bench.SplitThreads(b.N, threads, fn)
+}
+
 // benchEngines are the raw-mode engines for the throughput benchmarks;
 // Algorithm 2 is benchmarked separately (BenchmarkAlg2) because of its
 // intentional cost profile.
@@ -54,16 +62,14 @@ func BenchmarkBankTransfer(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/threads=%d", e.Name, th), func(b *testing.B) {
 				tm := e.Raw()
 				bank := oftm.NewBank(tm, 8, 1000)
-				b.SetParallelism(th)
-				var seq atomic.Int64
 				b.ResetTimer()
-				b.RunParallel(func(pb *testing.PB) {
-					rng := rand.New(rand.NewSource(seq.Add(1)))
-					for pb.Next() {
+				runThreads(b, th, func(_ int, rng *rand.Rand, iters int) {
+					for i := 0; i < iters; i++ {
 						from := rng.Intn(8)
 						to := (from + 1 + rng.Intn(7)) % 8
 						if err := bank.Transfer(nil, from, to, 1); err != nil {
-							b.Fatal(err)
+							b.Error(err)
+							return
 						}
 					}
 				})
@@ -204,6 +210,73 @@ func BenchmarkValidationAblation(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkReadHeavy: one transaction reading R distinct variables with
+// no concurrent writers (E8f). Per-read read-set validation makes this
+// O(R²) base-object work; commit-counter (epoch) validation brings the
+// quiescent path down to O(R).
+func BenchmarkReadHeavy(b *testing.B) {
+	for _, e := range benchEngines() {
+		for _, r := range []int{64, 256, 1024} {
+			b.Run(fmt.Sprintf("%s/reads=%d", e.Name, r), func(b *testing.B) {
+				tm := e.Raw()
+				vars := make([]oftm.Var, r)
+				for i := range vars {
+					vars[i] = tm.NewVar(fmt.Sprintf("v%d", i), 0)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := oftm.Atomically(tm, func(tx oftm.Tx) error {
+						for _, v := range vars {
+							if _, err := tx.Read(v); err != nil {
+								return err
+							}
+						}
+						return nil
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSmallTxAllocs: allocation footprint of a small (≤ 8 vars)
+// uncontended transaction — 4 reads and 2 writes. The inline read/write
+// set representation should keep allocs/op flat.
+func BenchmarkSmallTxAllocs(b *testing.B) {
+	for _, e := range benchEngines() {
+		b.Run(e.Name, func(b *testing.B) {
+			tm := e.Raw()
+			vars := make([]oftm.Var, 6)
+			for i := range vars {
+				vars[i] = tm.NewVar(fmt.Sprintf("v%d", i), 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := oftm.Atomically(tm, func(tx oftm.Tx) error {
+					var sum uint64
+					for _, v := range vars[:4] {
+						x, err := tx.Read(v)
+						if err != nil {
+							return err
+						}
+						sum += x
+					}
+					if err := tx.Write(vars[4], sum); err != nil {
+						return err
+					}
+					return tx.Write(vars[5], sum+1)
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -6,6 +6,7 @@
 //	oftm-bench                 # run every experiment E1..E8
 //	oftm-bench -exp E5         # run one experiment
 //	oftm-bench -list           # list experiments
+//	oftm-bench -json out.json  # write the perf-tracking grid as JSON
 package main
 
 import (
@@ -20,11 +21,19 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.String("json", "", "measure the perf-tracking grid and write JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *jsonOut != "" {
+		if err := writeJSONFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "oftm-bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -41,6 +50,25 @@ func main() {
 		run(e)
 		fmt.Println()
 	}
+}
+
+// writeJSONFile measures the perf grid into path ("-" = stdout). A
+// failed close is reported: a truncated perf-tracking file must not
+// exit 0.
+func writeJSONFile(path string) error {
+	if path == "-" {
+		return bench.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := bench.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func run(e bench.Experiment) {

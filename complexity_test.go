@@ -1,0 +1,86 @@
+// Step-complexity regression tests: with commit-epoch validation, an
+// R-read transaction running without concurrent commits must perform
+// O(R) base-object steps, not the O(R²) of full per-read read-set
+// validation. The simulator's step counters make the bound
+// machine-checkable.
+package oftm_test
+
+import (
+	"fmt"
+	"testing"
+
+	oftm "repro"
+)
+
+// soloReadSteps runs one transaction reading R distinct variables on a
+// solo process in sim mode and returns the recorded step count.
+func soloReadSteps(t *testing.T, mk func(env *oftm.SimEnv) oftm.TM, reads int) int64 {
+	t.Helper()
+	env := oftm.NewSim()
+	tm := mk(env)
+	vars := make([]oftm.Var, reads)
+	for i := range vars {
+		vars[i] = tm.NewVar(fmt.Sprintf("v%d", i), 0)
+	}
+	var runErr error
+	env.Spawn(func(p *oftm.Proc) {
+		runErr = oftm.AtomicallyOn(tm, p, func(tx oftm.Tx) error {
+			for _, v := range vars {
+				if _, err := tx.Read(v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, oftm.MaxAttempts(1))
+	})
+	env.Run(oftm.Solo(1))
+	if runErr != nil {
+		t.Fatalf("solo %d-read transaction failed: %v", reads, runErr)
+	}
+	return env.TotalSteps()
+}
+
+func quiescentEngines() map[string]func(env *oftm.SimEnv) oftm.TM {
+	return map[string]func(env *oftm.SimEnv) oftm.TM{
+		"dstm": func(env *oftm.SimEnv) oftm.TM { return oftm.NewDSTM(oftm.InSim(env)) },
+		"nztm": func(env *oftm.SimEnv) oftm.TM { return oftm.NewNZTM(oftm.InSim(env)) },
+	}
+}
+
+// TestQuiescentReadStepsLinear: with epoch validation, steps grow
+// linearly in R — both in absolute terms (a generous c·R+b bound that
+// any quadratic scan blows through at R=256) and in growth rate
+// (quadrupling R must not ~16× the steps).
+func TestQuiescentReadStepsLinear(t *testing.T) {
+	for name, mk := range quiescentEngines() {
+		t.Run(name, func(t *testing.T) {
+			s64 := soloReadSteps(t, mk, 64)
+			s256 := soloReadSteps(t, mk, 256)
+			if bound := int64(8*256 + 64); s256 > bound {
+				t.Fatalf("256-read transaction took %d steps, want ≤ %d (O(R) epoch validation)", s256, bound)
+			}
+			if ratio := float64(s256) / float64(s64); ratio > 6 {
+				t.Fatalf("growth 64→256 reads is %d→%d steps (%.1f×), want ~4× (linear)", s64, s256, ratio)
+			}
+		})
+	}
+}
+
+// TestNoEpochValidationQuadratic: the ablation control — with the epoch
+// skip disabled the same transaction pays the full per-read scan, so
+// the step count must exceed any linear budget. This pins down that the
+// linear bound above is measuring the epoch skip, not a test artifact.
+func TestNoEpochValidationQuadratic(t *testing.T) {
+	ablated := map[string]func(env *oftm.SimEnv) oftm.TM{
+		"dstm": func(env *oftm.SimEnv) oftm.TM { return oftm.NewDSTM(oftm.InSim(env), oftm.NoEpochValidation()) },
+		"nztm": func(env *oftm.SimEnv) oftm.TM { return oftm.NewNZTM(oftm.InSim(env), oftm.NoEpochValidation()) },
+	}
+	for name, mk := range ablated {
+		t.Run(name, func(t *testing.T) {
+			s256 := soloReadSteps(t, mk, 256)
+			if bound := int64(8*256 + 64); s256 <= bound {
+				t.Fatalf("ablated engine took only %d steps (≤ %d): the control no longer scans per read", s256, bound)
+			}
+		})
+	}
+}

@@ -67,12 +67,23 @@ type U64 struct {
 
 // NewU64 returns a CAS word with the given initial value.
 func NewU64(env *sim.Env, name string, init uint64) *U64 {
-	w := &U64{env: env}
+	w := &U64{}
+	w.Init(env, name, init)
+	return w
+}
+
+// Init initializes a U64 in place, for words embedded by value in a
+// larger record (e.g. a transaction descriptor's status word): the
+// containing record is one allocation instead of record-plus-word. In
+// raw mode this is the descriptor fast path — no base-object
+// registration, no extra heap traffic. Must not be called on a word
+// already in use.
+func (w *U64) Init(env *sim.Env, name string, init uint64) {
+	w.env = env
 	w.v.Store(init)
 	if env != nil {
 		w.id = env.RegisterObj(name)
 	}
-	return w
 }
 
 // Obj returns the base-object id of the word (sim mode only).

@@ -1,0 +1,43 @@
+package base
+
+import (
+	"repro/internal/sim"
+)
+
+// Epoch is a per-TM commit counter — the primitive behind
+// commit-counter (TL2-style global-clock) read-set validation. Engines
+// bump it immediately BEFORE every commit CAS and after every forceful
+// abort; a transaction that observes an unchanged epoch between two of
+// its own reads knows no transaction committed in between, so its read
+// set cannot have been invalidated and the full validation scan can be
+// skipped.
+//
+// The bump-before-commit order is load-bearing: a transaction's
+// ownership acquisitions all precede its bump, so a reader whose epoch
+// sample is older than the bump either sees the acquisition (locator /
+// owner identity changed → full validation fails) or sees the epoch
+// move (→ full validation runs). A bump whose commit CAS then fails is
+// a spurious epoch advance: it forces unnecessary validations but never
+// hides a commit.
+//
+// Like every base object it is one scheduled step per operation in sim
+// mode and a bare atomic in raw mode.
+type Epoch struct {
+	w U64
+}
+
+// Init initializes an embedded Epoch in place. env may be nil (raw
+// mode).
+func (e *Epoch) Init(env *sim.Env, name string) {
+	e.w.Init(env, name, 0)
+}
+
+// Load returns the current epoch. One step.
+func (e *Epoch) Load(p *sim.Proc) uint64 {
+	return e.w.Read(p)
+}
+
+// Bump advances the epoch. One step.
+func (e *Epoch) Bump(p *sim.Proc) {
+	e.w.Add(p, 1)
+}

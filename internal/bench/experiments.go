@@ -15,6 +15,7 @@ import (
 	"repro/internal/dstm"
 	"repro/internal/focons"
 	"repro/internal/model"
+	"repro/internal/nztm"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -430,6 +431,30 @@ func E8(w io.Writer) {
 		ReadMix("mix90", 64, 90), 4, 50000)
 	t5.Add("validate-at-commit", fmt.Sprintf("%.0f", rc.OpsPerSec()), "no (serializable only)")
 	fmt.Fprint(w, t5.String())
+	fmt.Fprintln(w)
+
+	t6 := NewTable("Experiment E8f — commit-epoch validation ablation (256-read transactions, 1 thread)",
+		"engine", "epoch ops/s", "full-scan ops/s", "speedup")
+	epochVariants := []struct {
+		name    string
+		with    func() core.TM
+		without func() core.TM
+	}{
+		{"dstm",
+			func() core.TM { return dstm.New() },
+			func() core.TM { return dstm.New(dstm.WithoutEpochValidation()) }},
+		{"nztm",
+			func() core.TM { return nztm.New() },
+			func() core.TM { return nztm.New(nztm.WithoutEpochValidation()) }},
+	}
+	for _, v := range epochVariants {
+		withR := RunThroughput(v.with, ReadHeavy(256), 1, 2000)
+		withoutR := RunThroughput(v.without, ReadHeavy(256), 1, 2000)
+		t6.Add(v.name, fmt.Sprintf("%.0f", withR.OpsPerSec()),
+			fmt.Sprintf("%.0f", withoutR.OpsPerSec()),
+			fmt.Sprintf("%.1fx", withR.OpsPerSec()/withoutR.OpsPerSec()))
+	}
+	fmt.Fprint(w, t6.String())
 }
 
 func pass(ok bool) string {

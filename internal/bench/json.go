@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Record is one measurement of the perf-tracking suite, serialized to
+// BENCH_PR<n>.json so successive PRs can diff the trajectory.
+type Record struct {
+	Engine      string  `json:"engine"`
+	Workload    string  `json:"workload"`
+	Threads     int     `json:"threads"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	// Epoch and ForcedAborts are the engine's TMStats after the run
+	// (zero for engines without them).
+	Epoch        uint64 `json:"epoch,omitempty"`
+	ForcedAborts int64  `json:"forced_aborts,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Note    string   `json:"note"`
+	Records []Record `json:"records"`
+}
+
+// jsonCase is one engine × workload × threads combination.
+type jsonCase struct {
+	engine   Engine
+	workload Workload
+	threads  int
+}
+
+// WriteJSON measures the standard perf-tracking grid with
+// testing.Benchmark and writes the report to w. The grid deliberately
+// covers the three axes the repository optimizes: contended small
+// transactions (bank-8), quiescent long readers (readheavy-256), and
+// the allocation footprint of small transactions (smalltx).
+func WriteJSON(w io.Writer) error {
+	var cases []jsonCase
+	for _, e := range Engines() {
+		if e.Name == "alg2" {
+			continue // deliberately impractical; excluded from tracking
+		}
+		for _, th := range []int{1, 2, 4, 8} {
+			cases = append(cases, jsonCase{e, BankTransfer(8), th})
+		}
+		for _, th := range []int{1, 4} {
+			cases = append(cases, jsonCase{e, ReadHeavy(256), th})
+		}
+		cases = append(cases, jsonCase{e, SmallTx(), 1})
+	}
+
+	rep := Report{Note: "ns/op, allocs/op and B/op per engine × workload × threads; epoch/forced_aborts are engine TMStats after the timed run"}
+	for _, c := range cases {
+		rec, err := measure(c)
+		if err != nil {
+			return err
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func measure(c jsonCase) (Record, error) {
+	var tm core.TM
+	var opErr error
+	var mu sync.Mutex
+	res := testing.Benchmark(func(b *testing.B) {
+		tm = c.engine.Raw()
+		op := c.workload.Setup(tm)
+		b.ReportAllocs()
+		b.ResetTimer()
+		SplitThreads(b.N, c.threads, func(t int, rng *rand.Rand, iters int) {
+			for i := 0; i < iters; i++ {
+				if err := op(t, i, rng); err != nil {
+					mu.Lock()
+					opErr = err
+					mu.Unlock()
+					return
+				}
+			}
+		})
+	})
+	if opErr != nil {
+		return Record{}, fmt.Errorf("bench: %s/%s/threads=%d: %w", c.engine.Name, c.workload.Name, c.threads, opErr)
+	}
+	rec := Record{
+		Engine:      c.engine.Name,
+		Workload:    c.workload.Name,
+		Threads:     c.threads,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if rec.NsPerOp > 0 {
+		rec.OpsPerSec = 1e9 / rec.NsPerOp
+	}
+	if st, ok := core.StatsOf(tm); ok {
+		rec.Epoch = st.Epoch
+		rec.ForcedAborts = st.ForcedAborts
+	}
+	return rec, nil
+}

@@ -145,6 +145,63 @@ func BankTransfer(accounts int) Workload {
 	}
 }
 
+// ReadHeavy builds the long-read-transaction workload: every operation
+// is one transaction reading `reads` distinct variables. With per-read
+// full read-set validation this is O(reads²) work per transaction;
+// commit-epoch validation makes the quiescent path O(reads).
+func ReadHeavy(reads int) Workload {
+	return Workload{
+		Name: fmt.Sprintf("readheavy-%d", reads),
+		Setup: func(tm core.TM) func(int, int, *rand.Rand) error {
+			vs := make([]core.Var, reads)
+			for i := range vs {
+				vs[i] = tm.NewVar(fmt.Sprintf("v%d", i), 0)
+			}
+			return func(_, _ int, _ *rand.Rand) error {
+				return core.Run(tm, nil, func(tx core.Tx) error {
+					for _, v := range vs {
+						if _, err := tx.Read(v); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			}
+		},
+	}
+}
+
+// SmallTx builds the small-transaction workload used to track the
+// allocation footprint: 4 reads and 2 writes over 6 variables, fitting
+// the engines' inline read/write-set representation.
+func SmallTx() Workload {
+	return Workload{
+		Name: "smalltx",
+		Setup: func(tm core.TM) func(int, int, *rand.Rand) error {
+			vs := make([]core.Var, 6)
+			for i := range vs {
+				vs[i] = tm.NewVar(fmt.Sprintf("v%d", i), 0)
+			}
+			return func(_, _ int, _ *rand.Rand) error {
+				return core.Run(tm, nil, func(tx core.Tx) error {
+					var sum uint64
+					for _, v := range vs[:4] {
+						x, err := tx.Read(v)
+						if err != nil {
+							return err
+						}
+						sum += x
+					}
+					if err := tx.Write(vs[4], sum); err != nil {
+						return err
+					}
+					return tx.Write(vs[5], sum+1)
+				})
+			}
+		},
+	}
+}
+
 // Disjoint builds the perfect disjoint-access workload: each thread
 // owns a private variable and increments only it. Any slowdown with
 // more threads is pure implementation-level interference — the "hot
@@ -169,6 +226,30 @@ func Disjoint(maxThreads int) Workload {
 			}
 		},
 	}
+}
+
+// SplitThreads partitions n iterations across exactly `threads`
+// goroutines — each with a deterministic rng — and waits for all of
+// them. Shared by the JSON perf grid and the go-test benchmarks so
+// "threads=N" means the same thing everywhere (note that
+// b.SetParallelism(N)+RunParallel would run N*GOMAXPROCS workers).
+func SplitThreads(n, threads int, fn func(threadID int, rng *rand.Rand, iters int)) {
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		iters := n / threads
+		if t < n%threads {
+			iters++
+		}
+		if iters == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(t, iters int) {
+			defer wg.Done()
+			fn(t, rand.New(rand.NewSource(int64(t)*7919+1)), iters)
+		}(t, iters)
+	}
+	wg.Wait()
 }
 
 // Result is one throughput measurement.

@@ -102,7 +102,15 @@ func CheckStrictDAP(h *model.History, name NameFunc) []DAPViolation {
 		}
 		byObj[s.Obj] = append(byObj[s.Obj], access{tx: s.Tx, proc: s.Proc, write: s.Write})
 	}
-	seen := map[[2]model.TxID]bool{}
+	type pairObj struct {
+		t1, t2 model.TxID
+		obj    model.ObjID
+	}
+	// Dedup per (pair, object), not per pair: an engine may make a
+	// disjoint pair conflict on several base objects (e.g. a
+	// descriptor's status word and a commit-epoch counter), and the
+	// experiments name each of them.
+	seen := map[pairObj]bool{}
 	var out []DAPViolation
 	for obj, accs := range byObj {
 		for i := 0; i < len(accs); i++ {
@@ -117,15 +125,15 @@ func CheckStrictDAP(h *model.History, name NameFunc) []DAPViolation {
 				if sharesVar(varSets[a.tx], varSets[b.tx]) {
 					continue
 				}
-				key := [2]model.TxID{a.tx, b.tx}
-				if key[0].Handle() > key[1].Handle() {
-					key[0], key[1] = key[1], key[0]
+				key := pairObj{t1: a.tx, t2: b.tx, obj: obj}
+				if key.t1.Handle() > key.t2.Handle() {
+					key.t1, key.t2 = key.t2, key.t1
 				}
 				if seen[key] {
 					continue
 				}
 				seen[key] = true
-				v := DAPViolation{Obj: obj, Tx1: key[0], Tx2: key[1]}
+				v := DAPViolation{Obj: obj, Tx1: key.t1, Tx2: key.t2}
 				if name != nil {
 					v.ObjName = name(obj)
 				}

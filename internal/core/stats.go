@@ -1,0 +1,31 @@
+package core
+
+// TMStats is a snapshot of engine-internal counters, exposed so
+// benchmarks and reports can attribute throughput differences to
+// engine mechanics without reaching into engine packages.
+type TMStats struct {
+	// Epoch is the engine's commit-epoch value: bumped once per commit
+	// attempt (immediately before the commit CAS) and once per forceful
+	// abort. Zero for engines without commit-counter validation.
+	Epoch uint64
+	// ForcedAborts counts forceful aborts inflicted on transaction
+	// owners through contention-manager decisions.
+	ForcedAborts int64
+}
+
+// StatsSource is the optional interface of engines that expose TMStats.
+type StatsSource interface {
+	Stats() TMStats
+}
+
+// StatsOf returns tm's stats, reporting whether the engine (or, for the
+// Recorded wrapper, the engine underneath) exposes them.
+func StatsOf(tm TM) (TMStats, bool) {
+	switch s := tm.(type) {
+	case StatsSource:
+		return s.Stats(), true
+	case *recTM:
+		return StatsOf(s.inner)
+	}
+	return TMStats{}, false
+}

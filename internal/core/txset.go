@@ -1,0 +1,95 @@
+package core
+
+// smallMapInline is the number of entries a SmallMap holds inline
+// before spilling to a heap map. Eight covers the vast majority of
+// transactions in the workloads of this repository (bank transfers,
+// set/queue operations) so their read and write sets cost zero
+// allocations.
+const smallMapInline = 8
+
+// SmallMap is the allocation-lean association used for transaction read
+// and write sets: the first smallMapInline entries live in an inline
+// array; only transactions that outgrow it pay for a real map. The zero
+// value is empty and ready to use. Like the transactions that embed it,
+// a SmallMap is not safe for concurrent use.
+type SmallMap[K comparable, V any] struct {
+	keys  [smallMapInline]K
+	vals  [smallMapInline]V
+	n     int
+	spill map[K]V
+}
+
+// Get returns the value stored under k.
+func (s *SmallMap[K, V]) Get(k K) (V, bool) {
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == k {
+			return s.vals[i], true
+		}
+	}
+	if s.spill != nil {
+		v, ok := s.spill[k]
+		return v, ok
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or updates the entry for k.
+func (s *SmallMap[K, V]) Put(k K, v V) {
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == k {
+			s.vals[i] = v
+			return
+		}
+	}
+	if s.spill != nil {
+		if _, ok := s.spill[k]; ok {
+			s.spill[k] = v
+			return
+		}
+	}
+	if s.n < smallMapInline {
+		s.keys[s.n], s.vals[s.n] = k, v
+		s.n++
+		return
+	}
+	if s.spill == nil {
+		s.spill = make(map[K]V, 2*smallMapInline)
+	}
+	s.spill[k] = v
+}
+
+// Delete removes the entry for k if present.
+func (s *SmallMap[K, V]) Delete(k K) {
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == k {
+			s.n--
+			s.keys[i], s.vals[i] = s.keys[s.n], s.vals[s.n]
+			var zk K
+			var zv V
+			s.keys[s.n], s.vals[s.n] = zk, zv
+			return
+		}
+	}
+	if s.spill != nil {
+		delete(s.spill, k)
+	}
+}
+
+// Len returns the number of entries.
+func (s *SmallMap[K, V]) Len() int { return s.n + len(s.spill) }
+
+// Range calls f for every entry until f returns false. Entries must not
+// be inserted or deleted during iteration.
+func (s *SmallMap[K, V]) Range(f func(K, V) bool) {
+	for i := 0; i < s.n; i++ {
+		if !f(s.keys[i], s.vals[i]) {
+			return
+		}
+	}
+	for k, v := range s.spill {
+		if !f(k, v) {
+			return
+		}
+	}
+}

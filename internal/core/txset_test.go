@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSmallMapInlineAndSpill(t *testing.T) {
+	var m SmallMap[int, string]
+	if m.Len() != 0 {
+		t.Fatalf("zero value not empty: %d", m.Len())
+	}
+	if _, ok := m.Get(1); ok {
+		t.Fatal("get on empty succeeded")
+	}
+	// Fill past the inline capacity.
+	const n = 3 * smallMapInline
+	for i := 0; i < n; i++ {
+		m.Put(i, fmt.Sprint(i))
+	}
+	if m.Len() != n {
+		t.Fatalf("len = %d, want %d", m.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := m.Get(i)
+		if !ok || v != fmt.Sprint(i) {
+			t.Fatalf("get(%d) = %q, %v", i, v, ok)
+		}
+	}
+	// Updates must not duplicate, wherever the entry lives.
+	for i := 0; i < n; i++ {
+		m.Put(i, "u")
+	}
+	if m.Len() != n {
+		t.Fatalf("len after updates = %d, want %d", m.Len(), n)
+	}
+	seen := map[int]bool{}
+	m.Range(func(k int, v string) bool {
+		if v != "u" {
+			t.Fatalf("entry %d not updated: %q", k, v)
+		}
+		if seen[k] {
+			t.Fatalf("key %d visited twice", k)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("range visited %d keys, want %d", len(seen), n)
+	}
+}
+
+func TestSmallMapDelete(t *testing.T) {
+	var m SmallMap[int, int]
+	const n = 2 * smallMapInline
+	for i := 0; i < n; i++ {
+		m.Put(i, i)
+	}
+	// Delete interleaved inline and spilled entries (the first
+	// smallMapInline keys are inline).
+	for i := 0; i < n; i += 2 {
+		m.Delete(i)
+	}
+	m.Delete(12345) // absent: no-op
+	if m.Len() != n/2 {
+		t.Fatalf("len = %d, want %d", m.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := m.Get(i)
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 1 && (!ok || v != i) {
+			t.Fatalf("kept key %d lost: %v %v", i, v, ok)
+		}
+	}
+	// Reinsertion after inline deletes reuses inline slots.
+	m.Put(0, 100)
+	if v, ok := m.Get(0); !ok || v != 100 {
+		t.Fatalf("reinserted key: %v %v", v, ok)
+	}
+}
+
+func TestSmallMapRangeEarlyStop(t *testing.T) {
+	var m SmallMap[int, int]
+	for i := 0; i < smallMapInline+4; i++ {
+		m.Put(i, i)
+	}
+	visits := 0
+	m.Range(func(int, int) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Fatalf("early stop visited %d, want 3", visits)
+	}
+}
+
+func TestSmallMapZeroAllocInline(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		var m SmallMap[int, int]
+		for i := 0; i < smallMapInline; i++ {
+			m.Put(i, i)
+		}
+		for i := 0; i < smallMapInline; i++ {
+			if _, ok := m.Get(i); !ok {
+				t.Fatal("lost entry")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("inline-only use allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -55,10 +55,11 @@ type locator struct {
 }
 
 // txDesc is a transaction descriptor: the single word whose CAS commits
-// or aborts the transaction.
+// or aborts the transaction. The status word is embedded by value, so a
+// raw-mode descriptor is a single allocation.
 type txDesc struct {
 	id     model.TxID
-	status *base.U64
+	status base.U64
 	start  int64
 	ops    atomic.Int64
 }
@@ -101,11 +102,27 @@ func ValidateAtCommitOnly() Option {
 	return func(d *DSTM) { d.validateOnRead = false }
 }
 
+// WithoutEpochValidation disables the commit-epoch fast path, forcing a
+// full locator-identity scan on every read — the paper's reference
+// behavior, O(R²) steps for an R-read transaction. The ablation knob
+// for experiment E8f.
+func WithoutEpochValidation() Option {
+	return func(d *DSTM) { d.epochSkip = false }
+}
+
 // DSTM is the engine. It implements core.TM.
 type DSTM struct {
 	env            *sim.Env
 	mgr            cm.Manager
 	validateOnRead bool
+	epochSkip      bool
+
+	// epoch is the commit counter: bumped immediately before every
+	// commit CAS of a writing transaction and after every forceful
+	// abort. A transaction that observes it unchanged since its last
+	// full validation knows its read set is still consistent (no commit
+	// can have changed a logical value in between) and skips the scan.
+	epoch base.Epoch
 
 	mu      sync.Mutex
 	vars    []*tvar
@@ -128,15 +145,15 @@ func New(opts ...Option) *DSTM {
 	d := &DSTM{
 		mgr:            cm.Polite{},
 		validateOnRead: true,
+		epochSkip:      true,
 		nextTx:         map[model.ProcID]int{},
 	}
 	for _, o := range opts {
 		o(d)
 	}
-	d.initDesc = &txDesc{
-		id:     model.TxID{Proc: 0, Seq: 0},
-		status: base.NewU64(d.env, "T0.status", statusCommitted),
-	}
+	d.epoch.Init(d.env, "dstm.epoch")
+	d.initDesc = &txDesc{id: model.TxID{Proc: 0, Seq: 0}}
+	d.initDesc.status.Init(d.env, "T0.status", statusCommitted)
 	return d
 }
 
@@ -148,6 +165,11 @@ func (d *DSTM) ObstructionFree() bool { return true }
 
 // Manager returns the configured contention manager.
 func (d *DSTM) Manager() cm.Manager { return d.mgr }
+
+// Stats implements core.StatsSource.
+func (d *DSTM) Stats() core.TMStats {
+	return core.TMStats{Epoch: d.epoch.Load(nil), ForcedAborts: d.Aborts.Load()}
+}
 
 // NewVar implements core.TM.
 func (d *DSTM) NewVar(name string, init uint64) core.Var {
@@ -183,9 +205,9 @@ func (d *DSTM) Begin(p *sim.Proc) core.Tx {
 		start: d.tickets.Add(1),
 	}
 	if d.env != nil {
-		desc.status = base.NewU64(d.env, id.String()+".status", statusLive)
+		desc.status.Init(d.env, id.String()+".status", statusLive)
 	} else {
-		desc.status = base.NewU64(nil, "", statusLive)
+		desc.status.Init(nil, "", statusLive)
 	}
 	return &dsTx{tm: d, p: p, desc: desc}
 }
@@ -199,8 +221,14 @@ type dsTx struct {
 	tm   *DSTM
 	p    *sim.Proc
 	desc *txDesc
-	rset map[*tvar]readEntry
-	wset map[*tvar]*locator
+	rset core.SmallMap[*tvar, readEntry]
+	wset core.SmallMap[*tvar, *locator]
+	// valEpoch is the engine epoch sampled immediately before the last
+	// full validation that passed; valid only when valSet. While the
+	// epoch still holds that value the read set cannot have been
+	// invalidated, so validation is skipped.
+	valEpoch uint64
+	valSet   bool
 	// completedLocally caches the outcome once the transaction observed
 	// its own completion, to short-circuit further operations.
 	completedLocally model.Status
@@ -266,6 +294,13 @@ func (t *dsTx) resolve(tv *tvar, l *locator) (uint64, bool) {
 		case cm.AbortVictim:
 			if l.owner.status.CAS(t.p, statusLive, statusAborted) {
 				t.tm.Aborts.Add(1)
+				// A forceful abort changes no logical value, but bumping
+				// here makes the victim's next epoch check fail, so it
+				// discovers its own abort without a full scan of every
+				// read.
+				if t.tm.epochSkip {
+					t.tm.epoch.Bump(t.p)
+				}
 			}
 			// Re-read the status on the next iteration: either our CAS
 			// succeeded (aborted) or the owner completed meanwhile.
@@ -283,12 +318,40 @@ func (t *dsTx) resolve(tv *tvar, l *locator) (uint64, bool) {
 // must still be live. This is the paper's "the state of y is re-read to
 // ensure that Ti still observes a consistent state of the system".
 func (t *dsTx) validate() bool {
-	for tv, e := range t.rset {
+	ok := true
+	t.rset.Range(func(tv *tvar, e readEntry) bool {
 		if tv.cell.Load(t.p) != e.loc {
-			return false
+			ok = false
 		}
+		return ok
+	})
+	return ok && t.desc.status.Read(t.p) == statusLive
+}
+
+// maybeValidate is the commit-epoch fast path around validate. The
+// epoch is sampled BEFORE the scan: if the scan passes, the snapshot
+// was consistent no earlier than the sample, so a later operation that
+// still observes the sampled epoch knows no transaction committed in
+// between — no logical value changed — and skips the scan entirely.
+// The quiescent path is O(1) per read instead of O(|rset|).
+func (t *dsTx) maybeValidate() bool {
+	if !t.tm.validateOnRead {
+		return true
 	}
-	return t.desc.status.Read(t.p) == statusLive
+	if !t.tm.epochSkip {
+		// Ablation baseline: the reference engine touches no epoch word
+		// at all — neither here nor at commit/abort.
+		return t.validate()
+	}
+	cur := t.tm.epoch.Load(t.p)
+	if t.valSet && cur == t.valEpoch {
+		return true
+	}
+	if !t.validate() {
+		return false
+	}
+	t.valEpoch, t.valSet = cur, true
+	return true
 }
 
 func (t *dsTx) Read(v core.Var) (uint64, error) {
@@ -298,12 +361,12 @@ func (t *dsTx) Read(v core.Var) (uint64, error) {
 	tv := mustVar(t.tm, v)
 	t.desc.ops.Add(1)
 	// Read-own-write.
-	if loc, ok := t.wset[tv]; ok {
+	if loc, ok := t.wset.Get(tv); ok {
 		return loc.newVal, nil
 	}
 	// Repeated read: the recorded value, provided the locator is
 	// unchanged.
-	if e, ok := t.rset[tv]; ok {
+	if e, ok := t.rset.Get(tv); ok {
 		if tv.cell.Load(t.p) != e.loc {
 			return 0, t.abortSelf()
 		}
@@ -314,11 +377,8 @@ func (t *dsTx) Read(v core.Var) (uint64, error) {
 	if !ok {
 		return 0, t.abortSelf()
 	}
-	if t.rset == nil {
-		t.rset = map[*tvar]readEntry{}
-	}
-	t.rset[tv] = readEntry{loc: l, val: val}
-	if t.tm.validateOnRead && !t.validate() {
+	t.rset.Put(tv, readEntry{loc: l, val: val})
+	if !t.maybeValidate() {
 		return 0, t.abortSelf()
 	}
 	return val, nil
@@ -331,7 +391,7 @@ func (t *dsTx) Write(v core.Var, val uint64) error {
 	tv := mustVar(t.tm, v)
 	t.desc.ops.Add(1)
 	// Already owned: update the locator's new value in place.
-	if loc, ok := t.wset[tv]; ok {
+	if loc, ok := t.wset.Get(tv); ok {
 		loc.newVal = val
 		return nil
 	}
@@ -343,17 +403,14 @@ func (t *dsTx) Write(v core.Var, val uint64) error {
 		}
 		// If we read this variable earlier, the value we acquire from
 		// must be the value we read, or our snapshot is stale.
-		if e, seen := t.rset[tv]; seen && (e.loc != l && cur != e.val) {
+		if e, seen := t.rset.Get(tv); seen && (e.loc != l && cur != e.val) {
 			return t.abortSelf()
 		}
 		newLoc := &locator{owner: t.desc, oldVal: cur, newVal: val}
 		if tv.cell.CAS(t.p, l, newLoc) {
-			if t.wset == nil {
-				t.wset = map[*tvar]*locator{}
-			}
-			t.wset[tv] = newLoc
-			delete(t.rset, tv) // ownership supersedes the read entry
-			if t.tm.validateOnRead && !t.validate() {
+			t.wset.Put(tv, newLoc)
+			t.rset.Delete(tv) // ownership supersedes the read entry
+			if !t.maybeValidate() {
 				return t.abortSelf()
 			}
 			return nil
@@ -366,8 +423,25 @@ func (t *dsTx) Commit() error {
 	if t.completedLocally != model.Live {
 		return core.ErrAborted
 	}
-	if !t.validate() {
+	// Commit-time validation. A read-only transaction may use the epoch
+	// skip: its snapshot was consistent at its last full validation and
+	// it writes nothing, so it serializes there. A WRITER must always
+	// rescan: epoch bumps happen only at commit, so a concurrent
+	// writer's ownership acquisitions are invisible to the epoch, and
+	// two writers with crossed read/write sets could otherwise both
+	// skip (neither has bumped yet) and both commit — write skew. The
+	// full scan restores the exclusion argument: each writer scans
+	// after all its acquisitions, so of two crossed writers at most one
+	// scan can pass.
+	readOnly := t.wset.Len() == 0
+	if !(readOnly && t.tm.epochSkip && t.valSet && t.tm.epoch.Load(t.p) == t.valEpoch) && !t.validate() {
 		return t.abortSelf()
+	}
+	if !readOnly && t.tm.epochSkip {
+		// Pre-announce the commit: the bump precedes the status CAS so
+		// no reader can skip validation across it. Read-only commits
+		// change no logical value and need no bump.
+		t.tm.epoch.Bump(t.p)
 	}
 	if !t.desc.status.CAS(t.p, statusLive, statusCommitted) {
 		// Someone forcefully aborted us between validation and the CAS.
@@ -395,6 +469,6 @@ func (t *dsTx) Release(v core.Var) error {
 		return core.ErrAborted
 	}
 	tv := mustVar(t.tm, v)
-	delete(t.rset, tv)
+	t.rset.Delete(tv)
 	return nil
 }

@@ -44,10 +44,12 @@ const (
 )
 
 // desc is a transaction descriptor: status word plus the undo log that
-// other processes consult when this transaction is aborted.
+// other processes consult when this transaction is aborted. The status
+// word is embedded by value, so a raw-mode descriptor is a single
+// allocation.
 type desc struct {
 	id     model.TxID
-	status *base.U64
+	status base.U64
 	start  int64
 	ops    atomic.Int64
 
@@ -113,10 +115,21 @@ func WithEnv(env *sim.Env) Option { return func(t *TM) { t.env = env } }
 // WithManager selects the contention manager (default Polite).
 func WithManager(m cm.Manager) Option { return func(t *TM) { t.mgr = m } }
 
+// WithoutEpochValidation disables the commit-epoch fast path, forcing a
+// full owner-identity scan on every read (the O(R²) reference
+// behavior). Ablation knob for experiment E8f.
+func WithoutEpochValidation() Option { return func(t *TM) { t.epochSkip = false } }
+
 // TM is the zero-indirection OFTM engine. It implements core.TM.
 type TM struct {
-	env *sim.Env
-	mgr cm.Manager
+	env       *sim.Env
+	mgr       cm.Manager
+	epochSkip bool
+
+	// epoch is the commit counter (see dstm): bumped immediately before
+	// every writing commit CAS and after every forceful abort, letting
+	// readers skip read-set validation across quiescent periods.
+	epoch base.Epoch
 
 	mu      sync.Mutex
 	vars    []*tvar
@@ -130,10 +143,11 @@ type TM struct {
 
 // New returns an engine instance.
 func New(opts ...Option) *TM {
-	t := &TM{mgr: cm.Polite{}, nextTx: map[model.ProcID]int{}}
+	t := &TM{mgr: cm.Polite{}, epochSkip: true, nextTx: map[model.ProcID]int{}}
 	for _, o := range opts {
 		o(t)
 	}
+	t.epoch.Init(t.env, "nztm.epoch")
 	return t
 }
 
@@ -173,12 +187,17 @@ func (t *TM) Begin(p *sim.Proc) core.Tx {
 	}
 	d := &desc{id: id, start: t.tickets.Add(1), env: t.env}
 	if t.env != nil {
-		d.status = base.NewU64(t.env, id.String()+".status", statusLive)
+		d.status.Init(t.env, id.String()+".status", statusLive)
 		d.undoObj = t.env.RegisterObj(id.String() + ".undo")
 	} else {
-		d.status = base.NewU64(nil, "", statusLive)
+		d.status.Init(nil, "", statusLive)
 	}
 	return &tx{eng: t, p: p, d: d}
+}
+
+// Stats implements core.StatsSource.
+func (t *TM) Stats() core.TMStats {
+	return core.TMStats{Epoch: t.epoch.Load(nil), ForcedAborts: t.Aborts.Load()}
 }
 
 // readEntry records the value read and the owner descriptor it was
@@ -196,9 +215,14 @@ type tx struct {
 	eng  *TM
 	p    *sim.Proc
 	d    *desc
-	rset map[*tvar]readEntry
-	wset map[*tvar]uint64 // current (written) value of owned vars
-	done model.Status
+	rset core.SmallMap[*tvar, readEntry]
+	wset core.SmallMap[*tvar, uint64] // current (written) value of owned vars
+	// valEpoch is the engine epoch sampled immediately before the last
+	// full validation that passed (valid when valSet); while the epoch
+	// holds that value the read set cannot have been invalidated.
+	valEpoch uint64
+	valSet   bool
+	done     model.Status
 }
 
 func (x *tx) ID() model.TxID { return x.d.id }
@@ -267,6 +291,11 @@ func (x *tx) resolve(v *tvar) (val uint64, owner *desc, ok bool) {
 		case cm.AbortVictim:
 			if o.status.CAS(x.p, statusLive, statusAborted) {
 				x.eng.Aborts.Add(1)
+				// No logical value changes, but the bump lets the victim
+				// notice its own abort at its next epoch check.
+				if x.eng.epochSkip {
+					x.eng.epoch.Bump(x.p)
+				}
 			}
 		case cm.Retry:
 			x.backoff(attempt)
@@ -281,12 +310,35 @@ func (x *tx) resolve(v *tvar) (val uint64, owner *desc, ok bool) {
 // cell still holds the descriptor the value was resolved under) and
 // that this transaction is still live.
 func (x *tx) validate() bool {
-	for tv, e := range x.rset {
+	ok := true
+	x.rset.Range(func(tv *tvar, e readEntry) bool {
 		if tv.owner.Load(x.p) != e.owner {
-			return false
+			ok = false
 		}
+		return ok
+	})
+	return ok && x.d.status.Read(x.p) == statusLive
+}
+
+// maybeValidate is the commit-epoch fast path around validate: sample
+// the epoch, skip the scan when it has not moved since the last full
+// validation (no transaction committed, so no logical value changed),
+// otherwise rescan and remember the pre-scan sample. See dstm for the
+// ordering argument.
+func (x *tx) maybeValidate() bool {
+	if !x.eng.epochSkip {
+		// Ablation baseline: no epoch accesses anywhere.
+		return x.validate()
 	}
-	return x.d.status.Read(x.p) == statusLive
+	cur := x.eng.epoch.Load(x.p)
+	if x.valSet && cur == x.valEpoch {
+		return true
+	}
+	if !x.validate() {
+		return false
+	}
+	x.valEpoch, x.valSet = cur, true
+	return true
 }
 
 func (x *tx) Read(v core.Var) (uint64, error) {
@@ -295,10 +347,10 @@ func (x *tx) Read(v core.Var) (uint64, error) {
 	}
 	tv := mustVar(x.eng, v)
 	x.d.ops.Add(1)
-	if val, ok := x.wset[tv]; ok {
+	if val, ok := x.wset.Get(tv); ok {
 		return val, nil
 	}
-	if e, ok := x.rset[tv]; ok {
+	if e, ok := x.rset.Get(tv); ok {
 		if tv.owner.Load(x.p) != e.owner {
 			return 0, x.abortSelf()
 		}
@@ -308,11 +360,8 @@ func (x *tx) Read(v core.Var) (uint64, error) {
 	if !ok {
 		return 0, x.abortSelf()
 	}
-	if x.rset == nil {
-		x.rset = map[*tvar]readEntry{}
-	}
-	x.rset[tv] = readEntry{val: val, owner: owner}
-	if !x.validate() {
+	x.rset.Put(tv, readEntry{val: val, owner: owner})
+	if !x.maybeValidate() {
 		return 0, x.abortSelf()
 	}
 	return val, nil
@@ -324,8 +373,8 @@ func (x *tx) Write(v core.Var, val uint64) error {
 	}
 	tv := mustVar(x.eng, v)
 	x.d.ops.Add(1)
-	if _, owned := x.wset[tv]; owned {
-		x.wset[tv] = val
+	if _, owned := x.wset.Get(tv); owned {
+		x.wset.Put(tv, val)
 		tv.val.Write(x.p, val)
 		return nil
 	}
@@ -336,7 +385,7 @@ func (x *tx) Write(v core.Var, val uint64) error {
 		}
 		// Snapshot consistency: a variable we read earlier must still be
 		// resolved under the same owner we read it under.
-		if e, seen := x.rset[tv]; seen && prev != e.owner {
+		if e, seen := x.rset.Get(tv); seen && prev != e.owner {
 			return x.abortSelf()
 		}
 		// Record the pre-value BEFORE publishing ownership: once the CAS
@@ -353,12 +402,9 @@ func (x *tx) Write(v core.Var, val uint64) error {
 		// write below is then harmless garbage that resolution hides
 		// behind the undo entry, but we must not continue operating.
 		tv.val.Write(x.p, val)
-		if x.wset == nil {
-			x.wset = map[*tvar]uint64{}
-		}
-		x.wset[tv] = val
-		delete(x.rset, tv)
-		if !x.validate() {
+		x.wset.Put(tv, val)
+		x.rset.Delete(tv)
+		if !x.maybeValidate() {
 			return x.abortSelf()
 		}
 		return nil
@@ -369,8 +415,18 @@ func (x *tx) Commit() error {
 	if x.done != model.Live {
 		return core.ErrAborted
 	}
-	if !x.validate() {
+	// Read-only transactions may use the epoch skip (they serialize at
+	// their last full validation); writers must rescan, since ownership
+	// acquisitions do not bump the epoch and two crossed writers could
+	// otherwise both skip and commit write skew (see dstm.Commit).
+	readOnly := x.wset.Len() == 0
+	if !(readOnly && x.eng.epochSkip && x.valSet && x.eng.epoch.Load(x.p) == x.valEpoch) && !x.validate() {
 		return x.abortSelf()
+	}
+	if !readOnly && x.eng.epochSkip {
+		// Pre-announce: the bump precedes the commit CAS so no reader
+		// can skip validation across a commit that changes values.
+		x.eng.epoch.Bump(x.p)
 	}
 	if !x.d.status.CAS(x.p, statusLive, statusCommitted) {
 		x.done = model.Aborted

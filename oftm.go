@@ -135,6 +135,9 @@ func NewDSTM(opts ...EngineOption) TM {
 	if c.validateAtCommit {
 		dopts = append(dopts, dstm.ValidateAtCommitOnly())
 	}
+	if c.noEpoch {
+		dopts = append(dopts, dstm.WithoutEpochValidation())
+	}
 	return dstm.New(dopts...)
 }
 
@@ -179,6 +182,7 @@ type engineConfig struct {
 	mgr               cm.Manager
 	validateAtCommit  bool
 	adversarialFoCons bool
+	noEpoch           bool
 }
 
 // InSim attaches the engine's base objects to a simulation environment.
@@ -196,6 +200,20 @@ func WithManager(m ContentionManager) EngineOption {
 func ValidateAtCommitOnly() EngineOption {
 	return func(c *engineConfig) { c.validateAtCommit = true }
 }
+
+// NoEpochValidation disables commit-epoch (commit-counter) read-set
+// validation in DSTM and NZTM, restoring the paper's reference O(R²)
+// full-scan-per-read behavior — the ablation knob for experiment E8f.
+func NoEpochValidation() EngineOption {
+	return func(c *engineConfig) { c.noEpoch = true }
+}
+
+// TMStats is a snapshot of engine-internal counters (commit epoch,
+// forceful aborts).
+type TMStats = core.TMStats
+
+// StatsOf returns tm's TMStats when the engine exposes them.
+func StatsOf(tm TM) (TMStats, bool) { return core.StatsOf(tm) }
 
 // AdversarialFoCons makes Algorithm 2's fo-consensus objects use their
 // abort licence maximally (testing the worst case the spec allows).
@@ -259,6 +277,9 @@ func NewNZTM(opts ...EngineOption) TM {
 	}
 	if c.mgr != nil {
 		nopts = append(nopts, nztm.WithManager(c.mgr))
+	}
+	if c.noEpoch {
+		nopts = append(nopts, nztm.WithoutEpochValidation())
 	}
 	return nztm.New(nopts...)
 }
