@@ -41,9 +41,14 @@ experiments:
 	@echo "Regenerating the E1..E8 experiment tables..."
 	@$(GO) run ./cmd/oftm-bench
 
-BENCH_JSON ?= BENCH_PR1.json
+BENCH_JSON ?= BENCH_PR2.json
 bench-json:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON)
 
-.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json
+BASELINE ?= BENCH_PR1.json
+bench-diff:
+	@echo "Measuring the perf-tracking grid into $(BENCH_JSON) and diffing against $(BASELINE) (fails on >25% ns/op regressions)..."
+	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON) -baseline $(BASELINE)
+
+.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff

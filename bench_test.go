@@ -246,6 +246,37 @@ func BenchmarkReadHeavy(b *testing.B) {
 	}
 }
 
+// BenchmarkContendedReadHeavy: 256-read transactions while a background
+// writer commits continuously to a disjoint variable (E8g). With
+// per-variable versioned validation the readers' cost should stay close
+// to BenchmarkReadHeavy; the global-epoch and full-scan ablations are
+// measured in-process by `oftm-bench -exp E8`.
+func BenchmarkContendedReadHeavy(b *testing.B) {
+	for _, e := range benchEngines() {
+		b.Run(e.Name, func(b *testing.B) {
+			w := bench.ContendedReadHeavy(256)
+			tm := e.Raw()
+			op := w.Setup(tm)
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				w.Background(tm, stop)
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := op(0, i, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			<-done
+		})
+	}
+}
+
 // BenchmarkSmallTxAllocs: allocation footprint of a small (≤ 8 vars)
 // uncontended transaction — 4 reads and 2 writes. The inline read/write
 // set representation should keep allocs/op flat.

@@ -7,6 +7,9 @@
 //	oftm-bench -exp E5         # run one experiment
 //	oftm-bench -list           # list experiments
 //	oftm-bench -json out.json  # write the perf-tracking grid as JSON
+//	oftm-bench -json out.json -baseline BENCH_PR1.json
+//	                           # ...and diff ns/op against a previous
+//	                           # grid, exiting 1 on >25% regressions
 package main
 
 import (
@@ -22,6 +25,8 @@ func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.String("json", "", "measure the perf-tracking grid and write JSON to this file ('-' for stdout)")
+	baseline := flag.String("baseline", "", "previous perf-tracking JSON to diff against (requires -json); exits 1 when any record's ns/op regresses by more than -tolerance")
+	tolerance := flag.Float64("tolerance", 25, "regression tolerance for -baseline, in percent")
 	flag.Parse()
 
 	if *list {
@@ -30,10 +35,20 @@ func main() {
 		}
 		return
 	}
+	if *baseline != "" && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "oftm-bench: -baseline requires -json (the comparison needs fresh measurements)")
+		os.Exit(2)
+	}
 	if *jsonOut != "" {
 		if err := writeJSONFile(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "oftm-bench: %v\n", err)
 			os.Exit(1)
+		}
+		if *baseline != "" {
+			if err := diffBaseline(*jsonOut, *baseline, *tolerance); err != nil {
+				fmt.Fprintf(os.Stderr, "oftm-bench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -69,6 +84,30 @@ func writeJSONFile(path string) error {
 		return werr
 	}
 	return cerr
+}
+
+// diffBaseline compares the freshly written grid against a previous
+// one, printing per-record ns/op deltas. A regression beyond tolPct on
+// any record is an error: the perf trajectory is enforced, not just
+// recorded. ('-' as the json output streams to stdout and leaves
+// nothing to compare.)
+func diffBaseline(curPath, basePath string, tolPct float64) error {
+	if curPath == "-" {
+		return fmt.Errorf("-baseline needs -json to write to a file, not '-'")
+	}
+	cur, err := bench.LoadReport(curPath)
+	if err != nil {
+		return err
+	}
+	base, err := bench.LoadReport(basePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("perf diff vs %s (tolerance %.0f%%):\n", basePath, tolPct)
+	if n := bench.Compare(os.Stdout, base, cur, tolPct); n > 0 {
+		return fmt.Errorf("%d record(s) regressed beyond %.0f%% vs %s", n, tolPct, basePath)
+	}
+	return nil
 }
 
 func run(e bench.Experiment) {

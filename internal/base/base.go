@@ -45,7 +45,20 @@ func NewReg(env *sim.Env, name string, init uint64) *Reg {
 func (r *Reg) Obj() model.ObjID { return r.id }
 
 // Read returns the register's value. One step.
+//
+// Every base-object operation takes the same shape: an inlinable
+// raw-mode fast path (nil Proc → one atomic instruction, no closure, no
+// call through sim.Step) with the scheduled-and-recorded sim path
+// outlined. Raw mode is the production hot path; the branch keeps these
+// accessors cheap enough for the compiler to inline into the engines.
 func (r *Reg) Read(p *sim.Proc) uint64 {
+	if p == nil {
+		return r.v.Load()
+	}
+	return r.readSim(p)
+}
+
+func (r *Reg) readSim(p *sim.Proc) uint64 {
 	var out uint64
 	sim.Step(p, r.id, "read", false, func() { out = r.v.Load() })
 	return out
@@ -53,6 +66,10 @@ func (r *Reg) Read(p *sim.Proc) uint64 {
 
 // Write sets the register's value. One step.
 func (r *Reg) Write(p *sim.Proc, v uint64) {
+	if p == nil {
+		r.v.Store(v)
+		return
+	}
 	sim.Step(p, r.id, "write", true, func() { r.v.Store(v) })
 }
 
@@ -89,8 +106,15 @@ func (w *U64) Init(env *sim.Env, name string, init uint64) {
 // Obj returns the base-object id of the word (sim mode only).
 func (w *U64) Obj() model.ObjID { return w.id }
 
-// Read returns the word's value. One step.
+// Read returns the word's value. One step. Inlinable raw fast path.
 func (w *U64) Read(p *sim.Proc) uint64 {
+	if p == nil {
+		return w.v.Load()
+	}
+	return w.readSim(p)
+}
+
+func (w *U64) readSim(p *sim.Proc) uint64 {
 	var out uint64
 	sim.Step(p, w.id, "read", false, func() { out = w.v.Load() })
 	return out
@@ -98,6 +122,10 @@ func (w *U64) Read(p *sim.Proc) uint64 {
 
 // Write sets the word's value. One step.
 func (w *U64) Write(p *sim.Proc, v uint64) {
+	if p == nil {
+		w.v.Store(v)
+		return
+	}
 	sim.Step(p, w.id, "write", true, func() { w.v.Store(v) })
 }
 
@@ -106,6 +134,13 @@ func (w *U64) Write(p *sim.Proc, v uint64) {
 // still performed a read-modify-write access to the location, which is
 // what matters for conflict (cache-line) analysis.
 func (w *U64) CAS(p *sim.Proc, old, new uint64) bool {
+	if p == nil {
+		return w.v.CompareAndSwap(old, new)
+	}
+	return w.casSim(p, old, new)
+}
+
+func (w *U64) casSim(p *sim.Proc, old, new uint64) bool {
 	var ok bool
 	sim.Step(p, w.id, "cas", true, func() { ok = w.v.CompareAndSwap(old, new) })
 	return ok
@@ -113,6 +148,13 @@ func (w *U64) CAS(p *sim.Proc, old, new uint64) bool {
 
 // Add atomically adds delta and returns the new value. One step.
 func (w *U64) Add(p *sim.Proc, delta uint64) uint64 {
+	if p == nil {
+		return w.v.Add(delta)
+	}
+	return w.addSim(p, delta)
+}
+
+func (w *U64) addSim(p *sim.Proc, delta uint64) uint64 {
 	var out uint64
 	sim.Step(p, w.id, "add", true, func() { out = w.v.Add(delta) })
 	return out
@@ -128,19 +170,35 @@ type Cell[T any] struct {
 
 // NewCell returns a cell holding init (which may be nil).
 func NewCell[T any](env *sim.Env, name string, init *T) *Cell[T] {
-	c := &Cell[T]{env: env}
+	c := &Cell[T]{}
+	c.Init(env, name, init)
+	return c
+}
+
+// Init initializes a Cell in place, for cells embedded by value in a
+// larger record (e.g. a t-variable): the containing record is one
+// allocation and the cell's word sits adjacent to its sibling fields.
+// Must not be called on a cell already in use.
+func (c *Cell[T]) Init(env *sim.Env, name string, init *T) {
+	c.env = env
 	c.v.Store(init)
 	if env != nil {
 		c.id = env.RegisterObj(name)
 	}
-	return c
 }
 
 // Obj returns the base-object id of the cell (sim mode only).
 func (c *Cell[T]) Obj() model.ObjID { return c.id }
 
-// Load returns the cell's pointer. One step.
+// Load returns the cell's pointer. One step. Inlinable raw fast path.
 func (c *Cell[T]) Load(p *sim.Proc) *T {
+	if p == nil {
+		return c.v.Load()
+	}
+	return c.loadSim(p)
+}
+
+func (c *Cell[T]) loadSim(p *sim.Proc) *T {
 	var out *T
 	sim.Step(p, c.id, "read", false, func() { out = c.v.Load() })
 	return out
@@ -148,6 +206,13 @@ func (c *Cell[T]) Load(p *sim.Proc) *T {
 
 // CAS atomically replaces old with new and reports success. One step.
 func (c *Cell[T]) CAS(p *sim.Proc, old, new *T) bool {
+	if p == nil {
+		return c.v.CompareAndSwap(old, new)
+	}
+	return c.casSim(p, old, new)
+}
+
+func (c *Cell[T]) casSim(p *sim.Proc, old, new *T) bool {
 	var ok bool
 	sim.Step(p, c.id, "cas", true, func() { ok = c.v.CompareAndSwap(old, new) })
 	return ok

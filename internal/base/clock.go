@@ -1,0 +1,66 @@
+package base
+
+import (
+	"repro/internal/sim"
+)
+
+// PadBytes is the assumed cache-line size. The deliberately shared
+// words of the OFTM engines (the global version clock and the
+// descriptor status words) are padded to their own lines so that the
+// one *designed* hot spot — the "common memory location" cost of
+// Theorem 13 / §1 — is not compounded by accidental false sharing with
+// unrelated fields that happen to sit next to it.
+const PadBytes = 64
+
+// VClock is a per-TM global version clock — the TL2-style primitive
+// behind per-variable versioned read validation. A writing transaction
+// Ticks the clock immediately before its commit CAS and stamps the
+// returned version onto the values it installs; a reader keeps a
+// snapshot timestamp and accepts any value whose version does not
+// exceed it without rescanning anything else.
+//
+// The tick-before-stamp-before-commit-CAS order is load-bearing: a
+// reader that observes a committed value therefore observes a version
+// no later than any clock sample it takes afterwards, so "version ≤
+// snapshot" proves the value was already current when the snapshot was
+// taken.
+//
+// The clock is the engines' single engine-wide strict-DAP violation:
+// every transaction reads it and every writing commit bumps it, exactly
+// the shared timestamp location the paper ascribes to TL2 in §1
+// (Theorem 13 says some such hot spot is unavoidable for an OFTM).
+// Per-variable versions, by contrast, are only ever touched by
+// transactions that access the variable itself.
+//
+// Like every base object it is one scheduled step per operation in sim
+// mode and a bare atomic in raw mode. The word is padded to its own
+// cache line: it is the most contended location in the system and must
+// not share a line with anything colder.
+type VClock struct {
+	_ [PadBytes]byte
+	w U64
+	_ [PadBytes]byte
+}
+
+// Init initializes an embedded VClock in place. env may be nil (raw
+// mode).
+func (c *VClock) Init(env *sim.Env, name string) {
+	c.w.Init(env, name, 0)
+}
+
+// Load returns the current clock value. One step.
+func (c *VClock) Load(p *sim.Proc) uint64 {
+	return c.w.Read(p)
+}
+
+// Tick advances the clock and returns the new version. One step.
+func (c *VClock) Tick(p *sim.Proc) uint64 {
+	return c.w.Add(p, 1)
+}
+
+// Bump advances the clock discarding the value — the commit-counter
+// (PR 1 global-epoch) usage, kept for the ablation mode in which the
+// clock word doubles as an all-or-nothing commit epoch. One step.
+func (c *VClock) Bump(p *sim.Proc) {
+	c.w.Add(p, 1)
+}

@@ -372,14 +372,20 @@ func E8(w io.Writer) {
 	ops := map[string]int{"dstm": 50000, "nztm": 50000, "2pl": 50000, "tl2": 50000, "coarse": 50000, "alg2": 2000}
 
 	t1 := NewTable("Experiment E8a — bank transfers (8 accounts), ops/s by threads",
-		"engine", "1", "2", "4", "8", "retries@8")
+		"engine", "1", "2", "4", "8", "eff@8", "retries@8")
 	for _, e := range Engines() {
 		row := []any{e.Name}
-		var last Result
+		var first, last Result
 		for _, th := range threads {
 			last = RunThroughput(e.Raw, BankTransfer(8), th, ops[e.Name])
+			if th == 1 {
+				first = last
+			}
 			row = append(row, fmt.Sprintf("%.0f", last.OpsPerSec()))
 		}
+		// Scaling efficiency: throughput at 8 threads relative to 1
+		// thread (1.00x = flat, >1 = scaling, <1 = interference).
+		row = append(row, fmt.Sprintf("%.2fx", last.OpsPerSec()/first.OpsPerSec()))
 		row = append(row, fmt.Sprint(last.Attempts-int64(last.Ops)))
 		t1.Add(row...)
 	}
@@ -455,6 +461,37 @@ func E8(w io.Writer) {
 			fmt.Sprintf("%.1fx", withR.OpsPerSec()/withoutR.OpsPerSec()))
 	}
 	fmt.Fprint(w, t6.String())
+	fmt.Fprintln(w)
+
+	// E8g — the contended-read ablation grid: 256-read transactions
+	// with a background writer committing to a disjoint variable, per
+	// validation strategy. Per-variable versioned validation should
+	// keep the contended cost near the quiescent one; the PR 1 global
+	// epoch collapses (every commit anywhere forces a full rescan), and
+	// the full-scan reference is quadratic either way.
+	t7 := NewTable("Experiment E8g — contended-read ablation (readheavy-256 + disjoint background writer, 1 thread)",
+		"engine", "validation", "quiescent ops/s", "contended ops/s", "contended/quiescent")
+	type gVariant struct {
+		engine, validation string
+		mk                 func() core.TM
+	}
+	gVariants := []gVariant{
+		{"dstm", "versioned", func() core.TM { return dstm.New() }},
+		{"dstm", "global-epoch", func() core.TM { return dstm.New(dstm.GlobalEpochOnly()) }},
+		{"dstm", "full-scan", func() core.TM { return dstm.New(dstm.WithoutEpochValidation()) }},
+		{"nztm", "versioned", func() core.TM { return nztm.New() }},
+		{"nztm", "global-epoch", func() core.TM { return nztm.New(nztm.GlobalEpochOnly()) }},
+		{"nztm", "full-scan", func() core.TM { return nztm.New(nztm.WithoutEpochValidation()) }},
+	}
+	for _, v := range gVariants {
+		quiet := RunThroughput(v.mk, ReadHeavy(256), 1, 2000)
+		contended := RunThroughput(v.mk, ContendedReadHeavy(256), 1, 2000)
+		t7.Add(v.engine, v.validation,
+			fmt.Sprintf("%.0f", quiet.OpsPerSec()),
+			fmt.Sprintf("%.0f", contended.OpsPerSec()),
+			fmt.Sprintf("%.2fx", contended.OpsPerSec()/quiet.OpsPerSec()))
+	}
+	fmt.Fprint(w, t7.String())
 }
 
 func pass(ok bool) string {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"sort"
 	"sync"
 	"testing"
 
@@ -21,10 +23,16 @@ type Record struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
-	// Epoch and ForcedAborts are the engine's TMStats after the run
-	// (zero for engines without them).
-	Epoch        uint64 `json:"epoch,omitempty"`
-	ForcedAborts int64  `json:"forced_aborts,omitempty"`
+	// Epoch, ForcedAborts and SnapshotExtensions are the engine's
+	// TMStats after the run (zero for engines without them).
+	Epoch              uint64 `json:"epoch,omitempty"`
+	ForcedAborts       int64  `json:"forced_aborts,omitempty"`
+	SnapshotExtensions int64  `json:"snapshot_extensions,omitempty"`
+}
+
+// Key identifies a record across reports.
+func (r Record) Key() string {
+	return fmt.Sprintf("%s|%s|%d", r.Engine, r.Workload, r.Threads)
 }
 
 // Report is the full JSON document.
@@ -42,9 +50,11 @@ type jsonCase struct {
 
 // WriteJSON measures the standard perf-tracking grid with
 // testing.Benchmark and writes the report to w. The grid deliberately
-// covers the three axes the repository optimizes: contended small
-// transactions (bank-8), quiescent long readers (readheavy-256), and
-// the allocation footprint of small transactions (smalltx).
+// covers the four axes the repository optimizes: contended small
+// transactions (bank-8), quiescent long readers (readheavy-256), long
+// readers under sustained disjoint write traffic
+// (readheavy-256-contended — the versioned-validation claim), and the
+// allocation footprint of small transactions (smalltx).
 func WriteJSON(w io.Writer) error {
 	var cases []jsonCase
 	for _, e := range Engines() {
@@ -57,10 +67,13 @@ func WriteJSON(w io.Writer) error {
 		for _, th := range []int{1, 4} {
 			cases = append(cases, jsonCase{e, ReadHeavy(256), th})
 		}
+		for _, th := range []int{1, 4} {
+			cases = append(cases, jsonCase{e, ContendedReadHeavy(256), th})
+		}
 		cases = append(cases, jsonCase{e, SmallTx(), 1})
 	}
 
-	rep := Report{Note: "ns/op, allocs/op and B/op per engine × workload × threads; epoch/forced_aborts are engine TMStats after the timed run"}
+	rep := Report{Note: "ns/op, allocs/op and B/op per engine × workload × threads; epoch/forced_aborts/snapshot_extensions are engine TMStats after the timed run"}
 	for _, c := range cases {
 		rec, err := measure(c)
 		if err != nil {
@@ -80,6 +93,16 @@ func measure(c jsonCase) (Record, error) {
 	res := testing.Benchmark(func(b *testing.B) {
 		tm = c.engine.Raw()
 		op := c.workload.Setup(tm)
+		var bgStop chan struct{}
+		var bgWG sync.WaitGroup
+		if c.workload.Background != nil {
+			bgStop = make(chan struct{})
+			bgWG.Add(1)
+			go func() {
+				defer bgWG.Done()
+				c.workload.Background(tm, bgStop)
+			}()
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		SplitThreads(b.N, c.threads, func(t int, rng *rand.Rand, iters int) {
@@ -92,6 +115,11 @@ func measure(c jsonCase) (Record, error) {
 				}
 			}
 		})
+		b.StopTimer()
+		if bgStop != nil {
+			close(bgStop)
+			bgWG.Wait()
+		}
 	})
 	if opErr != nil {
 		return Record{}, fmt.Errorf("bench: %s/%s/threads=%d: %w", c.engine.Name, c.workload.Name, c.threads, opErr)
@@ -110,6 +138,64 @@ func measure(c jsonCase) (Record, error) {
 	if st, ok := core.StatsOf(tm); ok {
 		rec.Epoch = st.Epoch
 		rec.ForcedAborts = st.ForcedAborts
+		rec.SnapshotExtensions = st.SnapshotExtensions
 	}
 	return rec, nil
+}
+
+// LoadReport reads a perf-tracking JSON document from path.
+func LoadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Compare prints per-record ns/op deltas of cur against base and
+// returns the number of regressions worse than tolPct percent. Records
+// present only in cur are reported as new; records present only in base
+// as dropped (a drop is not a regression — the grid is allowed to
+// evolve — but it is printed so it cannot pass silently).
+func Compare(w io.Writer, base, cur Report, tolPct float64) int {
+	baseBy := map[string]Record{}
+	for _, r := range base.Records {
+		baseBy[r.Key()] = r
+	}
+	curKeys := map[string]bool{}
+	regressions := 0
+	fmt.Fprintf(w, "%-8s %-24s %8s %12s %12s %9s\n", "engine", "workload", "threads", "base ns/op", "cur ns/op", "delta")
+	for _, r := range cur.Records {
+		curKeys[r.Key()] = true
+		b, ok := baseBy[r.Key()]
+		if !ok {
+			fmt.Fprintf(w, "%-8s %-24s %8d %12s %12.0f %9s\n", r.Engine, r.Workload, r.Threads, "-", r.NsPerOp, "(new)")
+			continue
+		}
+		delta := 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		mark := ""
+		if delta > tolPct {
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-8s %-24s %8d %12.0f %12.0f %+8.1f%%%s\n", r.Engine, r.Workload, r.Threads, b.NsPerOp, r.NsPerOp, delta, mark)
+	}
+	var dropped []string
+	for k := range baseBy {
+		if !curKeys[k] {
+			dropped = append(dropped, k)
+		}
+	}
+	sort.Strings(dropped)
+	for _, k := range dropped {
+		fmt.Fprintf(w, "%-46s (dropped from grid)\n", k)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d record(s) regressed by more than %.0f%%\n", regressions, tolPct)
+	}
+	return regressions
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,12 @@ func EngineByName(name string) Engine {
 type Workload struct {
 	Name  string
 	Setup func(tm core.TM) func(threadID, i int, rng *rand.Rand) error
+	// Background, if non-nil, is run on its own goroutine for the
+	// duration of the measurement (started after Setup, stopped by
+	// closing stop). It must return promptly once stop is closed. Used
+	// by the contended workloads to keep a writer committing while the
+	// measured threads run.
+	Background func(tm core.TM, stop <-chan struct{})
 }
 
 // ReadMix builds a var-array read/write mix workload: readPct% of
@@ -166,6 +173,60 @@ func ReadHeavy(reads int) Workload {
 					}
 					return nil
 				})
+			}
+		},
+	}
+}
+
+// ContendedReadHeavy is ReadHeavy with sustained disjoint write
+// traffic: a background goroutine commits small read-modify-write
+// transactions to a variable none of the measured readers touch, in
+// bursts with yields in between (so the writer advances the global
+// clock throughout the run without monopolizing a core). Under
+// per-variable versioned validation the readers' cost should stay close
+// to the quiescent workload; under an all-or-nothing commit counter
+// every burst invalidates every reader's cached validation.
+func ContendedReadHeavy(reads int) Workload {
+	// hot is created by Setup and read by Background, which makes each
+	// Workload value single-use: Setup must run (once) before
+	// Background starts, as RunThroughput and the JSON grid do.
+	var hot core.Var
+	return Workload{
+		Name: fmt.Sprintf("readheavy-%d-contended", reads),
+		Setup: func(tm core.TM) func(int, int, *rand.Rand) error {
+			vs := make([]core.Var, reads)
+			for i := range vs {
+				vs[i] = tm.NewVar(fmt.Sprintf("v%d", i), 0)
+			}
+			hot = tm.NewVar("hot", 0)
+			return func(_, _ int, _ *rand.Rand) error {
+				return core.Run(tm, nil, func(tx core.Tx) error {
+					for _, v := range vs {
+						if _, err := tx.Read(v); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			}
+		},
+		Background: func(tm core.TM, stop <-chan struct{}) {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < 64; i++ {
+					_ = core.Run(tm, nil, func(tx core.Tx) error {
+						x, err := tx.Read(hot)
+						if err != nil {
+							return err
+						}
+						return tx.Write(hot, x+1)
+					})
+				}
+				runtime.Gosched()
 			}
 		},
 	}
@@ -278,6 +339,16 @@ func RunThroughput(mk func() core.TM, w Workload, threads, opsPerThread int) Res
 	tm := mk()
 	var attempts int64
 	op := w.Setup(&attemptCounter{TM: tm, n: &attempts})
+	var bgStop chan struct{}
+	var bgWG sync.WaitGroup
+	if w.Background != nil {
+		bgStop = make(chan struct{})
+		bgWG.Add(1)
+		go func() {
+			defer bgWG.Done()
+			w.Background(tm, bgStop)
+		}()
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for t := 0; t < threads; t++ {
@@ -294,11 +365,16 @@ func RunThroughput(mk func() core.TM, w Workload, threads, opsPerThread int) Res
 		}()
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
+	if bgStop != nil {
+		close(bgStop)
+		bgWG.Wait()
+	}
 	return Result{
 		Workload: w.Name,
 		Threads:  threads,
 		Ops:      threads * opsPerThread,
-		Elapsed:  time.Since(start),
+		Elapsed:  elapsed,
 		Attempts: attempts,
 	}
 }

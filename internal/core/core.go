@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"repro/internal/model"
@@ -90,26 +91,28 @@ func WithBackoff(f func(attempt int)) RunOption {
 	return func(c *runConfig) { c.backoff = f }
 }
 
-// defaultBackoff sleeps with capped exponential backoff plus jitter in
-// raw mode. In sim mode the scheduler already controls interleaving, so
-// no delay is inserted. The jitter source is created lazily on the
-// first actual retry: the common no-conflict path must not pay for
-// seeding a generator.
-func defaultBackoff(p *sim.Proc) func(int) {
-	if p != nil {
-		return func(int) {}
+// defaultBackoff is the raw-mode retry delay. Early attempts yield the
+// processor instead of sleeping: time.Sleep has a multi-microsecond
+// scheduling floor that dwarfs a transaction, so sleeping on the first
+// conflict collapses contended throughput; a Gosched hands the CPU to
+// the conflicting owner at no latency cost. Persistent conflicts
+// escalate to capped exponential sleeps with jitter. The jitter source
+// is created lazily: the common no-conflict path must not pay for
+// seeding a generator, and the yield-only attempts need none.
+func defaultBackoff(attempt int, rng *rand.Rand) *rand.Rand {
+	if attempt <= 4 {
+		runtime.Gosched()
+		return rng
 	}
-	var rng *rand.Rand
-	return func(attempt int) {
-		if rng == nil {
-			rng = rand.New(rand.NewSource(time.Now().UnixNano()))
-		}
-		if attempt > 16 {
-			attempt = 16
-		}
-		max := 1 << attempt // microseconds
-		time.Sleep(time.Duration(rng.Intn(max)+1) * time.Microsecond)
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
+	if attempt > 16 {
+		attempt = 16
+	}
+	max := 1 << attempt // microseconds
+	time.Sleep(time.Duration(rng.Intn(max)+1) * time.Microsecond)
+	return rng
 }
 
 // Run executes fn inside a transaction, retrying on forceful aborts —
@@ -124,28 +127,62 @@ func defaultBackoff(p *sim.Proc) func(int) {
 // attempt is retried. Any other error aborts the transaction and is
 // returned to the caller.
 func Run(tm TM, p *sim.Proc, fn func(Tx) error, opts ...RunOption) error {
-	cfg := runConfig{backoff: defaultBackoff(p)}
-	for _, o := range opts {
-		o(&cfg)
+	// The config is materialized only when options were passed: taking
+	// &cfg unconditionally would heap-allocate it on every call (it
+	// escapes into the option funcs), and the no-option path is the
+	// per-operation hot path of every workload.
+	var cfg runConfig
+	if len(opts) > 0 {
+		var c runConfig
+		for _, o := range opts {
+			o(&c)
+		}
+		cfg = c
 	}
+	var rng *rand.Rand
 	for attempt := 1; ; attempt++ {
 		tx := tm.Begin(p)
 		err := fn(tx)
 		switch {
 		case err == nil:
 			if cerr := tx.Commit(); cerr == nil {
+				recycle(tx)
 				return nil
 			}
 		case errors.Is(err, ErrAborted):
 			// Forcefully aborted mid-flight; fall through to retry.
 		default:
 			tx.Abort()
+			recycle(tx)
 			return err
 		}
+		recycle(tx)
 		if cfg.maxAttempts > 0 && attempt >= cfg.maxAttempts {
 			return ErrAborted
 		}
-		cfg.backoff(attempt)
+		switch {
+		case cfg.backoff != nil:
+			cfg.backoff(attempt)
+		case p == nil:
+			rng = defaultBackoff(attempt, rng)
+		}
+	}
+}
+
+// TxRecycler is the optional interface of transactions whose engine
+// pools completed transaction state. Run invokes Recycle once an
+// attempt has fully completed (committed or aborted) and Run is the
+// last holder of the handle; after that call the handle is dead — a
+// caller that squirrels a Tx away past its Run attempt and keeps using
+// it is outside the API contract (Tx is single-goroutine and completed
+// transactions only ever answer ErrAborted).
+type TxRecycler interface {
+	Recycle()
+}
+
+func recycle(tx Tx) {
+	if r, ok := tx.(TxRecycler); ok {
+		r.Recycle()
 	}
 }
 

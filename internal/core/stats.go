@@ -4,13 +4,20 @@ package core
 // benchmarks and reports can attribute throughput differences to
 // engine mechanics without reaching into engine packages.
 type TMStats struct {
-	// Epoch is the engine's commit-epoch value: bumped once per commit
-	// attempt (immediately before the commit CAS) and once per forceful
-	// abort. Zero for engines without commit-counter validation.
+	// Epoch is the engine's global version-clock value: advanced once
+	// per writing commit (immediately before the commit CAS). In the
+	// global-epoch ablation mode it is additionally bumped on forceful
+	// aborts (the PR 1 commit-counter behavior). Zero for engines
+	// without versioned validation.
 	Epoch uint64
 	// ForcedAborts counts forceful aborts inflicted on transaction
 	// owners through contention-manager decisions.
 	ForcedAborts int64
+	// SnapshotExtensions counts lazy snapshot extensions: full read-set
+	// rescans a reader performed because it encountered a value newer
+	// than its snapshot timestamp. Under disjoint write traffic this
+	// stays near zero — the point of per-variable versioned validation.
+	SnapshotExtensions int64
 }
 
 // StatsSource is the optional interface of engines that expose TMStats.

@@ -59,6 +59,21 @@ func (s *SmallMap[K, V]) Put(k K, v V) {
 	s.spill[k] = v
 }
 
+// PutNew inserts an entry the caller knows is absent (a preceding Get
+// missed), skipping the duplicate-key search Put performs. Inserting a
+// key that is present corrupts the map.
+func (s *SmallMap[K, V]) PutNew(k K, v V) {
+	if s.n < smallMapInline {
+		s.keys[s.n], s.vals[s.n] = k, v
+		s.n++
+		return
+	}
+	if s.spill == nil {
+		s.spill = make(map[K]V, 2*smallMapInline)
+	}
+	s.spill[k] = v
+}
+
 // Delete removes the entry for k if present.
 func (s *SmallMap[K, V]) Delete(k K) {
 	for i := 0; i < s.n; i++ {
@@ -76,16 +91,33 @@ func (s *SmallMap[K, V]) Delete(k K) {
 	}
 }
 
+// Reset empties the map, zeroing the inline entries (so pooled
+// transactions do not retain pointers) and dropping any spill map.
+func (s *SmallMap[K, V]) Reset() {
+	var zk K
+	var zv V
+	for i := 0; i < s.n; i++ {
+		s.keys[i], s.vals[i] = zk, zv
+	}
+	s.n = 0
+	s.spill = nil
+}
+
 // Len returns the number of entries.
 func (s *SmallMap[K, V]) Len() int { return s.n + len(s.spill) }
 
 // Range calls f for every entry until f returns false. Entries must not
-// be inserted or deleted during iteration.
+// be inserted or deleted during iteration. The nil-spill guard matters:
+// ranging even a nil map sets up a map iterator, which is measurable on
+// the per-access validation path.
 func (s *SmallMap[K, V]) Range(f func(K, V) bool) {
 	for i := 0; i < s.n; i++ {
 		if !f(s.keys[i], s.vals[i]) {
 			return
 		}
+	}
+	if s.spill == nil {
+		return
 	}
 	for k, v := range s.spill {
 		if !f(k, v) {

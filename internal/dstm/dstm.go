@@ -20,10 +20,20 @@
 // two transactions with disjoint t-variable footprints both chase a
 // suspended third transaction's descriptor and conflict there. The
 // Figure 2 experiment drives this engine to that exact execution.
+//
+// On top of the paper's design the engine layers per-variable versioned
+// validation (PR 2): every committed value carries a version minted
+// from a global clock (base.VClock), each transaction holds a snapshot
+// timestamp, and a reader accepts any value whose version does not
+// exceed its snapshot in O(1) — rescanning (lazy snapshot extension)
+// only when it actually encounters a newer value. See maybeValidate for
+// the safety argument and the mode constants for the two ablation
+// behaviors that are kept machine-comparable.
 package dstm
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,38 +52,89 @@ const (
 	statusAborted   uint64 = 2
 )
 
+// valMode selects the read-set validation strategy.
+type valMode int
+
+const (
+	// valVersioned (default): per-variable write versions + snapshot
+	// extension. Quiescent reads are O(1); reads under *disjoint* write
+	// traffic are O(1) amortized, because only a value newer than the
+	// snapshot forces a rescan.
+	valVersioned valMode = iota
+	// valGlobalEpoch: the PR 1 commit counter — one shared epoch word,
+	// any commit anywhere invalidates every reader's cached validation.
+	// Kept as the ablation control for the contended-read experiments.
+	valGlobalEpoch
+	// valFullScan: the paper's reference behavior — full
+	// locator-identity scan on every read, O(R²) per R-read
+	// transaction.
+	valFullScan
+)
+
 // locator is the indirection record installed in a t-variable's cell by
 // a writer: which transaction owns the variable and the variable's value
 // before (oldVal) and after (newVal) that transaction.
 type locator struct {
 	owner  *txDesc
 	oldVal uint64
+	// oldVer is the version of oldVal, recorded at acquisition from the
+	// resolution the writer acquired on top of. If the owner aborts,
+	// (oldVal, oldVer) is the variable's current value again.
+	oldVer uint64
 	// newVal is written only by the owner while live and read by others
 	// only after observing the owner committed (the commit CAS orders
-	// the accesses), so a plain field is race-free.
+	// the accesses), so a plain field is race-free. Its version is the
+	// owner's commitVer.
 	newVal uint64
 }
+
+// locSlab is the number of locators embedded in a descriptor. The
+// common small transactions (bank transfers, set updates) install at
+// most two locators, so carving them from the descriptor allocation
+// removes one heap allocation per write; larger write sets spill to
+// individually allocated locators.
+const locSlab = 2
 
 // txDesc is a transaction descriptor: the single word whose CAS commits
 // or aborts the transaction. The status word is embedded by value, so a
 // raw-mode descriptor is a single allocation.
+//
+// Layout: the fields other transactions chase (status, identity,
+// commitVer) lead the struct — read-mostly once the descriptor is
+// published — while the owner-written fields (ops, locator slab) trail
+// it, so the line readers poll sees little owner traffic: ops is
+// published in batches (noteOp) and the slab is written at most once
+// per acquired variable. A full 64-byte pad was measured and rejected
+// here: descriptors are allocated once per writing transaction, and the
+// extra pad bytes cost more in allocation+GC on the begin path (~10% of
+// a small transaction) than the sub-transaction-lifetime false sharing
+// they prevent. The long-lived engine-wide hot word (the clock) keeps
+// its true cache-line pads.
 type txDesc struct {
-	id     model.TxID
 	status base.U64
+	id     model.TxID
 	start  int64
-	ops    atomic.Int64
+	// commitVer is the global-clock version stamped immediately before
+	// the commit CAS (tick-then-stamp-then-CAS). Plain field: written
+	// only by the owner while live, read by others only after observing
+	// the status word committed, which the commit CAS orders.
+	commitVer uint64
+	ops       atomic.Int64
+	locN      int
+	locBuf    [locSlab]locator
 }
 
 func (d *txDesc) info() cm.TxInfo {
 	return cm.TxInfo{ID: d.id, Start: d.start, Ops: d.ops.Load()}
 }
 
-// tvar is a t-variable: one CAS cell holding the current locator.
+// tvar is a t-variable: one CAS cell holding the current locator,
+// embedded by value so a variable is a single allocation.
 type tvar struct {
 	owner *DSTM
 	id    model.VarID
 	name  string
-	cell  *base.Cell[locator]
+	cell  base.Cell[locator]
 }
 
 func (v *tvar) ID() model.VarID { return v.id }
@@ -102,12 +163,22 @@ func ValidateAtCommitOnly() Option {
 	return func(d *DSTM) { d.validateOnRead = false }
 }
 
-// WithoutEpochValidation disables the commit-epoch fast path, forcing a
-// full locator-identity scan on every read — the paper's reference
-// behavior, O(R²) steps for an R-read transaction. The ablation knob
-// for experiment E8f.
+// WithoutEpochValidation disables versioned validation entirely,
+// forcing a full locator-identity scan on every read — the paper's
+// reference behavior, O(R²) steps for an R-read transaction. The
+// ablation knob for experiment E8f.
 func WithoutEpochValidation() Option {
-	return func(d *DSTM) { d.epochSkip = false }
+	return func(d *DSTM) { d.mode = valFullScan }
+}
+
+// GlobalEpochOnly selects the PR 1 all-or-nothing commit counter
+// instead of per-variable versions: any writer's commit (or forceful
+// abort) bumps one shared epoch word and forces every reader into a
+// full rescan on its next access. The ablation control for the
+// contended-read experiments (E8g) — it shows why versioned validation
+// exists.
+func GlobalEpochOnly() Option {
+	return func(d *DSTM) { d.mode = valGlobalEpoch }
 }
 
 // DSTM is the engine. It implements core.TM.
@@ -115,24 +186,31 @@ type DSTM struct {
 	env            *sim.Env
 	mgr            cm.Manager
 	validateOnRead bool
-	epochSkip      bool
+	mode           valMode
 
-	// epoch is the commit counter: bumped immediately before every
-	// commit CAS of a writing transaction and after every forceful
-	// abort. A transaction that observes it unchanged since its last
-	// full validation knows its read set is still consistent (no commit
-	// can have changed a logical value in between) and skips the scan.
-	epoch base.Epoch
+	// clock is the global version clock (padded to its own cache line):
+	// ticked immediately before every writing commit CAS, sampled by
+	// readers for their snapshot timestamps. In valGlobalEpoch mode it
+	// doubles as the PR 1 commit epoch. The one deliberate engine-wide
+	// strict-DAP violation (§1's "common memory location").
+	clock base.VClock
+
+	// extensions counts lazy snapshot extensions, for TMStats.
+	extensions atomic.Int64
+
+	// txPool recycles completed raw-mode transactions (and the
+	// descriptors of transactions that never published one — see
+	// dsTx.Recycle for the reclamation argument).
+	txPool sync.Pool
 
 	mu      sync.Mutex
 	vars    []*tvar
 	nextTx  map[model.ProcID]int
-	rawSeq  atomic.Int64 // raw-mode (nil proc) transaction counter
 	tickets atomic.Int64
 
 	// initDesc is the descriptor all initial locators point to; it is
 	// permanently committed (the paper's assumed initializing
-	// transaction T0).
+	// transaction T0) with commitVer 0.
 	initDesc *txDesc
 
 	// Aborts counts forceful aborts inflicted via contention-manager
@@ -145,13 +223,13 @@ func New(opts ...Option) *DSTM {
 	d := &DSTM{
 		mgr:            cm.Polite{},
 		validateOnRead: true,
-		epochSkip:      true,
+		mode:           valVersioned,
 		nextTx:         map[model.ProcID]int{},
 	}
 	for _, o := range opts {
 		o(d)
 	}
-	d.epoch.Init(d.env, "dstm.epoch")
+	d.clock.Init(d.env, "dstm.clock")
 	d.initDesc = &txDesc{id: model.TxID{Proc: 0, Seq: 0}}
 	d.initDesc.status.Init(d.env, "T0.status", statusCommitted)
 	return d
@@ -168,7 +246,11 @@ func (d *DSTM) Manager() cm.Manager { return d.mgr }
 
 // Stats implements core.StatsSource.
 func (d *DSTM) Stats() core.TMStats {
-	return core.TMStats{Epoch: d.epoch.Load(nil), ForcedAborts: d.Aborts.Load()}
+	return core.TMStats{
+		Epoch:              d.clock.Load(nil),
+		ForcedAborts:       d.Aborts.Load(),
+		SnapshotExtensions: d.extensions.Load(),
+	}
 }
 
 // NewVar implements core.TM.
@@ -179,42 +261,64 @@ func (d *DSTM) NewVar(name string, init uint64) core.Var {
 		owner: d,
 		id:    model.VarID(len(d.vars)),
 		name:  name,
-		cell:  base.NewCell(d.env, name+".loc", &locator{owner: d.initDesc, oldVal: init, newVal: init}),
 	}
+	v.cell.Init(d.env, name+".loc", &locator{owner: d.initDesc, oldVal: init, newVal: init})
 	d.vars = append(d.vars, v)
 	return v
 }
 
+// ticketBlock is how many begin tickets a pooled raw-mode transaction
+// reserves from the shared counter at once: the shared atomic is hit
+// once per ticketBlock transactions instead of once per Begin. Tickets
+// stay unique (blocks are disjoint ranges); the Timestamp manager's age
+// order becomes block-granular, which is all a priority heuristic
+// needs.
+const ticketBlock = 16
+
 // Begin implements core.TM.
 func (d *DSTM) Begin(p *sim.Proc) core.Tx {
-	var id model.TxID
 	if p == nil {
-		// Raw mode: all goroutines share process id 0; an atomic counter
-		// disambiguates without taking the engine lock.
-		id = model.TxID{Proc: 0, Seq: int(d.rawSeq.Add(1))}
-	} else {
-		d.mu.Lock()
-		pid := p.ID()
-		d.nextTx[pid]++
-		id = model.TxID{Proc: pid, Seq: d.nextTx[pid]}
-		d.mu.Unlock()
-		p.SetTx(id)
+		// Raw mode: all goroutines share process id 0; the begin ticket
+		// disambiguates transaction ids without taking the engine lock.
+		// Completed transactions come back through the pool (Recycle).
+		t, _ := d.txPool.Get().(*dsTx)
+		if t == nil {
+			t = &dsTx{tm: d}
+		}
+		if t.desc == nil {
+			t.desc = new(txDesc)
+		}
+		if t.ticketNext >= t.ticketEnd {
+			t.ticketEnd = d.tickets.Add(ticketBlock)
+			t.ticketNext = t.ticketEnd - ticketBlock
+		}
+		t.ticketNext++
+		t.reset(nil, model.TxID{Proc: 0, Seq: int(t.ticketNext)}, t.ticketNext)
+		return t
 	}
-	desc := &txDesc{
-		id:    id,
-		start: d.tickets.Add(1),
-	}
+	ticket := d.tickets.Add(1)
+	d.mu.Lock()
+	pid := p.ID()
+	d.nextTx[pid]++
+	id := model.TxID{Proc: pid, Seq: d.nextTx[pid]}
+	d.mu.Unlock()
+	p.SetTx(id)
+	t := &dsTx{tm: d, desc: new(txDesc)}
+	t.reset(p, id, ticket)
 	if d.env != nil {
-		desc.status.Init(d.env, id.String()+".status", statusLive)
-	} else {
-		desc.status.Init(nil, "", statusLive)
+		t.desc.status.Init(d.env, id.String()+".status", statusLive)
 	}
-	return &dsTx{tm: d, p: p, desc: desc}
+	return t
 }
 
+// readEntry records a read: the locator the value was resolved from
+// (identity validation — terminal-status owners make an unchanged
+// locator imply an unchanged logical value) and the value's version for
+// the O(1) snapshot check.
 type readEntry struct {
 	loc *locator
 	val uint64
+	ver uint64
 }
 
 type dsTx struct {
@@ -223,15 +327,84 @@ type dsTx struct {
 	desc *txDesc
 	rset core.SmallMap[*tvar, readEntry]
 	wset core.SmallMap[*tvar, *locator]
+	// snap is the snapshot timestamp (valVersioned): every recorded
+	// read was the variable's current value at clock time snap. Sampled
+	// before the first read resolves; advanced only by extend.
+	snap    uint64
+	snapSet bool
 	// valEpoch is the engine epoch sampled immediately before the last
-	// full validation that passed; valid only when valSet. While the
-	// epoch still holds that value the read set cannot have been
-	// invalidated, so validation is skipped.
+	// full validation that passed (valGlobalEpoch mode only).
 	valEpoch uint64
 	valSet   bool
 	// completedLocally caches the outcome once the transaction observed
 	// its own completion, to short-circuit further operations.
 	completedLocally model.Status
+	// opsLocal is the private op counter behind noteOp.
+	opsLocal int64
+	// ticketNext/ticketEnd are the pooled transaction's reserved begin
+	// tickets (raw mode; see ticketBlock).
+	ticketNext, ticketEnd int64
+}
+
+// reset (re)initializes a transaction for a new attempt.
+func (t *dsTx) reset(p *sim.Proc, id model.TxID, ticket int64) {
+	d := t.desc
+	d.id = id
+	d.start = ticket
+	if d.ops.Load() != 0 {
+		d.ops.Store(0) // published in batches; usually still zero
+	}
+	d.commitVer = 0
+	d.locN = 0
+	if d.status.Read(nil) != statusLive {
+		// Freshly allocated descriptors are already live (zero value);
+		// only recycled ones pay the store.
+		d.status.Init(nil, "", statusLive)
+	}
+	t.p = p
+	t.rset.Reset()
+	t.wset.Reset()
+	t.snap, t.snapSet = 0, false
+	t.valEpoch, t.valSet = 0, false
+	t.completedLocally = model.Live
+	t.opsLocal = 0
+}
+
+// noteOp counts a high-level operation. The descriptor's shared ops
+// word (read by contention managers ranking victims, e.g. Karma) is
+// published every few operations — and refreshed exactly before this
+// transaction raises a conflict — rather than on every op, so an
+// uncontended transaction pays a private increment instead of an atomic
+// RMW per operation. A victim's published count may lag by at most the
+// batch, which is immaterial to a priority heuristic.
+func (t *dsTx) noteOp() {
+	t.opsLocal++
+	if t.opsLocal&7 == 0 {
+		t.desc.ops.Store(t.opsLocal)
+	}
+}
+
+// Recycle implements core.TxRecycler: completed raw-mode transactions
+// are pooled. A descriptor that published locators has escaped into
+// t-variable cells — invisible readers may still compare those locator
+// pointers and chase the descriptor's status long after completion — so
+// it is dropped and left to the garbage collector, which is this
+// engine's safe memory reclamation: recycling a published locator or
+// descriptor would reintroduce exactly the pointer-ABA that
+// locator-identity validation relies on being impossible. Transactions
+// that never installed a locator (read-only, or aborted before any
+// acquisition succeeded) never published their descriptor, so it is
+// reused wholesale.
+func (t *dsTx) Recycle() {
+	if t.p != nil || t.completedLocally == model.Live {
+		return
+	}
+	if t.wset.Len() != 0 {
+		t.desc = nil
+	}
+	t.rset.Reset()
+	t.wset.Reset()
+	t.tm.txPool.Put(t)
 }
 
 func (t *dsTx) ID() model.TxID { return t.desc.id }
@@ -265,9 +438,14 @@ func (t *dsTx) abortSelf() error {
 
 // backoff delays a Retry decision in raw mode; in sim mode the
 // scheduler controls interleaving and the retry loop's own steps are
-// the backoff.
+// the backoff. Early retries yield the processor (the owner needs CPU,
+// not our latency); stubborn conflicts escalate to bounded sleeps.
 func (t *dsTx) backoff(attempt int) {
 	if t.p != nil {
+		return
+	}
+	if attempt <= 6 {
+		runtime.Gosched()
 		return
 	}
 	if attempt > 10 {
@@ -276,30 +454,38 @@ func (t *dsTx) backoff(attempt int) {
 	time.Sleep(time.Duration(1<<attempt) * time.Microsecond)
 }
 
-// resolve determines the current committed value of the locator l,
-// forcefully aborting or waiting out a live owner according to the
-// contention manager. It returns the value and true, or false if the
-// transaction must abort itself (manager said AbortSelf).
-func (t *dsTx) resolve(tv *tvar, l *locator) (uint64, bool) {
+// resolve determines the current committed value of the locator l and
+// that value's version, forcefully aborting or waiting out a live owner
+// according to the contention manager. It returns ok=false if the
+// transaction must abort itself (manager said AbortSelf). Resolution
+// only ever returns under a terminal owner status, so the (value,
+// version) pair is immutable once returned.
+func (t *dsTx) resolve(tv *tvar, l *locator) (val, ver uint64, ok bool) {
 	attempt := 0
 	for {
 		switch l.owner.status.Read(t.p) {
 		case statusCommitted:
-			return l.newVal, true
+			return l.newVal, l.owner.commitVer, true
 		case statusAborted:
-			return l.oldVal, true
+			return l.oldVal, l.oldVer, true
 		}
-		// Live owner: consult the contention manager.
+		// Live owner: consult the contention manager, with our own op
+		// count freshly published (noteOp batches it).
+		if attempt == 0 {
+			t.desc.ops.Store(t.opsLocal)
+		}
 		switch t.tm.mgr.OnConflict(t.desc.info(), l.owner.info(), attempt) {
 		case cm.AbortVictim:
 			if l.owner.status.CAS(t.p, statusLive, statusAborted) {
 				t.tm.Aborts.Add(1)
-				// A forceful abort changes no logical value, but bumping
-				// here makes the victim's next epoch check fail, so it
-				// discovers its own abort without a full scan of every
-				// read.
-				if t.tm.epochSkip {
-					t.tm.epoch.Bump(t.p)
+				// A forceful abort changes no logical value, so versioned
+				// validation leaves the clock alone — the victim notices
+				// through its own status word (maybeValidate). The PR 1
+				// epoch mode is kept bumping here, as the ablation
+				// control: that bump is what made every reader in the
+				// system rescan whenever anyone was aborted.
+				if t.tm.mode == valGlobalEpoch {
+					t.tm.clock.Bump(t.p)
 				}
 			}
 			// Re-read the status on the next iteration: either our CAS
@@ -307,7 +493,7 @@ func (t *dsTx) resolve(tv *tvar, l *locator) (uint64, bool) {
 		case cm.Retry:
 			t.backoff(attempt)
 		case cm.AbortSelf:
-			return 0, false
+			return 0, 0, false
 		}
 		attempt++
 	}
@@ -328,30 +514,74 @@ func (t *dsTx) validate() bool {
 	return ok && t.desc.status.Read(t.p) == statusLive
 }
 
-// maybeValidate is the commit-epoch fast path around validate. The
-// epoch is sampled BEFORE the scan: if the scan passes, the snapshot
-// was consistent no earlier than the sample, so a later operation that
-// still observes the sampled epoch knows no transaction committed in
-// between — no logical value changed — and skips the scan entirely.
-// The quiescent path is O(1) per read instead of O(|rset|).
-func (t *dsTx) maybeValidate() bool {
-	if !t.tm.validateOnRead {
-		return true
+// ensureSnap samples the snapshot timestamp before the transaction's
+// first read resolves. The order is load-bearing (TL2's read-version
+// sample): a value resolved *after* the sample that carries a version ≤
+// snap was installed no later than snap and was still current when
+// resolved, hence was the variable's value AT time snap — so all such
+// reads together form a consistent snapshot at snap.
+func (t *dsTx) ensureSnap() {
+	if t.tm.mode != valVersioned || t.snapSet {
+		return
 	}
-	if !t.tm.epochSkip {
-		// Ablation baseline: the reference engine touches no epoch word
-		// at all — neither here nor at commit/abort.
-		return t.validate()
-	}
-	cur := t.tm.epoch.Load(t.p)
-	if t.valSet && cur == t.valEpoch {
-		return true
-	}
+	t.snap = t.tm.clock.Load(t.p)
+	t.snapSet = true
+}
+
+// extend is the lazy snapshot extension: the reader met a value newer
+// than its snapshot, so it re-samples the clock (BEFORE the scan — the
+// scan then certifies the read set as current at a time ≥ the sample)
+// and re-validates every entry by locator identity. On success the
+// snapshot advances to the sample; entries stay immutable, only the
+// timestamp moves. ver must be covered by the new snapshot, which the
+// sampling order guarantees: the version was minted before the commit
+// we observed, which happened before the sample.
+func (t *dsTx) extend(ver uint64) bool {
+	cur := t.tm.clock.Load(t.p)
 	if !t.validate() {
 		return false
 	}
-	t.valEpoch, t.valSet = cur, true
-	return true
+	t.snap = cur
+	t.tm.extensions.Add(1)
+	return ver <= cur
+}
+
+// maybeValidate is the per-access consistency check, run after a new
+// read (haveVer=true, ver the version of the value just recorded) or a
+// fresh ownership acquisition (haveVer=false).
+//
+// Versioned mode is the tentpole: O(1) in the common case — one read of
+// the transaction's own status word (a forcefully aborted victim fails
+// fast here; forceful aborts no longer touch any global word) plus the
+// version-vs-snapshot comparison. Only a value that is genuinely newer
+// than the snapshot forces the O(R) extension scan, so validation cost
+// tracks write traffic *on the variables actually read*, not engine-wide
+// commit traffic: disjoint-access parallelism on the validation path.
+func (t *dsTx) maybeValidate(ver uint64, haveVer bool) bool {
+	if !t.tm.validateOnRead {
+		return true
+	}
+	switch t.tm.mode {
+	case valFullScan:
+		return t.validate()
+	case valGlobalEpoch:
+		cur := t.tm.clock.Load(t.p)
+		if t.valSet && cur == t.valEpoch {
+			return true
+		}
+		if !t.validate() {
+			return false
+		}
+		t.valEpoch, t.valSet = cur, true
+		return true
+	}
+	if t.desc.status.Read(t.p) != statusLive {
+		return false
+	}
+	if !haveVer || ver <= t.snap {
+		return true
+	}
+	return t.extend(ver)
 }
 
 func (t *dsTx) Read(v core.Var) (uint64, error) {
@@ -359,7 +589,7 @@ func (t *dsTx) Read(v core.Var) (uint64, error) {
 		return 0, core.ErrAborted
 	}
 	tv := mustVar(t.tm, v)
-	t.desc.ops.Add(1)
+	t.noteOp()
 	// Read-own-write.
 	if loc, ok := t.wset.Get(tv); ok {
 		return loc.newVal, nil
@@ -372,16 +602,30 @@ func (t *dsTx) Read(v core.Var) (uint64, error) {
 		}
 		return e.val, nil
 	}
+	t.ensureSnap()
 	l := tv.cell.Load(t.p)
-	val, ok := t.resolve(tv, l)
+	val, ver, ok := t.resolve(tv, l)
 	if !ok {
 		return 0, t.abortSelf()
 	}
-	t.rset.Put(tv, readEntry{loc: l, val: val})
-	if !t.maybeValidate() {
+	t.rset.PutNew(tv, readEntry{loc: l, val: val, ver: ver})
+	if !t.maybeValidate(ver, true) {
 		return 0, t.abortSelf()
 	}
 	return val, nil
+}
+
+// carve returns a locator for this transaction, from the descriptor's
+// inline slab while one is free. A slab locator lives inside the
+// descriptor allocation, which a successful install publishes anyway.
+func (t *dsTx) carve() *locator {
+	d := t.desc
+	if d.locN < locSlab {
+		l := &d.locBuf[d.locN]
+		d.locN++
+		return l
+	}
+	return new(locator)
 }
 
 func (t *dsTx) Write(v core.Var, val uint64) error {
@@ -389,28 +633,33 @@ func (t *dsTx) Write(v core.Var, val uint64) error {
 		return core.ErrAborted
 	}
 	tv := mustVar(t.tm, v)
-	t.desc.ops.Add(1)
+	t.noteOp()
 	// Already owned: update the locator's new value in place.
 	if loc, ok := t.wset.Get(tv); ok {
 		loc.newVal = val
 		return nil
 	}
+	newLoc := t.carve()
 	for {
 		l := tv.cell.Load(t.p)
-		cur, ok := t.resolve(tv, l)
+		cur, ver, ok := t.resolve(tv, l)
 		if !ok {
 			return t.abortSelf()
 		}
-		// If we read this variable earlier, the value we acquire from
-		// must be the value we read, or our snapshot is stale.
-		if e, seen := t.rset.Get(tv); seen && (e.loc != l && cur != e.val) {
+		// Stale-snapshot guard: if we read this variable earlier, we may
+		// only acquire on top of the very locator we read it from.
+		// Locator identity, not value equality: a locator can be
+		// displaced and the old value reinstated by an intervening pair
+		// of commits (value ABA), and acquiring across that would splice
+		// our stale read into a history where it was never current.
+		if e, seen := t.rset.Get(tv); seen && e.loc != l {
 			return t.abortSelf()
 		}
-		newLoc := &locator{owner: t.desc, oldVal: cur, newVal: val}
+		*newLoc = locator{owner: t.desc, oldVal: cur, oldVer: ver, newVal: val}
 		if tv.cell.CAS(t.p, l, newLoc) {
-			t.wset.Put(tv, newLoc)
+			t.wset.PutNew(tv, newLoc)
 			t.rset.Delete(tv) // ownership supersedes the read entry
-			if !t.maybeValidate() {
+			if !t.maybeValidate(0, false) {
 				return t.abortSelf()
 			}
 			return nil
@@ -423,25 +672,44 @@ func (t *dsTx) Commit() error {
 	if t.completedLocally != model.Live {
 		return core.ErrAborted
 	}
-	// Commit-time validation. A read-only transaction may use the epoch
-	// skip: its snapshot was consistent at its last full validation and
-	// it writes nothing, so it serializes there. A WRITER must always
-	// rescan: epoch bumps happen only at commit, so a concurrent
-	// writer's ownership acquisitions are invisible to the epoch, and
-	// two writers with crossed read/write sets could otherwise both
-	// skip (neither has bumped yet) and both commit — write skew. The
-	// full scan restores the exclusion argument: each writer scans
-	// after all its acquisitions, so of two crossed writers at most one
-	// scan can pass.
+	// Commit-time validation. A WRITER must always rescan: ownership
+	// acquisitions stamp no version and touch no clock, so a concurrent
+	// writer's acquisitions are invisible to versions, and two writers
+	// with crossed read/write sets could otherwise both pass their O(1)
+	// checks and commit — write skew. The full scan restores the
+	// exclusion argument: each writer scans after all its acquisitions,
+	// so of two crossed writers at most one scan can pass. (This is the
+	// PR 1 argument, preserved verbatim.)
 	readOnly := t.wset.Len() == 0
-	if !(readOnly && t.tm.epochSkip && t.valSet && t.tm.epoch.Load(t.p) == t.valEpoch) && !t.validate() {
-		return t.abortSelf()
+	switch {
+	case readOnly && t.tm.mode == valVersioned && t.tm.validateOnRead:
+		// Read-only fast path: every read was admitted at a version ≤
+		// snap (or re-certified by an extension), so the transaction
+		// observed the committed state as of its snapshot timestamp and
+		// serializes there. No commit-time validation at all.
+	case readOnly && t.tm.mode == valGlobalEpoch && t.valSet && t.tm.clock.Load(t.p) == t.valEpoch:
+		// PR 1 fast path: epoch unchanged since the last full scan.
+	default:
+		if !t.validate() {
+			return t.abortSelf()
+		}
 	}
-	if !readOnly && t.tm.epochSkip {
-		// Pre-announce the commit: the bump precedes the status CAS so
-		// no reader can skip validation across it. Read-only commits
-		// change no logical value and need no bump.
-		t.tm.epoch.Bump(t.p)
+	if !readOnly {
+		switch t.tm.mode {
+		case valVersioned:
+			// Tick-then-stamp-then-CAS: the version is minted and
+			// stamped into the descriptor BEFORE the commit CAS, so a
+			// reader that observes the commit resolves newVal at a
+			// version no later than any clock sample it takes
+			// afterwards. A stamped version whose CAS then fails is
+			// never consulted (the descriptor dies aborted and
+			// resolution returns oldVal/oldVer).
+			t.desc.commitVer = t.tm.clock.Tick(t.p)
+		case valGlobalEpoch:
+			// Pre-announce the commit: the bump precedes the status CAS
+			// so no reader can skip validation across it.
+			t.tm.clock.Bump(t.p)
+		}
 	}
 	if !t.desc.status.CAS(t.p, statusLive, statusCommitted) {
 		// Someone forcefully aborted us between validation and the CAS.

@@ -276,10 +276,15 @@ func TestCrashCampaign(t *testing.T) {
 
 // TestEarlyRelease: after releasing a read variable, a conflicting
 // writer no longer aborts the reader — DSTM's early-release feature.
+// Both transactions write (to z) so the commit-time full rescan
+// applies: a purely read-only transaction now serializes at its
+// snapshot timestamp and would legitimately commit either way (the
+// versioned read-only fast path).
 func TestEarlyRelease(t *testing.T) {
 	tm := dstm.New()
 	x := tm.NewVar("x", 0)
 	y := tm.NewVar("y", 0)
+	z := tm.NewVar("z", 0)
 
 	t1 := tm.Begin(nil)
 	if _, err := t1.Read(x); err != nil {
@@ -298,16 +303,23 @@ func TestEarlyRelease(t *testing.T) {
 	if _, err := t1.Read(y); err != nil {
 		t.Fatalf("released variable must not invalidate the snapshot: %v", err)
 	}
+	if err := t1.Write(z, 1); err != nil {
+		t.Fatalf("write after release: %v", err)
+	}
 	if err := t1.Commit(); err != nil {
 		t.Fatalf("commit after release: %v", err)
 	}
 
-	// Control: without the release the same interleaving aborts.
+	// Control: without the release the same interleaving aborts at the
+	// writer's commit-time rescan.
 	t2 := tm.Begin(nil)
 	if _, err := t2.Read(x); err != nil {
 		t.Fatal(err)
 	}
 	if err := core.WriteVar(tm, nil, x, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(z, 2); err != nil {
 		t.Fatal(err)
 	}
 	if err := t2.Commit(); !errors.Is(err, core.ErrAborted) {

@@ -22,10 +22,21 @@
 // the same theory — obstruction-freedom (Definition 2), opacity, and,
 // inevitably, Theorem 13's strict-DAP violation (its hot spot is the
 // descriptor's status word and undo log).
+//
+// Like dstm, the engine layers per-variable versioned validation on top
+// (PR 2): every variable carries a version word stamped by its last
+// committed writer from the global clock, readers hold a snapshot
+// timestamp, and validation is O(1) unless a read actually encounters a
+// newer value (lazy snapshot extension). Because updates are eager, the
+// in-place (version, value) pair is sampled with an owner-recheck: the
+// owner cell is re-read after the pair, and since acquisition precedes
+// both the eager write and the commit-time stamp, an unchanged owner
+// proves the pair was not torn by an in-flight acquirer.
 package nztm
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,23 +54,65 @@ const (
 	statusAborted   uint64 = 2
 )
 
+// valMode selects the read-set validation strategy (see dstm for the
+// full discussion of the three behaviors).
+type valMode int
+
+const (
+	valVersioned   valMode = iota // per-variable versions + snapshot extension
+	valGlobalEpoch                // PR 1 all-or-nothing commit counter (ablation)
+	valFullScan                   // paper reference: full scan per read (ablation)
+)
+
+// undoEnt is one undo-log record: the pre-ownership value of a variable
+// and that value's version.
+type undoEnt struct {
+	val uint64
+	ver uint64
+}
+
 // desc is a transaction descriptor: status word plus the undo log that
 // other processes consult when this transaction is aborted. The status
-// word is embedded by value, so a raw-mode descriptor is a single
-// allocation.
+// word is embedded by value — a raw-mode descriptor is a single
+// allocation — and leads the struct together with the other read-mostly
+// fields, with the owner-written undo log and batched ops counter
+// trailing (see dstm.txDesc for why this layout replaces a full
+// cache-line pad: descriptors are per-transaction allocations, and pad
+// bytes cost more on the begin path than the false sharing they
+// prevent; the engine-wide clock keeps its true pads).
 type desc struct {
-	id     model.TxID
 	status base.U64
+	id     model.TxID
 	start  int64
+	env    *sim.Env
 	ops    atomic.Int64
 
-	// undo holds the pre-ownership value of every variable this
-	// transaction acquired. Guarded by mu; accesses are modelled as
+	// The undo log is append-only with single-writer publication: the
+	// owner fills slot undoN with plain stores and then publishes it by
+	// advancing undoN (release); a resolver loads undoN (acquire) and
+	// scans only published slots backwards (a re-acquisition after a
+	// lost CAS race appends a fresh entry for the same variable, so the
+	// latest one wins). No lock on the common path — an inline slot per
+	// acquisition attempt — with a mutex-guarded spill map for
+	// transactions that outgrow the slots. Accesses are modelled as
 	// steps on undoObj so conflict analysis sees them.
-	mu      sync.Mutex
-	undo    map[model.VarID]uint64
-	undoObj model.ObjID
-	env     *sim.Env
+	undoN     atomic.Int32
+	undoSlots [undoInline]undoSlot
+	mu        sync.Mutex
+	spill     map[model.VarID]undoEnt
+	undoObj   model.ObjID
+}
+
+// undoInline is the number of inline undo slots (appends, not distinct
+// variables: acquisition retries append too).
+const undoInline = 8
+
+// undoSlot is one published undo record. Plain fields: written only by
+// the owner before the undoN publication that covers them, never
+// mutated afterwards.
+type undoSlot struct {
+	varID model.VarID
+	e     undoEnt
 }
 
 func (d *desc) info() cm.TxInfo {
@@ -67,40 +120,73 @@ func (d *desc) info() cm.TxInfo {
 }
 
 // undoGet reads the undo entry for v (one step on the undo object).
-func (d *desc) undoGet(p *sim.Proc, v model.VarID) (uint64, bool) {
-	var val uint64
+// The spill map (if any) holds the newest entries and is consulted
+// first; the inline slots are scanned backwards so the latest append
+// for v wins.
+func (d *desc) undoGet(p *sim.Proc, v model.VarID) (undoEnt, bool) {
+	var e undoEnt
 	var ok bool
 	sim.Step(p, d.undoObj, "read", false, func() {
-		d.mu.Lock()
-		val, ok = d.undo[v]
-		d.mu.Unlock()
+		n := int(d.undoN.Load()) // acquire: slots < n are fully written
+		if n > undoInline {
+			d.mu.Lock()
+			e, ok = d.spill[v]
+			d.mu.Unlock()
+			if ok {
+				return
+			}
+			n = undoInline
+		}
+		for i := n - 1; i >= 0; i-- {
+			if d.undoSlots[i].varID == v {
+				e, ok = d.undoSlots[i].e, true
+				return
+			}
+		}
 	})
-	return val, ok
+	return e, ok
 }
 
 // undoPut records the undo entry for v (one step on the undo object).
-// Overwrite semantics: the entry is (re)written on every acquisition
+// Append semantics: a fresh entry is written on every acquisition
 // attempt BEFORE the ownership CAS, so by the time this descriptor is
 // visible in an owner cell its undo entry for the variable is already
-// in place — resolvers never observe an owner without a pre-value.
-func (d *desc) undoPut(p *sim.Proc, v model.VarID, val uint64) {
+// published — resolvers never observe an owner without a pre-value.
+func (d *desc) undoPut(p *sim.Proc, v model.VarID, e undoEnt) {
 	sim.Step(p, d.undoObj, "write", true, func() {
-		d.mu.Lock()
-		if d.undo == nil {
-			d.undo = map[model.VarID]uint64{}
+		n := int(d.undoN.Load())
+		if n < undoInline {
+			d.undoSlots[n] = undoSlot{varID: v, e: e}
+			d.undoN.Store(int32(n + 1)) // release: publishes the slot
+			return
 		}
-		d.undo[v] = val
+		d.mu.Lock()
+		if d.spill == nil {
+			d.spill = map[model.VarID]undoEnt{}
+		}
+		d.spill[v] = e
 		d.mu.Unlock()
+		if n == undoInline {
+			d.undoN.Store(int32(n + 1)) // flags the spill for readers
+		}
 	})
 }
 
-// tvar is a t-variable: an owner cell and the in-place value word.
+// tvar is a t-variable: an owner cell, the in-place value word, and the
+// value's version word. The version is stamped only by a committing
+// owner (tick-then-stamp-then-CAS), so cross-transaction accesses to it
+// always share the t-variable itself — per-variable versions are not a
+// strict-DAP hot spot.
 type tvar struct {
-	eng   *TM
-	id    model.VarID
-	name  string
-	owner *base.Cell[desc]
-	val   *base.U64
+	eng  *TM
+	id   model.VarID
+	name string
+	// owner, val and ver are embedded by value: one allocation per
+	// variable, and the (ver, val, owner) sampling triple sits on
+	// adjacent lines.
+	owner base.Cell[desc]
+	val   base.U64
+	ver   base.U64
 }
 
 func (v *tvar) ID() model.VarID { return v.id }
@@ -115,26 +201,33 @@ func WithEnv(env *sim.Env) Option { return func(t *TM) { t.env = env } }
 // WithManager selects the contention manager (default Polite).
 func WithManager(m cm.Manager) Option { return func(t *TM) { t.mgr = m } }
 
-// WithoutEpochValidation disables the commit-epoch fast path, forcing a
-// full owner-identity scan on every read (the O(R²) reference
+// WithoutEpochValidation disables versioned validation entirely,
+// forcing a full owner-identity scan on every read (the O(R²) reference
 // behavior). Ablation knob for experiment E8f.
-func WithoutEpochValidation() Option { return func(t *TM) { t.epochSkip = false } }
+func WithoutEpochValidation() Option { return func(t *TM) { t.mode = valFullScan } }
+
+// GlobalEpochOnly selects the PR 1 all-or-nothing commit counter
+// instead of per-variable versions (ablation control for E8g).
+func GlobalEpochOnly() Option { return func(t *TM) { t.mode = valGlobalEpoch } }
 
 // TM is the zero-indirection OFTM engine. It implements core.TM.
 type TM struct {
-	env       *sim.Env
-	mgr       cm.Manager
-	epochSkip bool
+	env  *sim.Env
+	mgr  cm.Manager
+	mode valMode
 
-	// epoch is the commit counter (see dstm): bumped immediately before
-	// every writing commit CAS and after every forceful abort, letting
-	// readers skip read-set validation across quiescent periods.
-	epoch base.Epoch
+	// clock is the global version clock (see dstm): ticked before every
+	// writing commit CAS; sampled for reader snapshots. In
+	// valGlobalEpoch mode it doubles as the PR 1 commit epoch.
+	clock base.VClock
+
+	extensions atomic.Int64
+
+	txPool sync.Pool
 
 	mu      sync.Mutex
 	vars    []*tvar
 	nextTx  map[model.ProcID]int
-	rawSeq  atomic.Int64
 	tickets atomic.Int64
 
 	// Aborts counts forceful aborts inflicted on owners.
@@ -143,11 +236,11 @@ type TM struct {
 
 // New returns an engine instance.
 func New(opts ...Option) *TM {
-	t := &TM{mgr: cm.Polite{}, epochSkip: true, nextTx: map[model.ProcID]int{}}
+	t := &TM{mgr: cm.Polite{}, mode: valVersioned, nextTx: map[model.ProcID]int{}}
 	for _, o := range opts {
 		o(t)
 	}
-	t.epoch.Init(t.env, "nztm.epoch")
+	t.clock.Init(t.env, "nztm.clock")
 	return t
 }
 
@@ -162,52 +255,74 @@ func (t *TM) NewVar(name string, init uint64) core.Var {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	v := &tvar{
-		eng:   t,
-		id:    model.VarID(len(t.vars)),
-		name:  name,
-		owner: base.NewCell[desc](t.env, name+".owner", nil),
-		val:   base.NewU64(t.env, name+".val", init),
+		eng:  t,
+		id:   model.VarID(len(t.vars)),
+		name: name,
 	}
+	v.owner.Init(t.env, name+".owner", nil)
+	v.val.Init(t.env, name+".val", init)
+	v.ver.Init(t.env, name+".ver", 0)
 	t.vars = append(t.vars, v)
 	return v
 }
 
+// ticketBlock is how many begin tickets a pooled raw-mode transaction
+// reserves from the shared counter at once (see dstm: uniqueness is
+// preserved, age order becomes block-granular).
+const ticketBlock = 16
+
 // Begin implements core.TM.
 func (t *TM) Begin(p *sim.Proc) core.Tx {
-	var id model.TxID
 	if p == nil {
-		id = model.TxID{Proc: 0, Seq: int(t.rawSeq.Add(1))}
-	} else {
-		t.mu.Lock()
-		pid := p.ID()
-		t.nextTx[pid]++
-		id = model.TxID{Proc: pid, Seq: t.nextTx[pid]}
-		t.mu.Unlock()
-		p.SetTx(id)
+		x, _ := t.txPool.Get().(*tx)
+		if x == nil {
+			x = &tx{eng: t}
+		}
+		if x.d == nil {
+			x.d = new(desc)
+		}
+		if x.ticketNext >= x.ticketEnd {
+			x.ticketEnd = t.tickets.Add(ticketBlock)
+			x.ticketNext = x.ticketEnd - ticketBlock
+		}
+		x.ticketNext++
+		x.reset(nil, model.TxID{Proc: 0, Seq: int(x.ticketNext)}, x.ticketNext)
+		return x
 	}
-	d := &desc{id: id, start: t.tickets.Add(1), env: t.env}
+	ticket := t.tickets.Add(1)
+	t.mu.Lock()
+	pid := p.ID()
+	t.nextTx[pid]++
+	id := model.TxID{Proc: pid, Seq: t.nextTx[pid]}
+	t.mu.Unlock()
+	p.SetTx(id)
+	x := &tx{eng: t, d: new(desc)}
+	x.reset(p, id, ticket)
 	if t.env != nil {
-		d.status.Init(t.env, id.String()+".status", statusLive)
-		d.undoObj = t.env.RegisterObj(id.String() + ".undo")
-	} else {
-		d.status.Init(nil, "", statusLive)
+		x.d.status.Init(t.env, id.String()+".status", statusLive)
+		x.d.undoObj = t.env.RegisterObj(id.String() + ".undo")
 	}
-	return &tx{eng: t, p: p, d: d}
+	return x
 }
 
 // Stats implements core.StatsSource.
 func (t *TM) Stats() core.TMStats {
-	return core.TMStats{Epoch: t.epoch.Load(nil), ForcedAborts: t.Aborts.Load()}
+	return core.TMStats{
+		Epoch:              t.clock.Load(nil),
+		ForcedAborts:       t.Aborts.Load(),
+		SnapshotExtensions: t.extensions.Load(),
+	}
 }
 
-// readEntry records the value read and the owner descriptor it was
-// resolved under. Validation is by owner identity: every acquisition
-// installs a fresh descriptor and the statuses a resolution returns
-// under (nil owner, committed, aborted) are terminal, so an unchanged
-// owner pointer implies an unchanged logical value — immune to ABA on
-// the value word.
+// readEntry records the value read, its version, and the owner
+// descriptor it was resolved under. Validation is by owner identity:
+// every acquisition installs a fresh descriptor and the statuses a
+// resolution returns under (nil owner, committed, aborted) are
+// terminal, so an unchanged owner pointer implies an unchanged logical
+// value — immune to ABA on the value word.
 type readEntry struct {
 	val   uint64
+	ver   uint64
 	owner *desc
 }
 
@@ -217,12 +332,72 @@ type tx struct {
 	d    *desc
 	rset core.SmallMap[*tvar, readEntry]
 	wset core.SmallMap[*tvar, uint64] // current (written) value of owned vars
-	// valEpoch is the engine epoch sampled immediately before the last
-	// full validation that passed (valid when valSet); while the epoch
-	// holds that value the read set cannot have been invalidated.
+	// snap is the snapshot timestamp (valVersioned; see dstm).
+	snap    uint64
+	snapSet bool
+	// valEpoch/valSet implement the valGlobalEpoch ablation (PR 1).
 	valEpoch uint64
 	valSet   bool
 	done     model.Status
+	// opsLocal is the private op counter behind noteOp.
+	opsLocal int64
+	// ticketNext/ticketEnd are the reserved begin tickets (raw mode).
+	ticketNext, ticketEnd int64
+}
+
+// reset (re)initializes a transaction for a new attempt.
+func (x *tx) reset(p *sim.Proc, id model.TxID, ticket int64) {
+	d := x.d
+	d.id = id
+	d.start = ticket
+	if d.ops.Load() != 0 {
+		d.ops.Store(0) // published in batches; usually still zero
+	}
+	d.env = x.eng.env
+	if d.undoN.Load() != 0 {
+		d.undoN.Store(0)
+		d.undoSlots = [undoInline]undoSlot{}
+		d.spill = nil
+	}
+	if d.status.Read(nil) != statusLive {
+		// Freshly allocated descriptors are already live (zero value);
+		// only recycled ones pay the store.
+		d.status.Init(nil, "", statusLive)
+	}
+	x.p = p
+	x.rset.Reset()
+	x.wset.Reset()
+	x.snap, x.snapSet = 0, false
+	x.valEpoch, x.valSet = 0, false
+	x.done = model.Live
+	x.opsLocal = 0
+}
+
+// noteOp counts a high-level operation (see dstm.noteOp: the shared ops
+// word is published in batches and refreshed before raising a
+// conflict, so uncontended transactions avoid an atomic RMW per op).
+func (x *tx) noteOp() {
+	x.opsLocal++
+	if x.opsLocal&7 == 0 {
+		x.d.ops.Store(x.opsLocal)
+	}
+}
+
+// Recycle implements core.TxRecycler (see dstm.Recycle for the
+// reclamation argument): a descriptor that acquired ownership has
+// escaped into owner cells — resolvers may chase its status and undo
+// log long after completion — so it is left to the garbage collector;
+// read-only descriptors never published and are reused.
+func (x *tx) Recycle() {
+	if x.p != nil || x.done == model.Live {
+		return
+	}
+	if x.wset.Len() != 0 {
+		x.d = nil
+	}
+	x.rset.Reset()
+	x.wset.Reset()
+	x.eng.txPool.Put(x)
 }
 
 func (x *tx) ID() model.TxID { return x.d.id }
@@ -256,51 +431,87 @@ func (x *tx) backoff(attempt int) {
 	if x.p != nil {
 		return
 	}
+	if attempt <= 6 {
+		runtime.Gosched()
+		return
+	}
 	if attempt > 10 {
 		attempt = 10
 	}
 	time.Sleep(time.Duration(1<<attempt) * time.Microsecond)
 }
 
-// resolve returns the current logical value of v and the owner
-// descriptor it was resolved under (nil if unowned), dealing with a
-// live owner through the contention manager. ok=false means abort self.
-func (x *tx) resolve(v *tvar) (val uint64, owner *desc, ok bool) {
+// sample reads v's in-place (version, value) pair and confirms the
+// owner cell still holds o across the reads. Acquisition precedes both
+// the acquirer's eager value write and its commit-time version stamp,
+// so an unchanged owner cell proves the pair belongs to the resolution
+// under o — not to an in-flight acquirer that landed between our owner
+// load and the pair reads.
+func (x *tx) sample(v *tvar, o *desc) (val, ver uint64, ok bool) {
+	ver = v.ver.Read(x.p)
+	val = v.val.Read(x.p)
+	if v.owner.Load(x.p) != o {
+		return 0, 0, false
+	}
+	return val, ver, true
+}
+
+// resolve returns the current logical value of v, that value's version,
+// and the owner descriptor it was resolved under (nil if unowned),
+// dealing with a live owner through the contention manager. ok=false
+// means abort self. Resolution only returns under a terminal owner
+// status.
+func (x *tx) resolve(v *tvar) (val, ver uint64, owner *desc, ok bool) {
 	attempt := 0
 	for {
 		o := v.owner.Load(x.p)
 		if o == nil {
-			return v.val.Read(x.p), nil, true
+			if val, ver, ok := x.sample(v, o); ok {
+				return val, ver, nil, true
+			}
+			continue // acquired mid-sample; re-resolve
 		}
 		switch o.status.Read(x.p) {
 		case statusCommitted:
-			// Committed owner's eager writes are the current value. If
-			// the owner acquired but never wrote, the value word was
-			// untouched — also correct.
-			return v.val.Read(x.p), o, true
-		case statusAborted:
-			// The aborted owner may have left a stale value in place;
-			// the pre-value lives in its undo log.
-			if old, ok := o.undoGet(x.p, v.id); ok {
-				return old, o, true
+			// Committed owner's eager writes are the current value and
+			// its stamp the current version. If the owner acquired but
+			// never wrote, the words were untouched — also correct.
+			if val, ver, ok := x.sample(v, o); ok {
+				return val, ver, o, true
 			}
-			return v.val.Read(x.p), o, true
+			continue
+		case statusAborted:
+			// The aborted owner may have left a stale value (and, if it
+			// was aborted between stamping and its commit CAS, a stale
+			// version) in place; the pre-pair lives in its undo log.
+			if e, ok := o.undoGet(x.p, v.id); ok {
+				return e.val, e.ver, o, true
+			}
+			if val, ver, ok := x.sample(v, o); ok {
+				return val, ver, o, true
+			}
+			continue
 		}
 		// Live owner.
+		if attempt == 0 {
+			x.d.ops.Store(x.opsLocal)
+		}
 		switch x.eng.mgr.OnConflict(x.d.info(), o.info(), attempt) {
 		case cm.AbortVictim:
 			if o.status.CAS(x.p, statusLive, statusAborted) {
 				x.eng.Aborts.Add(1)
-				// No logical value changes, but the bump lets the victim
-				// notice its own abort at its next epoch check.
-				if x.eng.epochSkip {
-					x.eng.epoch.Bump(x.p)
+				// No logical value changes; versioned validation leaves
+				// the clock alone (the victim reads its own status).
+				// The PR 1 epoch mode keeps its bump, as the ablation
+				// control.
+				if x.eng.mode == valGlobalEpoch {
+					x.eng.clock.Bump(x.p)
 				}
 			}
 		case cm.Retry:
 			x.backoff(attempt)
 		case cm.AbortSelf:
-			return 0, nil, false
+			return 0, 0, nil, false
 		}
 		attempt++
 	}
@@ -320,25 +531,54 @@ func (x *tx) validate() bool {
 	return ok && x.d.status.Read(x.p) == statusLive
 }
 
-// maybeValidate is the commit-epoch fast path around validate: sample
-// the epoch, skip the scan when it has not moved since the last full
-// validation (no transaction committed, so no logical value changed),
-// otherwise rescan and remember the pre-scan sample. See dstm for the
-// ordering argument.
-func (x *tx) maybeValidate() bool {
-	if !x.eng.epochSkip {
-		// Ablation baseline: no epoch accesses anywhere.
-		return x.validate()
+// ensureSnap samples the snapshot timestamp before the first read
+// resolves (see dstm.ensureSnap for the ordering argument).
+func (x *tx) ensureSnap() {
+	if x.eng.mode != valVersioned || x.snapSet {
+		return
 	}
-	cur := x.eng.epoch.Load(x.p)
-	if x.valSet && cur == x.valEpoch {
-		return true
-	}
+	x.snap = x.eng.clock.Load(x.p)
+	x.snapSet = true
+}
+
+// extend is the lazy snapshot extension (see dstm.extend): sample the
+// clock BEFORE the scan, re-validate every entry by owner identity,
+// advance the snapshot to the sample.
+func (x *tx) extend(ver uint64) bool {
+	cur := x.eng.clock.Load(x.p)
 	if !x.validate() {
 		return false
 	}
-	x.valEpoch, x.valSet = cur, true
-	return true
+	x.snap = cur
+	x.eng.extensions.Add(1)
+	return ver <= cur
+}
+
+// maybeValidate is the per-access consistency check (see dstm): O(1)
+// own-status read plus version-vs-snapshot comparison in versioned
+// mode; extension only when a genuinely newer value was read.
+func (x *tx) maybeValidate(ver uint64, haveVer bool) bool {
+	switch x.eng.mode {
+	case valFullScan:
+		return x.validate()
+	case valGlobalEpoch:
+		cur := x.eng.clock.Load(x.p)
+		if x.valSet && cur == x.valEpoch {
+			return true
+		}
+		if !x.validate() {
+			return false
+		}
+		x.valEpoch, x.valSet = cur, true
+		return true
+	}
+	if x.d.status.Read(x.p) != statusLive {
+		return false
+	}
+	if !haveVer || ver <= x.snap {
+		return true
+	}
+	return x.extend(ver)
 }
 
 func (x *tx) Read(v core.Var) (uint64, error) {
@@ -346,7 +586,7 @@ func (x *tx) Read(v core.Var) (uint64, error) {
 		return 0, core.ErrAborted
 	}
 	tv := mustVar(x.eng, v)
-	x.d.ops.Add(1)
+	x.noteOp()
 	if val, ok := x.wset.Get(tv); ok {
 		return val, nil
 	}
@@ -356,12 +596,13 @@ func (x *tx) Read(v core.Var) (uint64, error) {
 		}
 		return e.val, nil
 	}
-	val, owner, ok := x.resolve(tv)
+	x.ensureSnap()
+	val, ver, owner, ok := x.resolve(tv)
 	if !ok {
 		return 0, x.abortSelf()
 	}
-	x.rset.Put(tv, readEntry{val: val, owner: owner})
-	if !x.maybeValidate() {
+	x.rset.PutNew(tv, readEntry{val: val, ver: ver, owner: owner})
+	if !x.maybeValidate(ver, true) {
 		return 0, x.abortSelf()
 	}
 	return val, nil
@@ -372,14 +613,14 @@ func (x *tx) Write(v core.Var, val uint64) error {
 		return core.ErrAborted
 	}
 	tv := mustVar(x.eng, v)
-	x.d.ops.Add(1)
+	x.noteOp()
 	if _, owned := x.wset.Get(tv); owned {
 		x.wset.Put(tv, val)
 		tv.val.Write(x.p, val)
 		return nil
 	}
 	for {
-		cur, prev, ok := x.resolve(tv)
+		cur, curVer, prev, ok := x.resolve(tv)
 		if !ok {
 			return x.abortSelf()
 		}
@@ -388,13 +629,13 @@ func (x *tx) Write(v core.Var, val uint64) error {
 		if e, seen := x.rset.Get(tv); seen && prev != e.owner {
 			return x.abortSelf()
 		}
-		// Record the pre-value BEFORE publishing ownership: once the CAS
+		// Record the pre-pair BEFORE publishing ownership: once the CAS
 		// below lands, any process may abort us and resolve the variable
 		// through our undo log, which must already hold the pre-value
 		// (the value word may still contain a previous aborted owner's
 		// in-place garbage — the safety campaign found exactly this
 		// laundering bug in an earlier record-after-CAS version).
-		x.d.undoPut(x.p, tv.id, cur)
+		x.d.undoPut(x.p, tv.id, undoEnt{val: cur, ver: curVer})
 		if !tv.owner.CAS(x.p, prev, x.d) {
 			continue // lost the race; retry with a fresh pre-value
 		}
@@ -402,9 +643,9 @@ func (x *tx) Write(v core.Var, val uint64) error {
 		// write below is then harmless garbage that resolution hides
 		// behind the undo entry, but we must not continue operating.
 		tv.val.Write(x.p, val)
-		x.wset.Put(tv, val)
+		x.wset.PutNew(tv, val)
 		x.rset.Delete(tv)
-		if !x.maybeValidate() {
+		if !x.maybeValidate(0, false) {
 			return x.abortSelf()
 		}
 		return nil
@@ -415,18 +656,42 @@ func (x *tx) Commit() error {
 	if x.done != model.Live {
 		return core.ErrAborted
 	}
-	// Read-only transactions may use the epoch skip (they serialize at
-	// their last full validation); writers must rescan, since ownership
-	// acquisitions do not bump the epoch and two crossed writers could
-	// otherwise both skip and commit write skew (see dstm.Commit).
+	// Writers must rescan at commit: acquisitions stamp no version, so
+	// two crossed writers could otherwise both pass their O(1) checks
+	// and commit write skew (see dstm.Commit — the PR 1 exclusion
+	// argument, preserved verbatim).
 	readOnly := x.wset.Len() == 0
-	if !(readOnly && x.eng.epochSkip && x.valSet && x.eng.epoch.Load(x.p) == x.valEpoch) && !x.validate() {
-		return x.abortSelf()
+	switch {
+	case readOnly && x.eng.mode == valVersioned:
+		// Read-only fast path: every read was admitted at a version ≤
+		// snap, so the transaction serializes at its snapshot timestamp.
+	case readOnly && x.eng.mode == valGlobalEpoch && x.valSet && x.eng.clock.Load(x.p) == x.valEpoch:
+		// PR 1 fast path: epoch unchanged since the last full scan.
+	default:
+		if !x.validate() {
+			return x.abortSelf()
+		}
 	}
-	if !readOnly && x.eng.epochSkip {
-		// Pre-announce: the bump precedes the commit CAS so no reader
-		// can skip validation across a commit that changes values.
-		x.eng.epoch.Bump(x.p)
+	if !readOnly {
+		switch x.eng.mode {
+		case valVersioned:
+			// Tick-then-stamp-then-CAS: mint the version, stamp it onto
+			// every owned variable's version word, then commit. A
+			// reader that observes the committed status therefore
+			// observes the stamps (the CAS orders them), and a stamp
+			// whose commit CAS then fails is never consulted —
+			// resolution under an aborted owner goes through the undo
+			// log, and the next writer re-stamps.
+			wv := x.eng.clock.Tick(x.p)
+			x.wset.Range(func(tv *tvar, _ uint64) bool {
+				tv.ver.Write(x.p, wv)
+				return true
+			})
+		case valGlobalEpoch:
+			// Pre-announce: the bump precedes the commit CAS so no
+			// reader can skip validation across a commit.
+			x.eng.clock.Bump(x.p)
+		}
 	}
 	if !x.d.status.CAS(x.p, statusLive, statusCommitted) {
 		x.done = model.Aborted

@@ -1,0 +1,97 @@
+// White-box tests for per-variable versioned validation in the
+// zero-indirection engine.
+package nztm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestVictimDetectsAbortO1: a forcefully aborted victim discovers its
+// abort through its OWN status word on the next access, in O(1) steps
+// independent of its read-set size — forceful aborts no longer bump any
+// global word. The abort is inflicted with a raw (unscheduled) status
+// CAS, as an attacker's revocation would.
+func TestVictimDetectsAbortO1(t *testing.T) {
+	detect := func(reads int) int64 {
+		env := sim.New()
+		eng := New(WithEnv(env))
+		vars := make([]core.Var, reads+1)
+		for i := range vars {
+			vars[i] = eng.NewVar(fmt.Sprintf("v%d", i), 0)
+		}
+		var steps int64
+		var failure error
+		env.Spawn(func(p *sim.Proc) {
+			x := eng.Begin(p).(*tx)
+			for i := 0; i < reads; i++ {
+				if _, err := x.Read(vars[i]); err != nil {
+					failure = fmt.Errorf("setup read %d: %v", i, err)
+					return
+				}
+			}
+			x.d.status.CAS(nil, statusLive, statusAborted)
+			before := env.TotalSteps()
+			_, err := x.Read(vars[reads])
+			steps = env.TotalSteps() - before
+			if !errors.Is(err, core.ErrAborted) {
+				failure = fmt.Errorf("victim read after forceful abort returned %v, want ErrAborted", err)
+			}
+		})
+		env.Run(sim.Solo(1))
+		if failure != nil {
+			t.Fatal(failure)
+		}
+		return steps
+	}
+	s16 := detect(16)
+	s256 := detect(256)
+	if s16 > 10 || s256 > 10 {
+		t.Fatalf("victim abort detection took %d steps at R=16 and %d at R=256, want ≤ 10 (O(1))", s16, s256)
+	}
+	if s16 != s256 {
+		t.Fatalf("victim abort detection cost depends on read-set size: %d at R=16 vs %d at R=256", s16, s256)
+	}
+}
+
+// TestAbortedStampNeverConsulted: a writer that stamped version words
+// and was then forcefully aborted before its commit CAS leaves garbage
+// in the variable's version word — resolution must keep answering
+// through the undo log (pre-value AND pre-version) until the next
+// writer re-stamps.
+func TestAbortedStampNeverConsulted(t *testing.T) {
+	eng := New()
+	x := eng.NewVar("x", 3).(*tvar)
+
+	// Establish a committed version on x.
+	if err := core.WriteVar(eng, nil, x, 7); err != nil {
+		t.Fatal(err)
+	}
+	verBefore := x.ver.Read(nil)
+
+	// A writer acquires x, eagerly writes, stamps as if committing, and
+	// is then forcefully aborted before its commit CAS lands.
+	w := eng.Begin(nil).(*tx)
+	if err := w.Write(x, 99); err != nil {
+		t.Fatal(err)
+	}
+	x.ver.Write(nil, eng.clock.Tick(nil)) // the stamp half of a commit...
+	w.d.status.CAS(nil, statusLive, statusAborted)
+
+	// A fresh reader must resolve the pre-pair from the undo log.
+	r := eng.Begin(nil).(*tx)
+	v, err := r.Read(x)
+	if err != nil || v != 7 {
+		t.Fatalf("read under aborted stamped owner = %d (%v), want 7", v, err)
+	}
+	if e, ok := r.rset.Get(x); !ok || e.ver != verBefore {
+		t.Fatalf("reader recorded version %d, want the undo pre-version %d", e.ver, verBefore)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatalf("reader commit: %v", err)
+	}
+}

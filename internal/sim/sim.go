@@ -288,22 +288,6 @@ func (e *Env) Run(sched Scheduler) *model.History {
 	e.mu.Unlock()
 
 	finished := make(chan *Proc, len(procs))
-	for _, p := range procs {
-		p := p
-		body := bodies[p]
-		go func() {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(killed); !ok {
-						panic(r)
-					}
-				}
-				finished <- p
-			}()
-			body(p)
-		}()
-	}
-
 	parked := map[*Proc]bool{}
 	done := map[*Proc]bool{}
 	granted := (*Proc)(nil) // proc currently executing a granted action
@@ -339,6 +323,32 @@ func (e *Env) Run(sched Scheduler) *model.History {
 		case <-timer.C:
 			panic(fmt.Sprintf("sim: watchdog: no progress for %v (%d parked, %d finished of %d; a process is blocked outside the scheduler)",
 				e.WatchdogTimeout, len(parked), nFinished, len(procs)))
+		}
+	}
+
+	// Start bodies strictly one at a time: each process runs until it
+	// parks at its first step (or finishes) before the next is started.
+	// Code a body executes before its first step — transaction Begin,
+	// dynamic base-object registration — therefore runs in spawn order,
+	// so recorded histories (object ids included) are a function of the
+	// scheduler alone, never of Go's goroutine scheduling. Replays are
+	// exactly reproducible, which the differential tests assert.
+	for _, p := range procs {
+		p := p
+		body := bodies[p]
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killed); !ok {
+						panic(r)
+					}
+				}
+				finished <- p
+			}()
+			body(p)
+		}()
+		for !parked[p] && !done[p] {
+			waitEvent()
 		}
 	}
 

@@ -138,6 +138,9 @@ func NewDSTM(opts ...EngineOption) TM {
 	if c.noEpoch {
 		dopts = append(dopts, dstm.WithoutEpochValidation())
 	}
+	if c.globalEpoch {
+		dopts = append(dopts, dstm.GlobalEpochOnly())
+	}
 	return dstm.New(dopts...)
 }
 
@@ -183,6 +186,7 @@ type engineConfig struct {
 	validateAtCommit  bool
 	adversarialFoCons bool
 	noEpoch           bool
+	globalEpoch       bool
 }
 
 // InSim attaches the engine's base objects to a simulation environment.
@@ -201,11 +205,21 @@ func ValidateAtCommitOnly() EngineOption {
 	return func(c *engineConfig) { c.validateAtCommit = true }
 }
 
-// NoEpochValidation disables commit-epoch (commit-counter) read-set
-// validation in DSTM and NZTM, restoring the paper's reference O(R²)
+// NoEpochValidation disables versioned read-set validation in DSTM and
+// NZTM entirely, restoring the paper's reference O(R²)
 // full-scan-per-read behavior — the ablation knob for experiment E8f.
 func NoEpochValidation() EngineOption {
 	return func(c *engineConfig) { c.noEpoch = true }
+}
+
+// WithGlobalEpochOnly selects the PR 1 all-or-nothing commit counter in
+// DSTM and NZTM instead of per-variable versioned validation: one
+// shared epoch word that any commit (or forceful abort) bumps, forcing
+// every reader in the system into a full read-set rescan on its next
+// access. Kept as the ablation control for the contended-read
+// experiments (E8g) and the contended complexity tests.
+func WithGlobalEpochOnly() EngineOption {
+	return func(c *engineConfig) { c.globalEpoch = true }
 }
 
 // TMStats is a snapshot of engine-internal counters (commit epoch,
@@ -280,6 +294,9 @@ func NewNZTM(opts ...EngineOption) TM {
 	}
 	if c.noEpoch {
 		nopts = append(nopts, nztm.WithoutEpochValidation())
+	}
+	if c.globalEpoch {
+		nopts = append(nopts, nztm.GlobalEpochOnly())
 	}
 	return nztm.New(nopts...)
 }
