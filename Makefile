@@ -38,17 +38,36 @@ bench-readheavy:
 	@$(GO) test -run '^$$' -bench BenchmarkReadHeavy -benchmem -benchtime $(BENCHTIME) .
 
 experiments:
-	@echo "Regenerating the E1..E8 experiment tables..."
+	@echo "Regenerating the E1..E9 experiment tables..."
 	@$(GO) run ./cmd/oftm-bench
 
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
 bench-json:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON)
 
-BASELINE ?= BENCH_PR1.json
+BASELINE ?= BENCH_PR2.json
 bench-diff:
-	@echo "Measuring the perf-tracking grid into $(BENCH_JSON) and diffing against $(BASELINE) (fails on >25% ns/op regressions)..."
+	@echo "Measuring the perf-tracking grid into $(BENCH_JSON) and diffing against $(BASELINE) (fails on >25% ns/op regressions; workloads new since the baseline are skipped with a notice)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON) -baseline $(BASELINE)
 
-.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff
+########################################
+### Serving stack (kv + wire server)
+
+kv-smoke:
+	@echo "Running every kv-* workload briefly..."
+	@$(GO) run ./cmd/oftm-bench -kvsmoke
+
+SERVER_ADDR ?= 127.0.0.1:7781
+server-smoke: kv-smoke
+	@echo "Building oftm-server and driving pipelined load through it..."
+	@$(GO) build -o /tmp/oftm-server-smoke ./cmd/oftm-server
+	@/tmp/oftm-server-smoke -addr $(SERVER_ADDR) -engine nztm -shards 8 & \
+	SRV=$$!; sleep 1; \
+	/tmp/oftm-server-smoke -connect $(SERVER_ADDR) -conns 4 -ops 250; RC=$$?; \
+	kill -INT $$SRV; wait $$SRV; SRC=$$?; \
+	rm -f /tmp/oftm-server-smoke; \
+	echo "client exit: $$RC, server exit: $$SRC"; \
+	[ $$RC -eq 0 ] && [ $$SRC -eq 0 ]
+
+.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke server-smoke

@@ -484,3 +484,44 @@ func BenchmarkEarlyRelease(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkKV: the serving-stack workloads (E9) — sharded kv store
+// throughput by shard count (uniform keys) and the multi-key batch
+// mixes at 8 shards. The s1-vs-s8 pair is the disjoint-access
+// partitioning claim: constant per-shard capacity, so more shards mean
+// shorter chains and rarer same-shard conflicts.
+func BenchmarkKV(b *testing.B) {
+	for _, e := range benchEngines() {
+		for _, shards := range []int{1, 8} {
+			b.Run(fmt.Sprintf("uniform/%s/shards=%d", e.Name, shards), func(b *testing.B) {
+				w := bench.KVUniform(shards)
+				op := w.Setup(e.Raw())
+				b.ResetTimer()
+				runThreads(b, 8, func(t int, rng *rand.Rand, iters int) {
+					for i := 0; i < iters; i++ {
+						if err := op(t, i, rng); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+	for _, e := range benchEngines() {
+		for _, w := range []bench.Workload{bench.KVZipfian(8), bench.KVTxn(8, 4), bench.KVSnapshot(8, 8)} {
+			b.Run(fmt.Sprintf("%s/%s", w.Name, e.Name), func(b *testing.B) {
+				op := w.Setup(e.Raw())
+				b.ResetTimer()
+				runThreads(b, 8, func(t int, rng *rand.Rand, iters int) {
+					for i := 0; i < iters; i++ {
+						if err := op(t, i, rng); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	oftm-bench                 # run every experiment E1..E8
+//	oftm-bench                 # run every experiment E1..E9
 //	oftm-bench -exp E5         # run one experiment
 //	oftm-bench -list           # list experiments
+//	oftm-bench -kvsmoke        # brief run of every kv-* workload (CI)
 //	oftm-bench -json out.json  # write the perf-tracking grid as JSON
 //	oftm-bench -json out.json -baseline BENCH_PR1.json
 //	                           # ...and diff ns/op against a previous
@@ -27,8 +28,16 @@ func main() {
 	jsonOut := flag.String("json", "", "measure the perf-tracking grid and write JSON to this file ('-' for stdout)")
 	baseline := flag.String("baseline", "", "previous perf-tracking JSON to diff against (requires -json); exits 1 when any record's ns/op regresses by more than -tolerance")
 	tolerance := flag.Float64("tolerance", 25, "regression tolerance for -baseline, in percent")
+	kvsmoke := flag.Bool("kvsmoke", false, "run every kv-* workload briefly and exit (CI smoke)")
 	flag.Parse()
 
+	if *kvsmoke {
+		if err := bench.KVSmoke(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "oftm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

@@ -39,6 +39,7 @@ func All() []Experiment {
 		{"E6", "Theorems 5-6 / Algorithm 3: eventual ic-OFTM equivalence", E6},
 		{"E7", "Strict DAP under random schedules, per engine", E7},
 		{"E8", "Throughput and ablations (raw mode)", E8},
+		{"E9", "Serving stack: kv throughput vs shards x engine", E9},
 	}
 }
 

@@ -71,6 +71,18 @@ func WriteJSON(w io.Writer) error {
 			cases = append(cases, jsonCase{e, ContendedReadHeavy(256), th})
 		}
 		cases = append(cases, jsonCase{e, SmallTx(), 1})
+		// Serving-stack rows: the uniform kv mix at 8 shards for every
+		// engine, plus the shard-scaling pair (1 vs 8 shards at 8
+		// threads) and the skewed/multi-key mixes on the OFTM engines —
+		// the PR 3 record behind EXPERIMENTS.md E9.
+		for _, th := range []int{1, 8} {
+			cases = append(cases, jsonCase{e, KVUniform(8), th})
+		}
+		if e.Name == "dstm" || e.Name == "nztm" {
+			cases = append(cases, jsonCase{e, KVUniform(1), 8})
+			cases = append(cases, jsonCase{e, KVZipfian(8), 8})
+			cases = append(cases, jsonCase{e, KVTxn(8, 4), 8})
+		}
 	}
 
 	rep := Report{Note: "ns/op, allocs/op and B/op per engine × workload × threads; epoch/forced_aborts/snapshot_extensions are engine TMStats after the timed run"}
@@ -158,22 +170,26 @@ func LoadReport(path string) (Report, error) {
 
 // Compare prints per-record ns/op deltas of cur against base and
 // returns the number of regressions worse than tolPct percent. Records
-// present only in cur are reported as new; records present only in base
-// as dropped (a drop is not a regression — the grid is allowed to
-// evolve — but it is printed so it cannot pass silently).
+// present only in cur — workloads added since the baseline was taken —
+// are skipped with a notice, never counted as regressions: growing the
+// grid must not break the gate against an older baseline. Records
+// present only in base are reported as dropped (a drop is not a
+// regression — the grid is allowed to evolve — but it is printed so it
+// cannot pass silently).
 func Compare(w io.Writer, base, cur Report, tolPct float64) int {
 	baseBy := map[string]Record{}
 	for _, r := range base.Records {
 		baseBy[r.Key()] = r
 	}
 	curKeys := map[string]bool{}
-	regressions := 0
+	regressions, skippedNew := 0, 0
 	fmt.Fprintf(w, "%-8s %-24s %8s %12s %12s %9s\n", "engine", "workload", "threads", "base ns/op", "cur ns/op", "delta")
 	for _, r := range cur.Records {
 		curKeys[r.Key()] = true
 		b, ok := baseBy[r.Key()]
-		if !ok {
-			fmt.Fprintf(w, "%-8s %-24s %8d %12s %12.0f %9s\n", r.Engine, r.Workload, r.Threads, "-", r.NsPerOp, "(new)")
+		if !ok || b.NsPerOp <= 0 {
+			skippedNew++
+			fmt.Fprintf(w, "%-8s %-24s %8d %12s %12.0f %9s\n", r.Engine, r.Workload, r.Threads, "-", r.NsPerOp, "(new — skipped)")
 			continue
 		}
 		delta := 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
@@ -183,6 +199,9 @@ func Compare(w io.Writer, base, cur Report, tolPct float64) int {
 			regressions++
 		}
 		fmt.Fprintf(w, "%-8s %-24s %8d %12.0f %12.0f %+8.1f%%%s\n", r.Engine, r.Workload, r.Threads, b.NsPerOp, r.NsPerOp, delta, mark)
+	}
+	if skippedNew > 0 {
+		fmt.Fprintf(w, "%d record(s) have no baseline entry and were skipped (new workloads are not regressions)\n", skippedNew)
 	}
 	var dropped []string
 	for k := range baseBy {

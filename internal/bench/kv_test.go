@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKVWorkloadsRunOnEveryEngine(t *testing.T) {
+	for _, e := range Engines() {
+		if e.Name == "alg2" {
+			continue
+		}
+		for _, w := range []Workload{KVUniform(2), KVZipfian(2), KVTxn(2, 4), KVSnapshot(2, 4)} {
+			r := RunThroughput(e.Raw, w, 2, 20)
+			if r.Ops != 40 {
+				t.Fatalf("%s/%s: ops %d, want 40", e.Name, w.Name, r.Ops)
+			}
+			if r.Attempts < int64(r.Ops) {
+				t.Fatalf("%s/%s: attempts %d < ops %d", e.Name, w.Name, r.Attempts, r.Ops)
+			}
+		}
+	}
+}
+
+func TestKVSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := KVSmoke(&buf); err != nil {
+		t.Fatalf("kv smoke: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"kv-uniform-s4", "kv-zipf-s4", "kv-txn4-s4", "kv-snap8-s4"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("kv smoke output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestCompareSkipsNewRecords pins the diff-gate contract that lets the
+// grid grow: a record with no baseline entry is skipped with a notice,
+// never counted as a regression — adding kv-* workloads must not break
+// `make bench-diff` against a pre-kv baseline.
+func TestCompareSkipsNewRecords(t *testing.T) {
+	base := Report{Records: []Record{
+		{Engine: "dstm", Workload: "bank-8", Threads: 8, NsPerOp: 1000},
+	}}
+	cur := Report{Records: []Record{
+		{Engine: "dstm", Workload: "bank-8", Threads: 8, NsPerOp: 1100},    // +10%: inside tolerance
+		{Engine: "dstm", Workload: "kv-uniform-s8", Threads: 8, NsPerOp: 9999}, // new workload
+		{Engine: "nztm", Workload: "kv-uniform-s8", Threads: 8, NsPerOp: 9999}, // new workload
+	}}
+	var buf bytes.Buffer
+	if n := Compare(&buf, base, cur, 25); n != 0 {
+		t.Fatalf("Compare returned %d regressions, want 0:\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "new — skipped") {
+		t.Fatalf("missing per-record skip notice:\n%s", out)
+	}
+	if !strings.Contains(out, "2 record(s) have no baseline entry") {
+		t.Fatalf("missing skip summary:\n%s", out)
+	}
+
+	// A genuine regression still trips the gate.
+	cur.Records[0].NsPerOp = 2000
+	buf.Reset()
+	if n := Compare(&buf, base, cur, 25); n != 1 {
+		t.Fatalf("Compare returned %d regressions, want 1:\n%s", n, buf.String())
+	}
+}

@@ -339,6 +339,9 @@ func RunThroughput(mk func() core.TM, w Workload, threads, opsPerThread int) Res
 	tm := mk()
 	var attempts int64
 	op := w.Setup(&attemptCounter{TM: tm, n: &attempts})
+	// Setup may run transactions of its own (the kv workloads pre-populate
+	// the store); only the measured phase counts as attempts.
+	attempts = 0
 	var bgStop chan struct{}
 	var bgWG sync.WaitGroup
 	if w.Background != nil {

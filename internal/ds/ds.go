@@ -269,6 +269,26 @@ func (l *list) lookup(tx core.Tx, k uint64) (uint64, error) {
 	return 0, nil
 }
 
+// count walks the list reading only next pointers — the step-lean
+// counting path. keys() pays two reads per node (key + next); counting
+// needs no key values, so Len-style aggregations over many buckets do
+// half the transactional reads (and allocate nothing).
+func (l *list) count(tx core.Tx) (int, error) {
+	n := 0
+	cur, err := tx.Read(l.a.nextVar(l.head))
+	if err != nil {
+		return 0, err
+	}
+	for cur != 0 {
+		n++
+		cur, err = tx.Read(l.a.nextVar(cur))
+		if err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
 // keys walks the list, appending all keys in order.
 func (l *list) keys(tx core.Tx, out *[]uint64) error {
 	cur, err := tx.Read(l.a.nextVar(l.head))

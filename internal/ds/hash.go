@@ -81,18 +81,19 @@ func (h *Hash) Delete(p *sim.Proc, k uint64, opts ...core.RunOption) (bool, erro
 }
 
 // Len counts all entries atomically (a long read-only transaction
-// spanning every bucket).
+// spanning every bucket). It uses the step-lean count path: only next
+// pointers are read, so the transaction does one read per entry plus
+// one per bucket, and allocates no key slices.
 func (h *Hash) Len(p *sim.Proc, opts ...core.RunOption) (int, error) {
 	var n int
 	err := core.Run(h.tm, p, func(tx core.Tx) error {
 		n = 0
-		var keys []uint64
 		for _, b := range h.buckets {
-			keys = keys[:0]
-			if err := b.keys(tx, &keys); err != nil {
+			c, err := b.count(tx)
+			if err != nil {
 				return err
 			}
-			n += len(keys)
+			n += c
 		}
 		return nil
 	}, opts...)

@@ -1,0 +1,109 @@
+package ds
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Index is a fixed-bucket transactional hash index from uint64 keys to
+// uint64 values whose operations take an open transaction instead of
+// running their own — the composable counterpart of Hash. It exists for
+// keyed stores built above ds (internal/kv): a store transaction can
+// touch several indexes (shards) and commit or abort them as one
+// atomic unit, which Hash's one-transaction-per-operation API cannot
+// express.
+//
+// Like Hash, each bucket is a sorted arena-backed list, so operations
+// on different buckets are disjoint-access and scale with bucket count
+// on a strictly DAP engine.
+type Index struct {
+	buckets []*list
+}
+
+// NewIndex allocates an index with the given bucket count (rounded up
+// to at least 1). name namespaces the underlying t-variables for
+// traces and sim-mode object registration.
+func NewIndex(tm core.TM, name string, buckets int) *Index {
+	if buckets < 1 {
+		buckets = 1
+	}
+	ix := &Index{}
+	for i := 0; i < buckets; i++ {
+		ix.buckets = append(ix.buckets, newList(newArena(tm, fmt.Sprintf("%s.b%d", name, i), true)))
+	}
+	return ix
+}
+
+// Buckets returns the bucket count.
+func (ix *Index) Buckets() int { return len(ix.buckets) }
+
+func (ix *Index) bucket(k uint64) *list {
+	// Fibonacci hashing spreads adjacent keys across buckets.
+	return ix.buckets[(k*0x9E3779B97F4A7C15)>>32%uint64(len(ix.buckets))]
+}
+
+// Insert stores k -> v within tx, reporting whether the key was new
+// (an existing key has its value overwritten). spare carries a
+// pre-allocated node handle across retries of the enclosing
+// transaction; pass a pointer to a zero-initialized uint64 that lives
+// for the whole retry loop.
+func (ix *Index) Insert(tx core.Tx, k, v uint64, spare *uint64) (bool, error) {
+	return ix.bucket(k).insert(tx, k, v, spare)
+}
+
+// Lookup returns the value stored at k and whether it is present.
+func (ix *Index) Lookup(tx core.Tx, k uint64) (uint64, bool, error) {
+	b := ix.bucket(k)
+	node, err := b.lookup(tx, k)
+	if err != nil || node == 0 {
+		return 0, false, err
+	}
+	v, err := tx.Read(b.a.valVar(node))
+	if err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// Remove unlinks k, reporting whether it was present.
+func (ix *Index) Remove(tx core.Tx, k uint64) (bool, error) {
+	return ix.bucket(k).remove(tx, k)
+}
+
+// CompareAndSwap replaces the value at k with new iff the key is
+// present and currently holds old. It reports (swapped, existed):
+// (false, false) for a missing key, (false, true) for a value
+// mismatch, (true, true) on success.
+func (ix *Index) CompareAndSwap(tx core.Tx, k, old, new uint64) (swapped, existed bool, err error) {
+	b := ix.bucket(k)
+	node, err := b.lookup(tx, k)
+	if err != nil || node == 0 {
+		return false, false, err
+	}
+	cur, err := tx.Read(b.a.valVar(node))
+	if err != nil {
+		return false, false, err
+	}
+	if cur != old {
+		return false, true, nil
+	}
+	if err := tx.Write(b.a.valVar(node), new); err != nil {
+		return false, false, err
+	}
+	return true, true, nil
+}
+
+// Count returns the number of entries, using the step-lean counting
+// path (one read per entry plus one per bucket).
+func (ix *Index) Count(tx core.Tx) (int, error) {
+	n := 0
+	for _, b := range ix.buckets {
+		c, err := b.count(tx)
+		if err != nil {
+			return 0, err
+		}
+		n += c
+	}
+	return n, nil
+}

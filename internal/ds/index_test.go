@@ -1,0 +1,189 @@
+package ds
+
+// White-box tests for the Index composable hash index and the
+// step-lean counting path behind Hash.Len / Index.Count.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/sim"
+)
+
+func TestIndexBasic(t *testing.T) {
+	tm := dstm.New()
+	ix := NewIndex(tm, "ix", 4)
+	run := func(fn func(tx core.Tx) error) {
+		t.Helper()
+		if err := core.Run(tm, nil, fn); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	var spare uint64
+	run(func(tx core.Tx) error {
+		added, err := ix.Insert(tx, 10, 100, &spare)
+		if err != nil {
+			return err
+		}
+		if !added {
+			t.Errorf("insert 10: added=false, want true")
+		}
+		return nil
+	})
+	spare = 0
+	run(func(tx core.Tx) error {
+		added, err := ix.Insert(tx, 10, 101, &spare)
+		if err != nil {
+			return err
+		}
+		if added {
+			t.Errorf("re-insert 10: added=true, want false (overwrite)")
+		}
+		return nil
+	})
+	run(func(tx core.Tx) error {
+		v, ok, err := ix.Lookup(tx, 10)
+		if err != nil {
+			return err
+		}
+		if !ok || v != 101 {
+			t.Errorf("lookup 10 = (%d, %v), want (101, true)", v, ok)
+		}
+		_, ok, err = ix.Lookup(tx, 11)
+		if err != nil {
+			return err
+		}
+		if ok {
+			t.Errorf("lookup 11: present, want absent")
+		}
+		return nil
+	})
+	run(func(tx core.Tx) error {
+		swapped, existed, err := ix.CompareAndSwap(tx, 10, 999, 1)
+		if err != nil {
+			return err
+		}
+		if swapped || !existed {
+			t.Errorf("cas mismatch = (%v,%v), want (false,true)", swapped, existed)
+		}
+		swapped, existed, err = ix.CompareAndSwap(tx, 10, 101, 202)
+		if err != nil {
+			return err
+		}
+		if !swapped || !existed {
+			t.Errorf("cas = (%v,%v), want (true,true)", swapped, existed)
+		}
+		swapped, existed, err = ix.CompareAndSwap(tx, 11, 0, 1)
+		if err != nil {
+			return err
+		}
+		if swapped || existed {
+			t.Errorf("cas missing = (%v,%v), want (false,false)", swapped, existed)
+		}
+		return nil
+	})
+	run(func(tx core.Tx) error {
+		v, ok, err := ix.Lookup(tx, 10)
+		if err != nil {
+			return err
+		}
+		if !ok || v != 202 {
+			t.Errorf("post-cas lookup 10 = (%d, %v), want (202, true)", v, ok)
+		}
+		return nil
+	})
+	var spare2 uint64
+	run(func(tx core.Tx) error {
+		if _, err := ix.Insert(tx, 11, 7, &spare2); err != nil {
+			return err
+		}
+		n, err := ix.Count(tx)
+		if err != nil {
+			return err
+		}
+		if n != 2 {
+			t.Errorf("count = %d, want 2", n)
+		}
+		return nil
+	})
+	run(func(tx core.Tx) error {
+		removed, err := ix.Remove(tx, 10)
+		if err != nil {
+			return err
+		}
+		if !removed {
+			t.Errorf("remove 10: false, want true")
+		}
+		n, err := ix.Count(tx)
+		if err != nil {
+			return err
+		}
+		if n != 1 {
+			t.Errorf("post-remove count = %d, want 1", n)
+		}
+		return nil
+	})
+}
+
+// TestLenStepLean measures, in sim mode, the steps a Hash.Len takes
+// against the steps of the old keys-slice walk: counting must read only
+// next pointers (about half the steps of reading key + next per node).
+func TestLenStepLean(t *testing.T) {
+	const entries = 48
+	build := func() (*sim.Env, *Hash) {
+		env := sim.New()
+		tm := dstm.New(dstm.WithEnv(env))
+		h := NewHash(tm, 4)
+		for i := 0; i < entries; i++ {
+			// Raw-mode population (nil proc) executes no sim steps.
+			if _, err := h.Put(nil, uint64(i*3), uint64(i)); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+		return env, h
+	}
+
+	env1, h1 := build()
+	var n int
+	env1.Spawn(func(p *sim.Proc) {
+		var err error
+		n, err = h1.Len(p)
+		if err != nil {
+			t.Errorf("len: %v", err)
+		}
+	})
+	env1.Run(sim.Solo(1))
+	if n != entries {
+		t.Fatalf("len = %d, want %d", n, entries)
+	}
+	leanSteps := env1.TotalSteps()
+
+	env2, h2 := build()
+	env2.Spawn(func(p *sim.Proc) {
+		err := core.Run(h2.tm, p, func(tx core.Tx) error {
+			n = 0
+			var keys []uint64
+			for _, b := range h2.buckets {
+				keys = keys[:0]
+				if err := b.keys(tx, &keys); err != nil {
+					return err
+				}
+				n += len(keys)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("keys walk: %v", err)
+		}
+	})
+	env2.Run(sim.Solo(1))
+	if n != entries {
+		t.Fatalf("keys-walk len = %d, want %d", n, entries)
+	}
+	keysSteps := env2.TotalSteps()
+
+	if leanSteps >= keysSteps {
+		t.Fatalf("lean Len took %d steps, keys walk %d — counting path is not leaner", leanSteps, keysSteps)
+	}
+}

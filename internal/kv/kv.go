@@ -1,0 +1,452 @@
+// Package kv is the serving-layer keyed store of the reproduction: a
+// sharded transactional key-value map built on the engine-generic TM
+// API. String keys are interned to dense uint64 handles; the key space
+// is partitioned across S shards, each backed by its own hash index
+// (ds.Index) over arena-allocated t-variables. Transactions on keys of
+// different shards touch disjoint t-variables, so on a strictly
+// disjoint-access-parallel engine (2pl) they never contend, and on the
+// OFTM engines they contend only through the engine's own hot spots —
+// the store is the systems-level realization of the paper's
+// disjoint-access-parallelism argument: carve the key space so
+// independent requests run conflict-free, and make cross-shard
+// operations the explicit, measured exception.
+//
+// Concurrency: a Store is safe for concurrent use by any number of
+// goroutines (raw mode) or simulated processes (sim mode; pass the
+// *sim.Proc). Every operation is internally a retrying transaction via
+// core.Run; multi-key Txn batches are atomic across shards.
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/ds"
+	"repro/internal/sim"
+)
+
+// ErrCASFailed is returned by Txn when an OpCAS guard did not match:
+// the whole batch was rolled back (nothing applied). Single-key CAS
+// does not use it — a lone mismatch simply reports swapped=false.
+var ErrCASFailed = errors.New("kv: txn aborted by failed CAS guard")
+
+// Store is a sharded transactional key-value store.
+type Store struct {
+	tm     core.TM
+	shards []*shard
+
+	// handles is the intern table (string -> uint64). It is a sync.Map
+	// because interning sits on the hot path of every operation across
+	// all shards: in the steady state (key already interned) Load is a
+	// lock-free read, so the table adds no store-wide contended word —
+	// which a plain RWMutex reader count would be, defeating exactly
+	// the disjointness the sharding buys. The mutex serializes only
+	// first-time assignments.
+	handles  sync.Map
+	mu       sync.Mutex
+	nHandles uint64
+
+	// txns counts committed store operations (each one transaction);
+	// crossShard counts those that touched more than one shard. Their
+	// ratio is the workload's cross-shard fraction — the quantity a
+	// deployment tunes its partitioning to minimize.
+	txns       atomic.Int64
+	crossShard atomic.Int64
+}
+
+// shard is one key-space partition: a private hash index plus stats.
+type shard struct {
+	idx    *ds.Index
+	ops    atomic.Int64 // committed operations that touched this shard
+	aborts atomic.Int64 // aborted attempts (retries) charged to this shard
+}
+
+// New allocates a store with the given shard count and buckets per
+// shard (both rounded up to at least 1) on tm. The t-variables are
+// created on tm, so a store attached to a sim-mode engine records like
+// any other transactional structure.
+func New(tm core.TM, shards, bucketsPerShard int) *Store {
+	if shards < 1 {
+		shards = 1
+	}
+	if bucketsPerShard < 1 {
+		bucketsPerShard = 1
+	}
+	s := &Store{tm: tm}
+	for i := 0; i < shards; i++ {
+		s.shards = append(s.shards, &shard{idx: ds.NewIndex(tm, fmt.Sprintf("kv.s%d", i), bucketsPerShard)})
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// intern returns the stable uint64 handle for key, assigning the next
+// dense handle on first use. Handles are never reclaimed: the store
+// follows the ds arena discipline (the paper's scope excludes epoch
+// reclamation), so the handle table grows with the set of distinct
+// keys ever touched.
+func (s *Store) intern(key string) uint64 {
+	if h, ok := s.handles.Load(key); ok {
+		return h.(uint64)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.handles.Load(key); ok {
+		return h.(uint64)
+	}
+	s.nHandles++
+	s.handles.Store(key, s.nHandles)
+	return s.nHandles
+}
+
+// shardOf maps a handle to its shard. The multiplier differs from the
+// bucket hash inside ds.Index (0x9E37...) on purpose: with both
+// derived from the same product, power-of-two shard and bucket counts
+// would correlate and leave most buckets of every shard unused.
+func (s *Store) shardOf(h uint64) int {
+	return int((h * 0xBF58476D1CE4E5B9) >> 33 % uint64(len(s.shards)))
+}
+
+// record charges a finished single-shard operation to sh: attempts-1
+// aborted tries, and one committed op if it succeeded.
+func (sh *shard) record(attempts int, committed bool) {
+	if attempts > 1 {
+		sh.aborts.Add(int64(attempts - 1))
+	}
+	if committed {
+		sh.ops.Add(1)
+	}
+}
+
+func (s *Store) finish(committed bool, shardsTouched int) {
+	if !committed {
+		return
+	}
+	s.txns.Add(1)
+	if shardsTouched > 1 {
+		s.crossShard.Add(1)
+	}
+}
+
+// single runs one single-key (hence single-shard) operation: intern,
+// shard selection, the retrying transaction, and the stats accounting
+// shared by Get/Put/Delete/CAS. fn runs once per attempt.
+func (s *Store) single(p *sim.Proc, key string, opts []core.RunOption, fn func(tx core.Tx, idx *ds.Index, h uint64) error) error {
+	h := s.intern(key)
+	sh := s.shards[s.shardOf(h)]
+	attempts := 0
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		attempts++
+		return fn(tx, sh.idx, h)
+	}, opts...)
+	sh.record(attempts, err == nil)
+	s.finish(err == nil, 1)
+	return err
+}
+
+// Get returns the value stored at key and whether it is present.
+func (s *Store) Get(p *sim.Proc, key string, opts ...core.RunOption) (uint64, bool, error) {
+	var val uint64
+	var ok bool
+	err := s.single(p, key, opts, func(tx core.Tx, idx *ds.Index, h uint64) error {
+		var err error
+		val, ok, err = idx.Lookup(tx, h)
+		return err
+	})
+	return val, ok, err
+}
+
+// Put stores key -> val, reporting whether the key was new.
+func (s *Store) Put(p *sim.Proc, key string, val uint64, opts ...core.RunOption) (bool, error) {
+	var created bool
+	var spare uint64
+	err := s.single(p, key, opts, func(tx core.Tx, idx *ds.Index, h uint64) error {
+		var err error
+		created, err = idx.Insert(tx, h, val, &spare)
+		return err
+	})
+	return created, err
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(p *sim.Proc, key string, opts ...core.RunOption) (bool, error) {
+	var removed bool
+	err := s.single(p, key, opts, func(tx core.Tx, idx *ds.Index, h uint64) error {
+		var err error
+		removed, err = idx.Remove(tx, h)
+		return err
+	})
+	return removed, err
+}
+
+// CAS atomically replaces the value at key with new iff the key is
+// present and currently holds old. It reports (swapped, existed):
+// (false, false) for a missing key, (false, true) on value mismatch.
+func (s *Store) CAS(p *sim.Proc, key string, old, new uint64, opts ...core.RunOption) (swapped, existed bool, err error) {
+	err = s.single(p, key, opts, func(tx core.Tx, idx *ds.Index, h uint64) error {
+		var err error
+		swapped, existed, err = idx.CompareAndSwap(tx, h, old, new)
+		return err
+	})
+	return swapped, existed, err
+}
+
+// OpKind enumerates the operations a Txn batch may contain.
+type OpKind uint8
+
+const (
+	// OpGet reads a key.
+	OpGet OpKind = iota
+	// OpPut stores Val at Key.
+	OpPut
+	// OpDelete removes Key.
+	OpDelete
+	// OpCAS replaces Old with Val at Key if it matches.
+	OpCAS
+)
+
+// Op is one operation of an atomic multi-key batch.
+type Op struct {
+	Kind OpKind
+	Key  string
+	Val  uint64 // Put value / CAS new value
+	Old  uint64 // CAS expected value
+}
+
+// OpResult is the outcome of one Op, in batch order.
+type OpResult struct {
+	// Val is the value read (OpGet) — zero when absent.
+	Val uint64
+	// Found reports key presence: the Get hit, the Delete removed,
+	// the CAS found the key; for Put it reports the key was new.
+	Found bool
+	// Swapped reports OpCAS success.
+	Swapped bool
+}
+
+// txnPlan is the reusable sorted execution plan of one batch.
+type txnPlan struct {
+	handles []uint64
+	shards  []int // shard index per op
+	order   []int // op indices sorted by (shard, handle), stable
+	spares  []uint64
+	touched []bool
+}
+
+// plan interns every key and sorts the execution order by
+// (shard, handle). Accessing t-variables in one global order makes the
+// batch deadlock-free on lock-based engines (2pl acquires
+// encounter-time exclusive locks; two crossing batches would otherwise
+// spin each other into abort storms). The sort is stable, so multiple
+// ops on the same key keep their program order and batch semantics
+// are: ops on distinct keys are order-independent (the batch is
+// atomic), ops on the same key apply in order.
+func (s *Store) plan(ops []Op) *txnPlan {
+	pl := &txnPlan{
+		handles: make([]uint64, len(ops)),
+		shards:  make([]int, len(ops)),
+		order:   make([]int, len(ops)),
+		spares:  make([]uint64, len(ops)),
+		touched: make([]bool, len(s.shards)),
+	}
+	for i, op := range ops {
+		pl.handles[i] = s.intern(op.Key)
+		pl.shards[i] = s.shardOf(pl.handles[i])
+		pl.order[i] = i
+	}
+	sort.SliceStable(pl.order, func(a, b int) bool {
+		ia, ib := pl.order[a], pl.order[b]
+		if pl.shards[ia] != pl.shards[ib] {
+			return pl.shards[ia] < pl.shards[ib]
+		}
+		return pl.handles[ia] < pl.handles[ib]
+	})
+	return pl
+}
+
+// Txn executes ops as one atomic transaction spanning any number of
+// shards, returning per-op results in batch order. A batch containing
+// no writes (all OpGet) is a read-only transaction and commits on the
+// engines' validation-free read-only path — the snapshot fast path.
+//
+// OpCAS acts as a guard: if its expected value does not match (or the
+// key is missing), the entire batch rolls back and Txn returns
+// ErrCASFailed — conditional multi-key updates are all-or-nothing, so
+// a CAS-pair transfer can never half-apply.
+func (s *Store) Txn(p *sim.Proc, ops []Op, opts ...core.RunOption) ([]OpResult, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	pl := s.plan(ops)
+	results := make([]OpResult, len(ops))
+	attempts := 0
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		attempts++
+		for _, i := range pl.order {
+			op := ops[i]
+			idx := s.shards[pl.shards[i]].idx
+			h := pl.handles[i]
+			res := &results[i]
+			*res = OpResult{}
+			var err error
+			switch op.Kind {
+			case OpGet:
+				res.Val, res.Found, err = idx.Lookup(tx, h)
+			case OpPut:
+				res.Found, err = idx.Insert(tx, h, op.Val, &pl.spares[i])
+			case OpDelete:
+				res.Found, err = idx.Remove(tx, h)
+			case OpCAS:
+				res.Swapped, res.Found, err = idx.CompareAndSwap(tx, h, op.Old, op.Val)
+				if err == nil && !res.Swapped {
+					return ErrCASFailed
+				}
+			default:
+				return fmt.Errorf("kv: unknown op kind %d", op.Kind)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}, opts...)
+
+	distinct := 0
+	for i := range pl.touched {
+		pl.touched[i] = false
+	}
+	for _, si := range pl.shards {
+		if !pl.touched[si] {
+			pl.touched[si] = true
+			distinct++
+		}
+	}
+	committed := err == nil
+	for si, t := range pl.touched {
+		if !t {
+			continue
+		}
+		s.shards[si].record(attempts, committed)
+	}
+	s.finish(committed, distinct)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Lookup is one result of GetMulti.
+type Lookup struct {
+	Val   uint64
+	Found bool
+}
+
+// GetMulti reads any number of keys in one read-only transaction — a
+// consistent snapshot across shards. Read-only transactions serialize
+// at their snapshot timestamp and commit without validation on the
+// versioned engines (dstm, nztm), so this is the cheap way to take
+// cross-shard snapshots under write traffic.
+func (s *Store) GetMulti(p *sim.Proc, keys []string, opts ...core.RunOption) ([]Lookup, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	ops := make([]Op, len(keys))
+	for i, k := range keys {
+		ops[i] = Op{Kind: OpGet, Key: k}
+	}
+	res, err := s.Txn(p, ops, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Lookup, len(keys))
+	for i, r := range res {
+		out[i] = Lookup{Val: r.Val, Found: r.Found}
+	}
+	return out, nil
+}
+
+// Len counts all entries atomically across every shard (a long
+// read-only transaction using the step-lean per-bucket counting path).
+func (s *Store) Len(p *sim.Proc, opts ...core.RunOption) (int, error) {
+	var n int
+	attempts := 0
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		attempts++
+		n = 0
+		for _, sh := range s.shards {
+			c, err := sh.idx.Count(tx)
+			if err != nil {
+				return err
+			}
+			n += c
+		}
+		return nil
+	}, opts...)
+	committed := err == nil
+	for _, sh := range s.shards {
+		sh.record(attempts, committed)
+	}
+	s.finish(committed, len(s.shards))
+	return n, err
+}
+
+// ShardStats is the per-shard counter snapshot.
+type ShardStats struct {
+	Ops    int64 // committed operations that touched the shard
+	Aborts int64 // aborted attempts (retries) charged to the shard
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	Shards     []ShardStats
+	Txns       int64 // committed store transactions
+	CrossShard int64 // ...of which touched more than one shard
+}
+
+// CrossShardRatio returns the fraction of committed transactions that
+// spanned shards (0 when nothing committed).
+func (st Stats) CrossShardRatio() float64 {
+	if st.Txns == 0 {
+		return 0
+	}
+	return float64(st.CrossShard) / float64(st.Txns)
+}
+
+// Ops sums committed per-shard operation counts.
+func (st Stats) Ops() int64 {
+	var n int64
+	for _, s := range st.Shards {
+		n += s.Ops
+	}
+	return n
+}
+
+// Aborts sums per-shard aborted attempts.
+func (st Stats) Aborts() int64 {
+	var n int64
+	for _, s := range st.Shards {
+		n += s.Aborts
+	}
+	return n
+}
+
+// Stats snapshots the store counters. The snapshot is not atomic with
+// respect to concurrent operations (counters advance independently);
+// it is meant for reporting, not invariants.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Shards:     make([]ShardStats, len(s.shards)),
+		Txns:       s.txns.Load(),
+		CrossShard: s.crossShard.Load(),
+	}
+	for i, sh := range s.shards {
+		st.Shards[i] = ShardStats{Ops: sh.ops.Load(), Aborts: sh.aborts.Load()}
+	}
+	return st
+}

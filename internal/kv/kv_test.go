@@ -1,0 +1,328 @@
+package kv_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/kv"
+	"repro/internal/locktm"
+	"repro/internal/model"
+	"repro/internal/nztm"
+	"repro/internal/sim"
+)
+
+func engines() map[string]func() core.TM {
+	return map[string]func() core.TM{
+		"dstm":   func() core.TM { return dstm.New() },
+		"nztm":   func() core.TM { return nztm.New() },
+		"2pl":    func() core.TM { return locktm.NewTwoPhase() },
+		"tl2":    func() core.TM { return locktm.NewGlobalClock() },
+		"coarse": func() core.TM { return locktm.NewCoarse() },
+	}
+}
+
+func TestStoreBasic(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			s := kv.New(mk(), 4, 4)
+			if created, err := s.Put(nil, "alpha", 1); err != nil || !created {
+				t.Fatalf("put alpha = (%v, %v), want (true, nil)", created, err)
+			}
+			if created, err := s.Put(nil, "alpha", 2); err != nil || created {
+				t.Fatalf("re-put alpha = (%v, %v), want (false, nil)", created, err)
+			}
+			if v, ok, err := s.Get(nil, "alpha"); err != nil || !ok || v != 2 {
+				t.Fatalf("get alpha = (%d, %v, %v), want (2, true, nil)", v, ok, err)
+			}
+			if _, ok, err := s.Get(nil, "beta"); err != nil || ok {
+				t.Fatalf("get beta = (_, %v, %v), want absent", ok, err)
+			}
+			if sw, ex, err := s.CAS(nil, "alpha", 2, 5); err != nil || !sw || !ex {
+				t.Fatalf("cas alpha = (%v, %v, %v), want (true, true, nil)", sw, ex, err)
+			}
+			if sw, ex, err := s.CAS(nil, "alpha", 2, 9); err != nil || sw || !ex {
+				t.Fatalf("stale cas alpha = (%v, %v, %v), want (false, true, nil)", sw, ex, err)
+			}
+			if sw, ex, err := s.CAS(nil, "beta", 0, 1); err != nil || sw || ex {
+				t.Fatalf("cas missing = (%v, %v, %v), want (false, false, nil)", sw, ex, err)
+			}
+			if removed, err := s.Delete(nil, "alpha"); err != nil || !removed {
+				t.Fatalf("delete alpha = (%v, %v), want (true, nil)", removed, err)
+			}
+			if removed, err := s.Delete(nil, "alpha"); err != nil || removed {
+				t.Fatalf("re-delete alpha = (%v, %v), want (false, nil)", removed, err)
+			}
+			for i := 0; i < 32; i++ {
+				if _, err := s.Put(nil, fmt.Sprintf("k%03d", i), uint64(i)); err != nil {
+					t.Fatalf("put k%03d: %v", i, err)
+				}
+			}
+			if n, err := s.Len(nil); err != nil || n != 32 {
+				t.Fatalf("len = (%d, %v), want (32, nil)", n, err)
+			}
+			looks, err := s.GetMulti(nil, []string{"k001", "nope", "k031"})
+			if err != nil {
+				t.Fatalf("getmulti: %v", err)
+			}
+			want := []kv.Lookup{{Val: 1, Found: true}, {}, {Val: 31, Found: true}}
+			for i, l := range looks {
+				if l != want[i] {
+					t.Fatalf("getmulti[%d] = %+v, want %+v", i, l, want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTxnBatchSemantics(t *testing.T) {
+	s := kv.New(dstm.New(), 4, 4)
+	// Mixed batch across shards, including two ops on one key (stable
+	// order: the Get after the Put sees the put value).
+	res, err := s.Txn(nil, []kv.Op{
+		{Kind: kv.OpPut, Key: "x", Val: 10},
+		{Kind: kv.OpPut, Key: "y", Val: 20},
+		{Kind: kv.OpGet, Key: "x"},
+		{Kind: kv.OpDelete, Key: "missing"},
+	})
+	if err != nil {
+		t.Fatalf("txn: %v", err)
+	}
+	if !res[0].Found || !res[1].Found {
+		t.Fatalf("puts not reported new: %+v", res)
+	}
+	if !res[2].Found || res[2].Val != 10 {
+		t.Fatalf("get x in batch = %+v, want (10, true)", res[2])
+	}
+	if res[3].Found {
+		t.Fatalf("delete missing reported found")
+	}
+
+	// A failed CAS guard rolls back the whole batch.
+	_, err = s.Txn(nil, []kv.Op{
+		{Kind: kv.OpPut, Key: "x", Val: 99},
+		{Kind: kv.OpCAS, Key: "y", Old: 777, Val: 1},
+	})
+	if !errors.Is(err, kv.ErrCASFailed) {
+		t.Fatalf("guarded txn err = %v, want ErrCASFailed", err)
+	}
+	if v, _, _ := s.Get(nil, "x"); v != 10 {
+		t.Fatalf("x = %d after aborted batch, want 10 (rollback)", v)
+	}
+
+	st := s.Stats()
+	if st.Txns == 0 || st.CrossShard == 0 {
+		t.Fatalf("stats not counting: %+v", st)
+	}
+	if st.CrossShardRatio() <= 0 || st.CrossShardRatio() > 1 {
+		t.Fatalf("cross-shard ratio out of range: %f", st.CrossShardRatio())
+	}
+}
+
+// TestCASSoak is the race-mode concurrent soak: N goroutines hammer
+// CAS-increment counters spread across shards; every successful swap
+// is counted locally, and the per-key totals must equal the final
+// values — no lost or duplicated increments.
+func TestCASSoak(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			const (
+				goroutines = 8
+				keys       = 16
+				increments = 150
+			)
+			s := kv.New(mk(), 8, 4)
+			keyName := func(k int) string { return fmt.Sprintf("ctr%02d", k) }
+			for k := 0; k < keys; k++ {
+				if _, err := s.Put(nil, keyName(k), 0); err != nil {
+					t.Fatalf("seed put: %v", err)
+				}
+			}
+			succ := make([][]int64, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				g := g
+				succ[g] = make([]int64, keys)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g) + 1))
+					done := 0
+					for done < increments {
+						k := rng.Intn(keys)
+						v, ok, err := s.Get(nil, keyName(k))
+						if err != nil || !ok {
+							panic(fmt.Sprintf("get: ok=%v err=%v", ok, err))
+						}
+						swapped, existed, err := s.CAS(nil, keyName(k), v, v+1)
+						if err != nil {
+							panic(err)
+						}
+						if !existed {
+							panic("counter vanished")
+						}
+						if swapped {
+							succ[g][k]++
+							done++
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			var total int64
+			for k := 0; k < keys; k++ {
+				var want int64
+				for g := 0; g < goroutines; g++ {
+					want += succ[g][k]
+				}
+				v, ok, err := s.Get(nil, keyName(k))
+				if err != nil || !ok {
+					t.Fatalf("final get %d: ok=%v err=%v", k, ok, err)
+				}
+				if int64(v) != want {
+					t.Fatalf("counter %d = %d, want %d (successful swaps)", k, v, want)
+				}
+				total += want
+			}
+			if total != goroutines*increments {
+				t.Fatalf("total increments %d, want %d", total, goroutines*increments)
+			}
+			if n, err := s.Len(nil); err != nil || n != keys {
+				t.Fatalf("len = (%d, %v), want (%d, nil)", n, err, keys)
+			}
+			st := s.Stats()
+			if st.Ops() == 0 {
+				t.Fatalf("no ops recorded: %+v", st)
+			}
+		})
+	}
+}
+
+// TestTxnTransferSoak checks multi-key atomicity under concurrency:
+// CAS-pair transfers between keys on different shards must conserve
+// the total (all-or-nothing batches).
+func TestTxnTransferSoak(t *testing.T) {
+	for _, name := range []string{"dstm", "nztm", "2pl"} {
+		mk := engines()[name]
+		t.Run(name, func(t *testing.T) {
+			const (
+				goroutines = 8
+				accounts   = 8
+				transfers  = 100
+				initial    = 1000
+			)
+			s := kv.New(mk(), 8, 4)
+			keyName := func(k int) string { return fmt.Sprintf("acct%02d", k) }
+			var akeys []string
+			for k := 0; k < accounts; k++ {
+				akeys = append(akeys, keyName(k))
+				if _, err := s.Put(nil, keyName(k), initial); err != nil {
+					t.Fatalf("seed: %v", err)
+				}
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g) + 99))
+					done := 0
+					for done < transfers {
+						from := rng.Intn(accounts)
+						to := (from + 1 + rng.Intn(accounts-1)) % accounts
+						cur, err := s.GetMulti(nil, []string{keyName(from), keyName(to)})
+						if err != nil {
+							panic(err)
+						}
+						if cur[0].Val == 0 {
+							continue
+						}
+						_, err = s.Txn(nil, []kv.Op{
+							{Kind: kv.OpCAS, Key: keyName(from), Old: cur[0].Val, Val: cur[0].Val - 1},
+							{Kind: kv.OpCAS, Key: keyName(to), Old: cur[1].Val, Val: cur[1].Val + 1},
+						})
+						if errors.Is(err, kv.ErrCASFailed) {
+							continue // stale snapshot; retry with fresh reads
+						}
+						if err != nil {
+							panic(err)
+						}
+						done++
+					}
+				}()
+			}
+			wg.Wait()
+			looks, err := s.GetMulti(nil, akeys)
+			if err != nil {
+				t.Fatalf("final snapshot: %v", err)
+			}
+			var sum uint64
+			for _, l := range looks {
+				sum += l.Val
+			}
+			if sum != accounts*initial {
+				t.Fatalf("sum = %d, want %d (money not conserved)", sum, accounts*initial)
+			}
+		})
+	}
+}
+
+// initTrackTM records the initial value of every t-variable the store
+// allocates (arena nodes are created dynamically), so the
+// serializability checker knows the legal first read of each variable.
+type initTrackTM struct {
+	core.TM
+	mu   sync.Mutex
+	init map[model.VarID]uint64
+}
+
+func (t *initTrackTM) NewVar(name string, init uint64) core.Var {
+	v := t.TM.NewVar(name, init)
+	t.mu.Lock()
+	t.init[v.ID()] = init
+	t.mu.Unlock()
+	return v
+}
+
+// TestSimSerializable records a sim-mode history of multi-shard Txn
+// batches under an adversarial random scheduler and feeds it to the
+// exact serializability checker — the store's histories, not just its
+// throughput, are subject to the paper's correctness machinery.
+func TestSimSerializable(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		env := sim.New()
+		track := &initTrackTM{TM: dstm.New(dstm.WithEnv(env)), init: map[model.VarID]uint64{}}
+		tm := core.Recorded(track, env.Recorder())
+		s := kv.New(tm, 4, 2)
+		keys := []string{"a", "b", "c", "d", "e", "f"}
+		for pi := 0; pi < 3; pi++ {
+			pi := pi
+			env.Spawn(func(p *sim.Proc) {
+				rng := rand.New(rand.NewSource(seed*31 + int64(pi)))
+				for k := 0; k < 2; k++ {
+					ops := []kv.Op{
+						{Kind: kv.OpPut, Key: keys[rng.Intn(len(keys))], Val: uint64(rng.Intn(9) + 1)},
+						{Kind: kv.OpGet, Key: keys[rng.Intn(len(keys))]},
+						{Kind: kv.OpPut, Key: keys[rng.Intn(len(keys))], Val: uint64(rng.Intn(9) + 1)},
+					}
+					_, _ = s.Txn(p, ops, core.MaxAttempts(40))
+				}
+			})
+		}
+		h := env.Run(sim.Random(seed))
+		if err := h.WellFormed(); err != nil {
+			t.Fatalf("seed %d: history not well-formed: %v", seed, err)
+		}
+		txs := model.Transactions(h)
+		res := checker.CheckSerializable(txs, track.init)
+		if !res.OK {
+			t.Fatalf("seed %d: kv history not serializable: %s", seed, res.Reason)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is a minimal pipelining client for the line protocol. It is
+// not safe for concurrent use; open one Client per goroutine.
+type Client struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// readResponse reads one logical response: one line, or — for EXEC —
+// the RESULTS header plus its result lines joined with "; ".
+func (cl *Client) readResponse() (string, error) {
+	line, err := cl.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if rest, ok := strings.CutPrefix(line, "RESULTS "); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return "", fmt.Errorf("client: bad RESULTS header %q", line)
+		}
+		parts := make([]string, 0, n+1)
+		parts = append(parts, line)
+		for i := 0; i < n; i++ {
+			sub, err := cl.r.ReadString('\n')
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, strings.TrimRight(sub, "\r\n"))
+		}
+		return strings.Join(parts, "; "), nil
+	}
+	return line, nil
+}
+
+// Do pipelines the given request lines and returns one logical
+// response per request, in order. Note that inside MULTI every queued
+// op answers QUEUED and EXEC answers with the folded RESULTS block.
+func (cl *Client) Do(reqs ...string) ([]string, error) {
+	for _, q := range reqs {
+		if _, err := cl.w.WriteString(q + "\n"); err != nil {
+			return nil, err
+		}
+	}
+	if err := cl.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]string, len(reqs))
+	for i := range reqs {
+		resp, err := cl.readResponse()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// Get reads key; found is false on NOTFOUND.
+func (cl *Client) Get(key string) (val uint64, found bool, err error) {
+	resp, err := cl.Do("GET " + key)
+	if err != nil {
+		return 0, false, err
+	}
+	if resp[0] == "NOTFOUND" {
+		return 0, false, nil
+	}
+	if rest, ok := strings.CutPrefix(resp[0], "VALUE "); ok {
+		v, err := strconv.ParseUint(rest, 10, 64)
+		return v, true, err
+	}
+	return 0, false, fmt.Errorf("client: GET answered %q", resp[0])
+}
+
+// Set stores key -> val.
+func (cl *Client) Set(key string, val uint64) error {
+	resp, err := cl.Do(fmt.Sprintf("SET %s %d", key, val))
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(resp[0], "OK") {
+		return fmt.Errorf("client: SET answered %q", resp[0])
+	}
+	return nil
+}
+
+// LoadStats reports one RunLoad execution.
+type LoadStats struct {
+	// Ops is the number of requests acknowledged by the server.
+	Ops int64
+	// Elapsed is the wall-clock duration of the load phase.
+	Elapsed time.Duration
+	// ServerTxns is the store's committed-transaction counter sampled
+	// via STATS after the load (non-zero commits = the smoke criterion).
+	ServerTxns int64
+}
+
+// OpsPerSec returns acknowledged request throughput.
+func (ls LoadStats) OpsPerSec() float64 {
+	if ls.Elapsed <= 0 {
+		return 0
+	}
+	return float64(ls.Ops) / ls.Elapsed.Seconds()
+}
+
+// RunLoad drives a closed-loop mixed workload (75% GET / 20% SET /
+// 5% CAS over a small key space) against addr: conns connections, each
+// sending opsPerConn requests in pipelined windows of pipeline
+// requests. It is the smoke/load client behind `oftm-server -connect`.
+func RunLoad(addr string, conns, opsPerConn, pipeline int) (LoadStats, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	if pipeline < 1 {
+		pipeline = 1
+	}
+	var stats LoadStats
+	errs := make([]error, conns)
+	var acked int64
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < conns; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(ci)*2654435761 + 1))
+			sent := 0
+			for sent < opsPerConn {
+				window := pipeline
+				if rest := opsPerConn - sent; rest < window {
+					window = rest
+				}
+				reqs := make([]string, window)
+				for i := range reqs {
+					k := fmt.Sprintf("key%04d", rng.Intn(512))
+					switch r := rng.Intn(100); {
+					case r < 75:
+						reqs[i] = "GET " + k
+					case r < 95:
+						reqs[i] = fmt.Sprintf("SET %s %d", k, rng.Intn(1000))
+					default:
+						reqs[i] = fmt.Sprintf("CAS %s %d %d", k, rng.Intn(1000), rng.Intn(1000))
+					}
+				}
+				resps, err := cl.Do(reqs...)
+				if err != nil {
+					errs[ci] = err
+					return
+				}
+				for _, resp := range resps {
+					if strings.HasPrefix(resp, "ERR") {
+						errs[ci] = fmt.Errorf("server error response: %s", resp)
+						return
+					}
+				}
+				sent += window
+				mu.Lock()
+				acked += int64(window)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Ops = acked
+	stats.Elapsed = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		return stats, err
+	}
+	defer cl.Close()
+	resp, err := cl.Do("STATS")
+	if err != nil {
+		return stats, err
+	}
+	for _, f := range strings.Fields(resp[0]) {
+		if rest, ok := strings.CutPrefix(f, "txns="); ok {
+			stats.ServerTxns, _ = strconv.ParseInt(rest, 10, 64)
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,510 @@
+// Package server exposes the sharded transactional store (internal/kv)
+// over TCP with a small line protocol — the request path of the
+// serving stack. One line per request, space-separated tokens, uint64
+// values in decimal, one (or, for EXEC, several) response line(s) per
+// request in request order:
+//
+//	PING                     -> PONG
+//	GET <key>                -> VALUE <v> | NOTFOUND
+//	SET <key> <val>          -> OK NEW | OK
+//	DEL <key>                -> DELETED | NOTFOUND
+//	CAS <key> <old> <new>    -> SWAPPED | CASFAIL | NOTFOUND
+//	LEN                      -> LEN <n>
+//	STATS                    -> STATS txns=<n> cross=<n> ratio=<f> ops=<n> aborts=<n> shards=<n>
+//	MULTI                    -> OK     (then queue ops, each -> QUEUED)
+//	EXEC                     -> RESULTS <n> + n result lines | ABORTED cas-guard
+//	DISCARD                  -> OK
+//	QUIT                     -> BYE (server closes the connection)
+//
+// Pipelining: clients may send any number of requests without waiting.
+// The connection handler folds consecutive pipelined unconditional
+// single-key requests (GET/SET/DEL) into one engine transaction of up
+// to Config.Batch operations — per-connection request batching, which
+// amortizes transaction begin/commit over the whole batch. Conditional
+// requests (CAS) and everything else execute on their own so that
+// independent pipelined requests can never abort each other; an
+// explicit MULTI..EXEC batch, by contrast, is deliberately
+// all-or-nothing (a failed CAS guard rolls the whole batch back).
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/kv"
+	"repro/internal/locktm"
+	"repro/internal/nztm"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:7070".
+	Addr string
+	// Engine selects the STM engine: dstm | nztm | 2pl | tl2 | coarse.
+	Engine string
+	// Shards is the store's shard count (default 8).
+	Shards int
+	// Buckets is the per-shard bucket count (default 16).
+	Buckets int
+	// Batch bounds how many pipelined unconditional requests are folded
+	// into one transaction (default 64; 1 disables batching).
+	Batch int
+	// MaxMultiOps bounds a MULTI..EXEC batch (default 256).
+	MaxMultiOps int
+}
+
+func (c *Config) fill() {
+	if c.Engine == "" {
+		c.Engine = "nztm"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 16
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.MaxMultiOps <= 0 {
+		c.MaxMultiOps = 256
+	}
+}
+
+// NewEngine builds a raw-mode engine by registry name.
+func NewEngine(name string) (core.TM, error) {
+	switch name {
+	case "dstm":
+		return dstm.New(), nil
+	case "nztm":
+		return nztm.New(), nil
+	case "2pl":
+		return locktm.NewTwoPhase(), nil
+	case "tl2":
+		return locktm.NewGlobalClock(), nil
+	case "coarse":
+		return locktm.NewCoarse(), nil
+	}
+	return nil, fmt.Errorf("server: unknown engine %q (want dstm|nztm|2pl|tl2|coarse)", name)
+}
+
+// Server owns one engine, one store and one listener.
+type Server struct {
+	cfg   Config
+	tm    core.TM
+	store *kv.Store
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+
+	// requests counts protocol requests served (responses written).
+	requests atomic.Int64
+}
+
+// New builds a server (no listening yet).
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	tm, err := NewEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:   cfg,
+		tm:    tm,
+		store: kv.New(tm, cfg.Shards, cfg.Buckets),
+		conns: map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Store returns the underlying kv store (for embedding and tests).
+func (s *Server) Store() *kv.Store { return s.store }
+
+// TM returns the engine.
+func (s *Server) TM() core.TM { return s.tm }
+
+// Requests returns the number of protocol requests served so far.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// Addr returns the bound listen address (nil before ListenAndServe).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Listen binds the configured address. Serve (or ListenAndServe) then
+// accepts on it; separating the two lets callers learn the bound port
+// of ":0" listeners before serving.
+func (s *Server) Listen() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		lis.Close()
+		return errors.New("server: already closed")
+	}
+	s.lis = lis
+	return nil
+}
+
+// Serve accepts connections until Close. Returns nil after a clean
+// Close.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	if lis == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			s.wg.Wait()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		// Add under the mutex: Close (which sets closed, also under the
+		// mutex) must never run wg.Wait between this conn's registration
+		// and its Add, or it could return with the handler still live.
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(c)
+		}()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Close stops accepting, closes every open connection and waits for
+// their handlers. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.dropConn(c)
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+
+	var batch []kv.Op
+	reply := func(line string) {
+		w.WriteString(line)
+		w.WriteByte('\n')
+		s.requests.Add(1)
+	}
+
+	// flushBatch executes the pending unconditional ops as one
+	// transaction and writes their responses in order.
+	flushBatch := func() {
+		if len(batch) == 0 {
+			return
+		}
+		res, err := s.store.Txn(nil, batch)
+		for i := range batch {
+			if err != nil {
+				reply("ERR " + err.Error())
+				continue
+			}
+			reply(renderResult(batch[i], res[i]))
+		}
+		batch = batch[:0]
+	}
+
+	var inMulti bool
+	var multiOps []kv.Op
+
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		verb := strings.ToUpper(fields[0])
+		args := fields[1:]
+
+		if inMulti {
+			switch verb {
+			case "EXEC":
+				inMulti = false
+				res, err := s.store.Txn(nil, multiOps)
+				switch {
+				case errors.Is(err, kv.ErrCASFailed):
+					reply("ABORTED cas-guard")
+				case err != nil:
+					reply("ERR " + err.Error())
+				default:
+					reply(fmt.Sprintf("RESULTS %d", len(res)))
+					for i, re := range res {
+						reply(renderResult(multiOps[i], re))
+					}
+				}
+				multiOps = nil
+			case "DISCARD":
+				inMulti = false
+				multiOps = nil
+				reply("OK")
+			default:
+				op, perr := parseOp(verb, args)
+				switch {
+				case perr != nil:
+					reply("ERR " + perr.Error())
+				case len(multiOps) >= s.cfg.MaxMultiOps:
+					reply(fmt.Sprintf("ERR multi batch exceeds %d ops", s.cfg.MaxMultiOps))
+				default:
+					multiOps = append(multiOps, op)
+					reply("QUEUED")
+				}
+			}
+		} else {
+			switch verb {
+			case "GET", "SET", "DEL":
+				op, perr := parseOp(verb, args)
+				if perr != nil {
+					flushBatch()
+					reply("ERR " + perr.Error())
+					break
+				}
+				batch = append(batch, op)
+				if len(batch) >= s.cfg.Batch {
+					flushBatch()
+				}
+			case "CAS":
+				flushBatch()
+				op, perr := parseOp(verb, args)
+				if perr != nil {
+					reply("ERR " + perr.Error())
+					break
+				}
+				swapped, existed, err := s.store.CAS(nil, op.Key, op.Old, op.Val)
+				switch {
+				case err != nil:
+					reply("ERR " + err.Error())
+				case swapped:
+					reply("SWAPPED")
+				case existed:
+					reply("CASFAIL")
+				default:
+					reply("NOTFOUND")
+				}
+			case "LEN":
+				flushBatch()
+				n, err := s.store.Len(nil)
+				if err != nil {
+					reply("ERR " + err.Error())
+				} else {
+					reply(fmt.Sprintf("LEN %d", n))
+				}
+			case "STATS":
+				flushBatch()
+				st := s.store.Stats()
+				reply(fmt.Sprintf("STATS txns=%d cross=%d ratio=%.4f ops=%d aborts=%d shards=%d",
+					st.Txns, st.CrossShard, st.CrossShardRatio(), st.Ops(), st.Aborts(), len(st.Shards)))
+			case "PING":
+				flushBatch()
+				reply("PONG")
+			case "MULTI":
+				flushBatch()
+				inMulti = true
+				reply("OK")
+			case "QUIT":
+				flushBatch()
+				reply("BYE")
+				w.Flush()
+				return
+			default:
+				flushBatch()
+				reply(fmt.Sprintf("ERR unknown command %q", verb))
+			}
+		}
+
+		// Drain the pipeline before paying a flush/syscall: keep
+		// accumulating only while another *complete* request is already
+		// buffered. A buffer holding just a partial line must flush too —
+		// the client may be waiting for these responses before sending
+		// the rest of that request.
+		if !hasCompleteLine(r) {
+			flushBatch()
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// hasCompleteLine reports whether r's buffer already holds a full
+// newline-terminated request.
+func hasCompleteLine(r *bufio.Reader) bool {
+	n := r.Buffered()
+	if n == 0 {
+		return false
+	}
+	peek, err := r.Peek(n)
+	if err != nil {
+		return false
+	}
+	return bytes.IndexByte(peek, '\n') >= 0
+}
+
+// parseOp parses a single-key request into a kv.Op.
+func parseOp(verb string, args []string) (kv.Op, error) {
+	key := func(i int) (string, error) {
+		if i >= len(args) {
+			return "", fmt.Errorf("%s: missing key", verb)
+		}
+		return args[i], nil
+	}
+	num := func(i int) (uint64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing numeric argument", verb)
+		}
+		v, err := strconv.ParseUint(args[i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad number %q", verb, args[i])
+		}
+		return v, nil
+	}
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d argument(s), got %d", verb, n, len(args))
+		}
+		return nil
+	}
+	switch verb {
+	case "GET":
+		if err := arity(1); err != nil {
+			return kv.Op{}, err
+		}
+		k, err := key(0)
+		return kv.Op{Kind: kv.OpGet, Key: k}, err
+	case "SET":
+		if err := arity(2); err != nil {
+			return kv.Op{}, err
+		}
+		k, err := key(0)
+		if err != nil {
+			return kv.Op{}, err
+		}
+		v, err := num(1)
+		return kv.Op{Kind: kv.OpPut, Key: k, Val: v}, err
+	case "DEL":
+		if err := arity(1); err != nil {
+			return kv.Op{}, err
+		}
+		k, err := key(0)
+		return kv.Op{Kind: kv.OpDelete, Key: k}, err
+	case "CAS":
+		if err := arity(3); err != nil {
+			return kv.Op{}, err
+		}
+		k, err := key(0)
+		if err != nil {
+			return kv.Op{}, err
+		}
+		old, err := num(1)
+		if err != nil {
+			return kv.Op{}, err
+		}
+		v, err := num(2)
+		return kv.Op{Kind: kv.OpCAS, Key: k, Old: old, Val: v}, err
+	}
+	return kv.Op{}, fmt.Errorf("unknown command %q", verb)
+}
+
+// renderResult formats one op outcome as its response line.
+func renderResult(op kv.Op, res kv.OpResult) string {
+	switch op.Kind {
+	case kv.OpGet:
+		if res.Found {
+			return fmt.Sprintf("VALUE %d", res.Val)
+		}
+		return "NOTFOUND"
+	case kv.OpPut:
+		if res.Found {
+			return "OK NEW"
+		}
+		return "OK"
+	case kv.OpDelete:
+		if res.Found {
+			return "DELETED"
+		}
+		return "NOTFOUND"
+	case kv.OpCAS:
+		if res.Swapped {
+			return "SWAPPED"
+		}
+		if res.Found {
+			return "CASFAIL"
+		}
+		return "NOTFOUND"
+	}
+	return "ERR unrenderable result"
+}

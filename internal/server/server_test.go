@@ -1,0 +1,242 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// startServer spins up a server on an ephemeral port and returns it
+// with a cleanup registered.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve returned %v, want nil after Close", err)
+		}
+	})
+	return s
+}
+
+func TestProtocolSession(t *testing.T) {
+	s := startServer(t, Config{Engine: "nztm", Shards: 4, Buckets: 4})
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	steps := []struct{ req, want string }{
+		{"PING", "PONG"},
+		{"SET a 1", "OK NEW"},
+		{"SET a 2", "OK"},
+		{"GET a", "VALUE 2"},
+		{"GET nope", "NOTFOUND"},
+		{"CAS a 2 5", "SWAPPED"},
+		{"CAS a 2 9", "CASFAIL"},
+		{"CAS nope 0 1", "NOTFOUND"},
+		{"DEL a", "DELETED"},
+		{"DEL a", "NOTFOUND"},
+		{"SET b 7", "OK NEW"},
+		{"LEN", "LEN 1"},
+		{"BOGUS x", `ERR unknown command "BOGUS"`},
+		{"SET b", "ERR SET: want 2 argument(s), got 1"},
+		{"SET b zzz", `ERR SET: bad number "zzz"`},
+	}
+	for _, st := range steps {
+		resp, err := cl.Do(st.req)
+		if err != nil {
+			t.Fatalf("%s: %v", st.req, err)
+		}
+		if resp[0] != st.want {
+			t.Fatalf("%s answered %q, want %q", st.req, resp[0], st.want)
+		}
+	}
+
+	// STATS must report committed transactions.
+	resp, err := cl.Do("STATS")
+	if err != nil || !strings.HasPrefix(resp[0], "STATS txns=") {
+		t.Fatalf("STATS answered %q (%v)", resp, err)
+	}
+	if strings.Contains(resp[0], "txns=0 ") {
+		t.Fatalf("STATS reports zero txns after traffic: %q", resp[0])
+	}
+}
+
+func TestMultiExec(t *testing.T) {
+	s := startServer(t, Config{Engine: "dstm", Shards: 4, Buckets: 4})
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	resps, err := cl.Do("MULTI", "SET x 10", "SET y 20", "GET x", "EXEC")
+	if err != nil {
+		t.Fatalf("multi: %v", err)
+	}
+	want := []string{"OK", "QUEUED", "QUEUED", "QUEUED", "RESULTS 3; OK NEW; OK NEW; VALUE 10"}
+	for i, w := range want {
+		if resps[i] != w {
+			t.Fatalf("multi resp[%d] = %q, want %q", i, resps[i], w)
+		}
+	}
+
+	// Failed CAS guard rolls the whole EXEC back.
+	resps, err = cl.Do("MULTI", "SET x 99", "CAS y 777 1", "EXEC")
+	if err != nil {
+		t.Fatalf("guarded multi: %v", err)
+	}
+	if resps[3] != "ABORTED cas-guard" {
+		t.Fatalf("guarded EXEC answered %q, want ABORTED cas-guard", resps[3])
+	}
+	if v, found, err := cl.Get("x"); err != nil || !found || v != 10 {
+		t.Fatalf("x = (%d, %v, %v) after aborted EXEC, want (10, true, nil)", v, found, err)
+	}
+
+	// DISCARD drops the queue.
+	resps, err = cl.Do("MULTI", "SET x 55", "DISCARD")
+	if err != nil || resps[2] != "OK" {
+		t.Fatalf("discard answered %q (%v)", resps, err)
+	}
+	if v, _, _ := cl.Get("x"); v != 10 {
+		t.Fatalf("x = %d after DISCARD, want 10", v)
+	}
+}
+
+// TestPipelinedBatching pushes a pipelined window through one
+// connection and checks responses arrive in order with correct values
+// (the implicit GET/SET/DEL batching must not reorder or cross-talk).
+func TestPipelinedBatching(t *testing.T) {
+	s := startServer(t, Config{Engine: "nztm", Shards: 8, Buckets: 8, Batch: 16})
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	var reqs []string
+	for i := 0; i < 50; i++ {
+		reqs = append(reqs, fmt.Sprintf("SET k%c %d", 'a'+i%8, i))
+	}
+	reqs = append(reqs, "GET ka", "CAS kb 100000 1", "GET kb", "PING")
+	resps, err := cl.Do(reqs...)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if !strings.HasPrefix(resps[i], "OK") {
+			t.Fatalf("resp[%d] = %q, want OK*", i, resps[i])
+		}
+	}
+	// ka last set at i=48, kb at i=49.
+	if resps[50] != "VALUE 48" {
+		t.Fatalf("GET ka = %q, want VALUE 48", resps[50])
+	}
+	if resps[51] != "CASFAIL" {
+		t.Fatalf("CAS kb = %q, want CASFAIL", resps[51])
+	}
+	if resps[52] != "VALUE 49" {
+		t.Fatalf("GET kb = %q, want VALUE 49", resps[52])
+	}
+	if resps[53] != "PONG" {
+		t.Fatalf("PING = %q", resps[53])
+	}
+}
+
+// TestLoadSmoke is the in-process version of the CI smoke: concurrent
+// pipelined connections, every response checked, non-zero commits.
+func TestLoadSmoke(t *testing.T) {
+	s := startServer(t, Config{Engine: "nztm", Shards: 8, Buckets: 16})
+	stats, err := RunLoad(s.Addr().String(), 4, 250, 32)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if stats.Ops != 4*250 {
+		t.Fatalf("acked %d ops, want %d", stats.Ops, 4*250)
+	}
+	if stats.ServerTxns == 0 {
+		t.Fatalf("server reports zero committed transactions after load")
+	}
+	if s.Requests() == 0 {
+		t.Fatalf("server served zero responses")
+	}
+}
+
+// TestConcurrentConns checks cross-connection isolation: per-connection
+// CAS counters with the invariant that total successes equal the final
+// value, through the wire path.
+func TestConcurrentConns(t *testing.T) {
+	s := startServer(t, Config{Engine: "dstm", Shards: 8, Buckets: 8})
+	boot, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := boot.Set("ctr", 0); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	boot.Close()
+
+	const conns, incs = 4, 50
+	var wg sync.WaitGroup
+	succ := make([]int64, conns)
+	for ci := 0; ci < conns; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(s.Addr().String())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			for succ[ci] < incs {
+				v, found, err := cl.Get("ctr")
+				if err != nil || !found {
+					t.Errorf("get: %v found=%v", err, found)
+					return
+				}
+				resp, err := cl.Do(fmt.Sprintf("CAS ctr %d %d", v, v+1))
+				if err != nil {
+					t.Errorf("cas: %v", err)
+					return
+				}
+				if resp[0] == "SWAPPED" {
+					succ[ci]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+	v, _, err := cl.Get("ctr")
+	if err != nil {
+		t.Fatalf("final get: %v", err)
+	}
+	var want uint64
+	for _, n := range succ {
+		want += uint64(n)
+	}
+	if v != want {
+		t.Fatalf("ctr = %d, want %d", v, want)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ds"
 	"repro/internal/dstm"
+	"repro/internal/kv"
 	"repro/internal/locktm"
 	"repro/internal/model"
 	"repro/internal/nztm"
@@ -299,6 +300,41 @@ func NewNZTM(opts ...EngineOption) TM {
 		nopts = append(nopts, nztm.GlobalEpochOnly())
 	}
 	return nztm.New(nopts...)
+}
+
+// Serving layer: the sharded transactional key-value store
+// (internal/kv), re-exported. The wire server above it lives in
+// internal/server / cmd/oftm-server.
+type (
+	// KV is a sharded transactional key-value store: string keys
+	// interned to handles, the key space partitioned across shards each
+	// backed by its own hash index, atomic multi-key Txn batches, and a
+	// validation-free read-only snapshot path (GetMulti).
+	KV = kv.Store
+	// KVOp is one operation of an atomic multi-key batch.
+	KVOp = kv.Op
+	// KVOpResult is one KVOp outcome.
+	KVOpResult = kv.OpResult
+	// KVStats is the store's per-shard counter snapshot.
+	KVStats = kv.Stats
+)
+
+// The KVOp kinds.
+const (
+	KVGet    = kv.OpGet
+	KVPut    = kv.OpPut
+	KVDelete = kv.OpDelete
+	KVCAS    = kv.OpCAS
+)
+
+// ErrKVCASFailed is returned by KV.Txn when a CAS guard did not match
+// and the whole batch rolled back.
+var ErrKVCASFailed = kv.ErrCASFailed
+
+// NewKV allocates a sharded transactional key-value store on tm with
+// the given shard count and hash buckets per shard.
+func NewKV(tm TM, shards, bucketsPerShard int) *KV {
+	return kv.New(tm, shards, bucketsPerShard)
 }
 
 // SkipList is a transactional sorted set with logarithmic search.

@@ -151,3 +151,31 @@ func TestFacadeAblationVariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFacadeKV(t *testing.T) {
+	store := oftm.NewKV(oftm.NewNZTM(), 4, 8)
+	if created, err := store.Put(nil, "user:1", 42); err != nil || !created {
+		t.Fatalf("put = (%v, %v)", created, err)
+	}
+	if v, ok, err := store.Get(nil, "user:1"); err != nil || !ok || v != 42 {
+		t.Fatalf("get = (%d, %v, %v)", v, ok, err)
+	}
+	res, err := store.Txn(nil, []oftm.KVOp{
+		{Kind: oftm.KVCAS, Key: "user:1", Old: 42, Val: 43},
+		{Kind: oftm.KVPut, Key: "user:2", Val: 1},
+		{Kind: oftm.KVGet, Key: "user:1"},
+	})
+	if err != nil {
+		t.Fatalf("txn: %v", err)
+	}
+	if !res[0].Swapped || res[2].Val != 43 {
+		t.Fatalf("txn results %+v", res)
+	}
+	if _, err := store.Txn(nil, []oftm.KVOp{{Kind: oftm.KVCAS, Key: "user:1", Old: 42, Val: 9}}); !errors.Is(err, oftm.ErrKVCASFailed) {
+		t.Fatalf("guard err = %v, want ErrKVCASFailed", err)
+	}
+	st := store.Stats()
+	if st.Txns == 0 || len(st.Shards) != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
