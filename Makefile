@@ -41,14 +41,14 @@ experiments:
 	@echo "Regenerating the E1..E9 experiment tables..."
 	@$(GO) run ./cmd/oftm-bench
 
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 bench-json:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON)
 
-BASELINE ?= BENCH_PR2.json
+BASELINE ?= BENCH_PR3.json
 bench-diff:
-	@echo "Measuring the perf-tracking grid into $(BENCH_JSON) and diffing against $(BASELINE) (fails on >25% ns/op regressions; workloads new since the baseline are skipped with a notice)..."
+	@echo "Measuring the perf-tracking grid into $(BENCH_JSON) and diffing against $(BASELINE) (fails on >25% ns/op regressions and on allocs/op above the baseline allowance — zero-alloc records must stay zero; workloads new since the baseline are skipped with a notice)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON) -baseline $(BASELINE)
 
 ########################################
@@ -57,6 +57,14 @@ bench-diff:
 kv-smoke:
 	@echo "Running every kv-* workload briefly..."
 	@$(GO) run ./cmd/oftm-bench -kvsmoke
+
+bench-server:
+	@echo "End-to-end loopback server benchmark (pipelined GET/SET; budget: <= 1 alloc/req on the byte path)..."
+	@$(GO) test -run '^$$' -bench BenchmarkServer -benchmem -benchtime $(BENCHTIME) ./internal/bench
+
+servebench:
+	@echo "Running experiment E10 (byte wire path vs the preserved PR 3 path)..."
+	@$(GO) run ./cmd/oftm-bench -servebench
 
 SERVER_ADDR ?= 127.0.0.1:7781
 server-smoke: kv-smoke
@@ -70,4 +78,4 @@ server-smoke: kv-smoke
 	echo "client exit: $$RC, server exit: $$SRC"; \
 	[ $$RC -eq 0 ] && [ $$SRC -eq 0 ]
 
-.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke server-smoke
+.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke bench-server servebench server-smoke

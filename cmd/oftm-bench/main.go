@@ -3,19 +3,23 @@
 //
 // Usage:
 //
-//	oftm-bench                 # run every experiment E1..E9
+//	oftm-bench                 # run every experiment E1..E10
 //	oftm-bench -exp E5         # run one experiment
 //	oftm-bench -list           # list experiments
 //	oftm-bench -kvsmoke        # brief run of every kv-* workload (CI)
+//	oftm-bench -servebench     # end-to-end loopback server load (E10);
+//	                           # with -json, write the serving records
 //	oftm-bench -json out.json  # write the perf-tracking grid as JSON
 //	oftm-bench -json out.json -baseline BENCH_PR1.json
-//	                           # ...and diff ns/op against a previous
-//	                           # grid, exiting 1 on >25% regressions
+//	                           # ...and diff ns/op + allocs/op against
+//	                           # a previous grid, exiting 1 on
+//	                           # regressions beyond tolerance
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -29,8 +33,19 @@ func main() {
 	baseline := flag.String("baseline", "", "previous perf-tracking JSON to diff against (requires -json); exits 1 when any record's ns/op regresses by more than -tolerance")
 	tolerance := flag.Float64("tolerance", 25, "regression tolerance for -baseline, in percent")
 	kvsmoke := flag.Bool("kvsmoke", false, "run every kv-* workload briefly and exit (CI smoke)")
+	servebench := flag.Bool("servebench", false, "run the end-to-end loopback server load (experiment E10); with -json, write the serving records to that file")
 	flag.Parse()
 
+	if *servebench {
+		bench.E10(os.Stdout)
+		if *jsonOut != "" {
+			if err := writeFile(*jsonOut, bench.WriteServerJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "oftm-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 	if *kvsmoke {
 		if err := bench.KVSmoke(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "oftm-bench: %v\n", err)
@@ -76,18 +91,22 @@ func main() {
 	}
 }
 
-// writeJSONFile measures the perf grid into path ("-" = stdout). A
-// failed close is reported: a truncated perf-tracking file must not
-// exit 0.
+// writeJSONFile measures the perf grid into path ("-" = stdout).
 func writeJSONFile(path string) error {
+	return writeFile(path, bench.WriteJSON)
+}
+
+// writeFile streams write's output into path ("-" = stdout). A failed
+// close is reported: a truncated perf-tracking file must not exit 0.
+func writeFile(path string, write func(io.Writer) error) error {
 	if path == "-" {
-		return bench.WriteJSON(os.Stdout)
+		return write(os.Stdout)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	werr := bench.WriteJSON(f)
+	werr := write(f)
 	cerr := f.Close()
 	if werr != nil {
 		return werr

@@ -84,7 +84,7 @@ func runServer(cfg server.Config) {
 
 	st := s.Store().Stats()
 	fmt.Printf("oftm-server: clean shutdown\n")
-	fmt.Printf("  responses served:       %d\n", s.Requests())
+	fmt.Printf("  requests served:        %d\n", s.Requests())
 	fmt.Printf("  committed transactions: %d\n", st.Txns)
 	fmt.Printf("  aborted attempts:       %d\n", st.Aborts())
 	fmt.Printf("  cross-shard ratio:      %.4f\n", st.CrossShardRatio())

@@ -40,6 +40,7 @@ func All() []Experiment {
 		{"E7", "Strict DAP under random schedules, per engine", E7},
 		{"E8", "Throughput and ablations (raw mode)", E8},
 		{"E9", "Serving stack: kv throughput vs shards x engine", E9},
+		{"E10", "Wire path rewrite: loopback req/s + allocs/req, byte vs PR 3 path", E10},
 	}
 }
 

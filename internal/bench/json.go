@@ -85,13 +85,36 @@ func WriteJSON(w io.Writer) error {
 		}
 	}
 
-	rep := Report{Note: "ns/op, allocs/op and B/op per engine × workload × threads; epoch/forced_aborts/snapshot_extensions are engine TMStats after the timed run"}
+	rep := Report{Note: "ns/op, allocs/op and B/op per engine × workload × threads; epoch/forced_aborts/snapshot_extensions are engine TMStats after the timed run; server-* rows are loopback wire measurements (threads = connections), with -pr3 the preserved legacy request path"}
 	for _, c := range cases {
 		rec, err := measure(c)
 		if err != nil {
 			return err
 		}
 		rep.Records = append(rep.Records, rec)
+	}
+	// Serving rows (E10): end-to-end wire path, byte vs PR 3 legacy.
+	srvRecs, err := serverRecords()
+	if err != nil {
+		return err
+	}
+	rep.Records = append(rep.Records, srvRecs...)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteServerJSON measures only the serving rows (the E10 records) and
+// writes them as a report — the fast path behind `oftm-bench
+// -servebench -json`.
+func WriteServerJSON(w io.Writer) error {
+	recs, err := serverRecords()
+	if err != nil {
+		return err
+	}
+	rep := Report{
+		Note:    "experiment E10: loopback wire-path records (threads = connections); server-*-pr3 rows measure the preserved PR 3 legacy request path",
+		Records: recs,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -168,14 +191,26 @@ func LoadReport(path string) (Report, error) {
 	return rep, nil
 }
 
-// Compare prints per-record ns/op deltas of cur against base and
-// returns the number of regressions worse than tolPct percent. Records
-// present only in cur — workloads added since the baseline was taken —
-// are skipped with a notice, never counted as regressions: growing the
-// grid must not break the gate against an older baseline. Records
-// present only in base are reported as dropped (a drop is not a
-// regression — the grid is allowed to evolve — but it is printed so it
-// cannot pass silently).
+// allocAllowance is the highest allocs/op cur may report against base
+// without counting as a regression: the baseline plus tolPct percent,
+// rounded down. A zero-alloc baseline therefore allows zero — any
+// reappearing allocation on a record that had none trips the gate,
+// which is how the zero-allocation request path is locked in rather
+// than decaying silently.
+func allocAllowance(base int64, tolPct float64) int64 {
+	return base + int64(float64(base)*tolPct/100)
+}
+
+// Compare prints per-record ns/op and allocs/op deltas of cur against
+// base and returns the number of regressions: records whose ns/op
+// worsened by more than tolPct percent, or whose allocs/op exceed the
+// baseline's allowance (see allocAllowance — in particular, 0 must
+// stay 0). Records present only in cur — workloads added since the
+// baseline was taken — are skipped with a notice, never counted as
+// regressions: growing the grid must not break the gate against an
+// older baseline. Records present only in base are reported as dropped
+// (a drop is not a regression — the grid is allowed to evolve — but it
+// is printed so it cannot pass silently).
 func Compare(w io.Writer, base, cur Report, tolPct float64) int {
 	baseBy := map[string]Record{}
 	for _, r := range base.Records {
@@ -183,7 +218,7 @@ func Compare(w io.Writer, base, cur Report, tolPct float64) int {
 	}
 	curKeys := map[string]bool{}
 	regressions, skippedNew := 0, 0
-	fmt.Fprintf(w, "%-8s %-24s %8s %12s %12s %9s\n", "engine", "workload", "threads", "base ns/op", "cur ns/op", "delta")
+	fmt.Fprintf(w, "%-8s %-24s %8s %12s %12s %9s %7s %7s\n", "engine", "workload", "threads", "base ns/op", "cur ns/op", "delta", "base a", "cur a")
 	for _, r := range cur.Records {
 		curKeys[r.Key()] = true
 		b, ok := baseBy[r.Key()]
@@ -195,10 +230,16 @@ func Compare(w io.Writer, base, cur Report, tolPct float64) int {
 		delta := 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
 		mark := ""
 		if delta > tolPct {
-			mark = "  << REGRESSION"
+			mark = "  << REGRESSION (ns/op)"
+		}
+		if r.AllocsPerOp > allocAllowance(b.AllocsPerOp, tolPct) {
+			mark += "  << REGRESSION (allocs/op)"
+		}
+		if mark != "" {
+			// One bad record counts once, however many ways it is bad.
 			regressions++
 		}
-		fmt.Fprintf(w, "%-8s %-24s %8d %12.0f %12.0f %+8.1f%%%s\n", r.Engine, r.Workload, r.Threads, b.NsPerOp, r.NsPerOp, delta, mark)
+		fmt.Fprintf(w, "%-8s %-24s %8d %12.0f %12.0f %+8.1f%% %7d %7d%s\n", r.Engine, r.Workload, r.Threads, b.NsPerOp, r.NsPerOp, delta, b.AllocsPerOp, r.AllocsPerOp, mark)
 	}
 	if skippedNew > 0 {
 		fmt.Fprintf(w, "%d record(s) have no baseline entry and were skipped (new workloads are not regressions)\n", skippedNew)
@@ -214,7 +255,7 @@ func Compare(w io.Writer, base, cur Report, tolPct float64) int {
 		fmt.Fprintf(w, "%-46s (dropped from grid)\n", k)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(w, "%d record(s) regressed by more than %.0f%%\n", regressions, tolPct)
+		fmt.Fprintf(w, "%d regression(s): ns/op beyond %.0f%% or allocs/op above the baseline allowance\n", regressions, tolPct)
 	}
 	return regressions
 }

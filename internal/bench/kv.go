@@ -40,6 +40,34 @@ func kvSetup(tm core.TM, shards int) (*kv.Store, []string) {
 	return s, keys
 }
 
+// kvSlot is one measured thread's serving state: a kv.Session (handle
+// cache + plan scratch) plus reusable op and key buffers — the bench
+// counterpart of the server's per-connection session, so the kv-*
+// workloads measure the same allocation-free steady state the wire
+// path runs on.
+type kvSlot struct {
+	se   *kv.Session
+	ops  []kv.Op
+	keys []string
+	zipf *rand.Zipf
+}
+
+// kvSlots returns a thread-indexed slot accessor. Slots are
+// thread-private (threadID-indexed, like the Zipf generators), so no
+// locking is needed; out-of-range thread IDs get throwaway slots.
+func kvSlots(s *kv.Store) func(t int) *kvSlot {
+	slots := make([]*kvSlot, 64)
+	return func(t int) *kvSlot {
+		if t >= len(slots) {
+			return &kvSlot{se: s.NewSession()}
+		}
+		if slots[t] == nil {
+			slots[t] = &kvSlot{se: s.NewSession()}
+		}
+		return slots[t]
+	}
+}
+
 // KVUniform is the uniform-key mix: 75% GET / 25% PUT over the whole
 // key space, sharded S ways.
 func KVUniform(shards int) Workload {
@@ -47,13 +75,15 @@ func KVUniform(shards int) Workload {
 		Name: fmt.Sprintf("kv-uniform-s%d", shards),
 		Setup: func(tm core.TM) func(int, int, *rand.Rand) error {
 			s, keys := kvSetup(tm, shards)
-			return func(_, _ int, rng *rand.Rand) error {
+			slots := kvSlots(s)
+			return func(t, _ int, rng *rand.Rand) error {
+				se := slots(t).se
 				k := keys[rng.Intn(len(keys))]
 				if rng.Intn(100) < 75 {
-					_, _, err := s.Get(nil, k)
+					_, _, err := se.Get(nil, k)
 					return err
 				}
-				_, err := s.Put(nil, k, uint64(rng.Intn(1000)))
+				_, err := se.Put(nil, k, uint64(rng.Intn(1000)))
 				return err
 			}
 		},
@@ -69,25 +99,20 @@ func KVZipfian(shards int) Workload {
 		Name: fmt.Sprintf("kv-zipf-s%d", shards),
 		Setup: func(tm core.TM) func(int, int, *rand.Rand) error {
 			s, keys := kvSetup(tm, shards)
-			// One Zipf generator per measured thread (rand.Zipf is not
-			// concurrency-safe); slots are thread-private.
-			zipfs := make([]*rand.Zipf, 64)
+			slots := kvSlots(s)
 			return func(t, _ int, rng *rand.Rand) error {
-				var z *rand.Zipf
-				if t < len(zipfs) {
-					if zipfs[t] == nil {
-						zipfs[t] = rand.NewZipf(rng, 1.2, 8, kvKeys-1)
-					}
-					z = zipfs[t]
-				} else {
-					z = rand.NewZipf(rng, 1.2, 8, kvKeys-1)
+				// One Zipf generator per measured thread (rand.Zipf is
+				// not concurrency-safe); it lives in the thread's slot.
+				slot := slots(t)
+				if slot.zipf == nil {
+					slot.zipf = rand.NewZipf(rng, 1.2, 8, kvKeys-1)
 				}
-				k := keys[z.Uint64()]
+				k := keys[slot.zipf.Uint64()]
 				if rng.Intn(100) < 75 {
-					_, _, err := s.Get(nil, k)
+					_, _, err := slot.se.Get(nil, k)
 					return err
 				}
-				_, err := s.Put(nil, k, uint64(rng.Intn(1000)))
+				_, err := slot.se.Put(nil, k, uint64(rng.Intn(1000)))
 				return err
 			}
 		},
@@ -103,17 +128,19 @@ func KVTxn(shards, keysPerOp int) Workload {
 		Name: fmt.Sprintf("kv-txn%d-s%d", keysPerOp, shards),
 		Setup: func(tm core.TM) func(int, int, *rand.Rand) error {
 			s, keys := kvSetup(tm, shards)
-			return func(_, _ int, rng *rand.Rand) error {
-				ops := make([]kv.Op, keysPerOp)
-				for i := range ops {
+			slots := kvSlots(s)
+			return func(t, _ int, rng *rand.Rand) error {
+				slot := slots(t)
+				slot.ops = slot.ops[:0]
+				for i := 0; i < keysPerOp; i++ {
 					k := keys[rng.Intn(len(keys))]
 					if i%2 == 0 {
-						ops[i] = kv.Op{Kind: kv.OpGet, Key: k}
+						slot.ops = append(slot.ops, kv.Op{Kind: kv.OpGet, Handle: slot.se.Handle(k)})
 					} else {
-						ops[i] = kv.Op{Kind: kv.OpPut, Key: k, Val: uint64(rng.Intn(1000))}
+						slot.ops = append(slot.ops, kv.Op{Kind: kv.OpPut, Handle: slot.se.Handle(k), Val: uint64(rng.Intn(1000))})
 					}
 				}
-				_, err := s.Txn(nil, ops)
+				_, err := slot.se.Txn(nil, slot.ops)
 				return err
 			}
 		},
@@ -128,12 +155,14 @@ func KVSnapshot(shards, keysPerOp int) Workload {
 		Name: fmt.Sprintf("kv-snap%d-s%d", keysPerOp, shards),
 		Setup: func(tm core.TM) func(int, int, *rand.Rand) error {
 			s, keys := kvSetup(tm, shards)
-			return func(_, _ int, rng *rand.Rand) error {
-				batch := make([]string, keysPerOp)
-				for i := range batch {
-					batch[i] = keys[rng.Intn(len(keys))]
+			slots := kvSlots(s)
+			return func(t, _ int, rng *rand.Rand) error {
+				slot := slots(t)
+				slot.keys = slot.keys[:0]
+				for i := 0; i < keysPerOp; i++ {
+					slot.keys = append(slot.keys, keys[rng.Intn(len(keys))])
 				}
-				_, err := s.GetMulti(nil, batch)
+				_, err := slot.se.GetMulti(nil, slot.keys)
 				return err
 			}
 		},

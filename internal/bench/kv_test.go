@@ -67,3 +67,47 @@ func TestCompareSkipsNewRecords(t *testing.T) {
 		t.Fatalf("Compare returned %d regressions, want 1:\n%s", n, buf.String())
 	}
 }
+
+// TestCompareAllocGate pins the allocation side of the diff gate: a
+// zero-alloc baseline admits no allocations at all (the lock on the
+// PR 4 request path), a nonzero baseline gets the tolPct allowance,
+// and improvements never regress.
+func TestCompareAllocGate(t *testing.T) {
+	base := Report{Records: []Record{
+		{Engine: "nztm", Workload: "server-mixed-c8", Threads: 8, NsPerOp: 1000, AllocsPerOp: 0},
+		{Engine: "nztm", Workload: "smalltx", Threads: 1, NsPerOp: 1000, AllocsPerOp: 8},
+	}}
+	cur := Report{Records: []Record{
+		{Engine: "nztm", Workload: "server-mixed-c8", Threads: 8, NsPerOp: 1000, AllocsPerOp: 0},
+		{Engine: "nztm", Workload: "smalltx", Threads: 1, NsPerOp: 1000, AllocsPerOp: 10},
+	}}
+	var buf bytes.Buffer
+	// 10 allocs on an 8-alloc baseline is within 25% (allowance 10).
+	if n := Compare(&buf, base, cur, 25); n != 0 {
+		t.Fatalf("within-allowance allocs flagged (%d):\n%s", n, buf.String())
+	}
+	// 0 -> 1 alloc/op must regress, whatever the tolerance: the
+	// zero-alloc property is the point of the gate.
+	cur.Records[0].AllocsPerOp = 1
+	buf.Reset()
+	if n := Compare(&buf, base, cur, 25); n != 1 {
+		t.Fatalf("0->1 allocs/op not flagged (%d):\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION (allocs/op)") {
+		t.Fatalf("missing alloc regression marker:\n%s", buf.String())
+	}
+	// Beyond the allowance on the nonzero baseline too (8 -> 11 > 10).
+	cur.Records[1].AllocsPerOp = 11
+	buf.Reset()
+	if n := Compare(&buf, base, cur, 25); n != 2 {
+		t.Fatalf("8->11 allocs/op not flagged (%d):\n%s", n, buf.String())
+	}
+	// Improvements (fewer allocs, faster) are never regressions.
+	cur.Records[0].AllocsPerOp = 0
+	cur.Records[1].AllocsPerOp = 1
+	cur.Records[1].NsPerOp = 500
+	buf.Reset()
+	if n := Compare(&buf, base, cur, 25); n != 0 {
+		t.Fatalf("improvement flagged as regression (%d):\n%s", n, buf.String())
+	}
+}

@@ -91,8 +91,19 @@ func (s *SmallMap[K, V]) Delete(k K) {
 	}
 }
 
+// smallMapShed is the spill size beyond which Reset releases the map
+// instead of clearing it, so one pathologically large transaction does
+// not pin its footprint inside a pooled descriptor forever.
+const smallMapShed = 4096
+
 // Reset empties the map, zeroing the inline entries (so pooled
-// transactions do not retain pointers) and dropping any spill map.
+// transactions do not retain pointers). A modest spill map is cleared
+// in place and kept: recycled transactions that repeatedly outgrow the
+// inline array — the wire server's batched request transactions — then
+// reuse its buckets instead of reallocating them every transaction,
+// which is what makes large batches allocation-free in the steady
+// state. (The clear loop compiles to a runtime map clear that zeroes
+// the buckets, so no pointers are retained either way.)
 func (s *SmallMap[K, V]) Reset() {
 	var zk K
 	var zv V
@@ -100,7 +111,13 @@ func (s *SmallMap[K, V]) Reset() {
 		s.keys[i], s.vals[i] = zk, zv
 	}
 	s.n = 0
-	s.spill = nil
+	if len(s.spill) > smallMapShed {
+		s.spill = nil
+		return
+	}
+	for k := range s.spill {
+		delete(s.spill, k)
+	}
 }
 
 // Len returns the number of entries.

@@ -20,7 +20,6 @@ package kv
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -56,6 +55,11 @@ type Store struct {
 	// deployment tunes its partitioning to minimize.
 	txns       atomic.Int64
 	crossShard atomic.Int64
+
+	// sessions pools the internal default sessions behind the
+	// session-less Store.Txn / Store.GetMulti compatibility methods, so
+	// callers without their own Session still reuse plan scratch.
+	sessions sync.Pool
 }
 
 // shard is one key-space partition: a private hash index plus stats.
@@ -80,6 +84,7 @@ func New(tm core.TM, shards, bucketsPerShard int) *Store {
 	for i := 0; i < shards; i++ {
 		s.shards = append(s.shards, &shard{idx: ds.NewIndex(tm, fmt.Sprintf("kv.s%d", i), bucketsPerShard)})
 	}
+	s.sessions.New = func() any { return s.NewSession() }
 	return s
 }
 
@@ -211,12 +216,19 @@ const (
 	OpCAS
 )
 
-// Op is one operation of an atomic multi-key batch.
+// Op is one operation of an atomic multi-key batch. Key names the
+// target; a nonzero Handle (obtained from Session.Handle /
+// Session.HandleBytes of the same store) pre-resolves it and skips the
+// intern lookup — the wire server's allocation-free path, where ops
+// carry only handles and Key stays empty.
 type Op struct {
 	Kind OpKind
 	Key  string
 	Val  uint64 // Put value / CAS new value
 	Old  uint64 // CAS expected value
+	// Handle, when nonzero, is Key's pre-interned handle. Handles are
+	// assigned from 1, so zero always means "resolve Key".
+	Handle uint64
 }
 
 // OpResult is the outcome of one Op, in batch order.
@@ -230,46 +242,6 @@ type OpResult struct {
 	Swapped bool
 }
 
-// txnPlan is the reusable sorted execution plan of one batch.
-type txnPlan struct {
-	handles []uint64
-	shards  []int // shard index per op
-	order   []int // op indices sorted by (shard, handle), stable
-	spares  []uint64
-	touched []bool
-}
-
-// plan interns every key and sorts the execution order by
-// (shard, handle). Accessing t-variables in one global order makes the
-// batch deadlock-free on lock-based engines (2pl acquires
-// encounter-time exclusive locks; two crossing batches would otherwise
-// spin each other into abort storms). The sort is stable, so multiple
-// ops on the same key keep their program order and batch semantics
-// are: ops on distinct keys are order-independent (the batch is
-// atomic), ops on the same key apply in order.
-func (s *Store) plan(ops []Op) *txnPlan {
-	pl := &txnPlan{
-		handles: make([]uint64, len(ops)),
-		shards:  make([]int, len(ops)),
-		order:   make([]int, len(ops)),
-		spares:  make([]uint64, len(ops)),
-		touched: make([]bool, len(s.shards)),
-	}
-	for i, op := range ops {
-		pl.handles[i] = s.intern(op.Key)
-		pl.shards[i] = s.shardOf(pl.handles[i])
-		pl.order[i] = i
-	}
-	sort.SliceStable(pl.order, func(a, b int) bool {
-		ia, ib := pl.order[a], pl.order[b]
-		if pl.shards[ia] != pl.shards[ib] {
-			return pl.shards[ia] < pl.shards[ib]
-		}
-		return pl.handles[ia] < pl.handles[ib]
-	})
-	return pl
-}
-
 // Txn executes ops as one atomic transaction spanning any number of
 // shards, returning per-op results in batch order. A batch containing
 // no writes (all OpGet) is a read-only transaction and commits on the
@@ -279,66 +251,25 @@ func (s *Store) plan(ops []Op) *txnPlan {
 // key is missing), the entire batch rolls back and Txn returns
 // ErrCASFailed — conditional multi-key updates are all-or-nothing, so
 // a CAS-pair transfer can never half-apply.
+//
+// Txn runs on a pooled internal session (the plan scratch is reused
+// across calls); callers on a hot path should hold their own Session,
+// whose Txn also reuses the result slice.
 func (s *Store) Txn(p *sim.Proc, ops []Op, opts ...core.RunOption) ([]OpResult, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
-	pl := s.plan(ops)
-	results := make([]OpResult, len(ops))
-	attempts := 0
-	err := core.Run(s.tm, p, func(tx core.Tx) error {
-		attempts++
-		for _, i := range pl.order {
-			op := ops[i]
-			idx := s.shards[pl.shards[i]].idx
-			h := pl.handles[i]
-			res := &results[i]
-			*res = OpResult{}
-			var err error
-			switch op.Kind {
-			case OpGet:
-				res.Val, res.Found, err = idx.Lookup(tx, h)
-			case OpPut:
-				res.Found, err = idx.Insert(tx, h, op.Val, &pl.spares[i])
-			case OpDelete:
-				res.Found, err = idx.Remove(tx, h)
-			case OpCAS:
-				res.Swapped, res.Found, err = idx.CompareAndSwap(tx, h, op.Old, op.Val)
-				if err == nil && !res.Swapped {
-					return ErrCASFailed
-				}
-			default:
-				return fmt.Errorf("kv: unknown op kind %d", op.Kind)
-			}
-			if err != nil {
-				return err
-			}
-		}
-		return nil
-	}, opts...)
-
-	distinct := 0
-	for i := range pl.touched {
-		pl.touched[i] = false
+	se := s.sessions.Get().(*Session)
+	res, err := se.Txn(p, ops, opts...)
+	var out []OpResult
+	if err == nil {
+		// Copy out of the session scratch: the pooled session may be
+		// reused by any goroutine the moment it is returned.
+		out = make([]OpResult, len(res))
+		copy(out, res)
 	}
-	for _, si := range pl.shards {
-		if !pl.touched[si] {
-			pl.touched[si] = true
-			distinct++
-		}
-	}
-	committed := err == nil
-	for si, t := range pl.touched {
-		if !t {
-			continue
-		}
-		s.shards[si].record(attempts, committed)
-	}
-	s.finish(committed, distinct)
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	s.sessions.Put(se)
+	return out, err
 }
 
 // Lookup is one result of GetMulti.
@@ -356,19 +287,15 @@ func (s *Store) GetMulti(p *sim.Proc, keys []string, opts ...core.RunOption) ([]
 	if len(keys) == 0 {
 		return nil, nil
 	}
-	ops := make([]Op, len(keys))
-	for i, k := range keys {
-		ops[i] = Op{Kind: OpGet, Key: k}
+	se := s.sessions.Get().(*Session)
+	res, err := se.GetMulti(p, keys, opts...)
+	var out []Lookup
+	if err == nil {
+		out = make([]Lookup, len(res))
+		copy(out, res)
 	}
-	res, err := s.Txn(p, ops, opts...)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Lookup, len(keys))
-	for i, r := range res {
-		out[i] = Lookup{Val: r.Val, Found: r.Found}
-	}
-	return out, nil
+	s.sessions.Put(se)
+	return out, err
 }
 
 // Len counts all entries atomically across every shard (a long

@@ -273,6 +273,209 @@ func TestTxnTransferSoak(t *testing.T) {
 	}
 }
 
+// TestSessionBasic pins the Session API semantics: single ops mirror
+// the Store methods (including single-CAS reporting instead of
+// ErrCASFailed), Txn/GetMulti results live in session-owned scratch
+// that the next operation overwrites, and handles interoperate with
+// ops issued through the Store directly.
+func TestSessionBasic(t *testing.T) {
+	s := kv.New(nztm.New(), 4, 4)
+	se := s.NewSession()
+
+	if created, err := se.Put(nil, "alpha", 1); err != nil || !created {
+		t.Fatalf("put = (%v, %v), want (true, nil)", created, err)
+	}
+	if v, ok, err := se.Get(nil, "alpha"); err != nil || !ok || v != 1 {
+		t.Fatalf("get = (%d, %v, %v), want (1, true, nil)", v, ok, err)
+	}
+	// Store methods and session methods address the same keys.
+	if v, ok, _ := s.Get(nil, "alpha"); !ok || v != 1 {
+		t.Fatalf("store get after session put = (%d, %v)", v, ok)
+	}
+	// Single CAS reports a mismatch, it does not abort.
+	if sw, ex, err := se.CAS(nil, "alpha", 99, 5); err != nil || sw || !ex {
+		t.Fatalf("stale cas = (%v, %v, %v), want (false, true, nil)", sw, ex, err)
+	}
+	// ...but an OpCAS guard inside Txn does.
+	if _, err := se.Txn(nil, []kv.Op{
+		{Kind: kv.OpPut, Key: "beta", Val: 7},
+		{Kind: kv.OpCAS, Key: "alpha", Old: 99, Val: 5},
+	}); !errors.Is(err, kv.ErrCASFailed) {
+		t.Fatalf("guarded txn err = %v, want ErrCASFailed", err)
+	}
+	if _, ok, _ := se.Get(nil, "beta"); ok {
+		t.Fatalf("beta exists after rolled-back guarded txn")
+	}
+	// Handle is stable and pre-resolves ops.
+	h := se.Handle("alpha")
+	if h == 0 || h != se.HandleBytes([]byte("alpha")) {
+		t.Fatalf("handle not stable: %d vs %d", h, se.HandleBytes([]byte("alpha")))
+	}
+	res, err := se.Txn(nil, []kv.Op{{Kind: kv.OpGet, Handle: h}})
+	if err != nil || !res[0].Found || res[0].Val != 1 {
+		t.Fatalf("txn by handle = (%+v, %v)", res, err)
+	}
+	// Result scratch is overwritten by the next session operation.
+	first := res[0]
+	if _, err := se.Txn(nil, []kv.Op{{Kind: kv.OpDelete, Handle: h}}); err != nil {
+		t.Fatalf("delete txn: %v", err)
+	}
+	if res[0] == first {
+		t.Fatalf("session results were not reused (doc contract: valid until next op)")
+	}
+	if lk, err := se.GetMulti(nil, []string{"alpha", "missing"}); err != nil || lk[0].Found || lk[1].Found {
+		t.Fatalf("getmulti after delete = (%+v, %v)", lk, err)
+	}
+	if r, err := se.Do(nil, kv.Op{Kind: kv.OpPut, Key: "alpha", Val: 3}); err != nil || !r.Found {
+		t.Fatalf("do put = (%+v, %v), want created", r, err)
+	}
+}
+
+// TestLargeBatchPlanOrder drives a batch past the insertion-sort
+// cutoff onto the sort.Stable fallback and checks the plan contract
+// still holds there: same-key ops keep program order (the later Put
+// wins and only the first reports created).
+func TestLargeBatchPlanOrder(t *testing.T) {
+	s := kv.New(nztm.New(), 8, 8)
+	se := s.NewSession()
+	const n, distinct = 600, 307
+	ops := make([]kv.Op, n)
+	for i := range ops {
+		ops[i] = kv.Op{Kind: kv.OpPut, Key: fmt.Sprintf("k%03d", i%distinct), Val: uint64(i)}
+	}
+	res, err := se.Txn(nil, ops)
+	if err != nil {
+		t.Fatalf("large txn: %v", err)
+	}
+	for i := range ops {
+		if want := i < distinct; res[i].Found != want {
+			t.Fatalf("op %d created=%v, want %v (stable same-key order)", i, res[i].Found, want)
+		}
+	}
+	for _, k := range []int{0, 151, 292, 293, 306} {
+		want := uint64(k)
+		if k+distinct < n {
+			want = uint64(k + distinct) // the later same-key Put must win
+		}
+		v, ok, err := s.Get(nil, fmt.Sprintf("k%03d", k))
+		if err != nil || !ok || v != want {
+			t.Fatalf("k%03d = (%d, %v, %v), want (%d, true, nil)", k, v, ok, err, want)
+		}
+	}
+}
+
+// TestSessionSoak is the race-mode concurrent-session soak: many
+// sessions share one store, each hammering CAS counters through its
+// own handle cache while new keys keep appearing (so caches are
+// perpetually behind the global intern table). Counters must conserve
+// their increments and every session must resolve every key to the
+// same handle — the coherence argument (handles are never reclaimed,
+// so a private cache can lag but never lie) made executable.
+func TestSessionSoak(t *testing.T) {
+	const (
+		goroutines = 8
+		keys       = 24
+		increments = 120
+	)
+	s := kv.New(dstm.New(), 8, 4)
+	keyName := func(k int) string { return fmt.Sprintf("ctr%02d", k) }
+	// Only the first third of the keys exist up front; the rest are
+	// created mid-soak, each by the one session that owns it (k mod
+	// goroutines — an unsynchronized racing Put 0 could wipe another
+	// session's increments), so handle caches are perpetually behind
+	// the growing global intern table.
+	for k := 0; k < keys/3; k++ {
+		if _, err := s.Put(nil, keyName(k), 0); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+	}
+	succ := make([][]int64, goroutines)
+	handles := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		succ[g] = make([]int64, keys)
+		handles[g] = make([]uint64, keys)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			se := s.NewSession()
+			rng := rand.New(rand.NewSource(int64(g) * 131))
+			done := 0
+			for done < increments {
+				k := rng.Intn(keys)
+				name := keyName(k)
+				v, ok, err := se.Get(nil, name)
+				if err != nil {
+					panic(err)
+				}
+				if !ok {
+					// Not created yet: only the owning session may create
+					// it; everyone else moves on until it appears.
+					if k%goroutines == g {
+						if _, err := se.Put(nil, name, 0); err != nil {
+							panic(err)
+						}
+					}
+					continue
+				}
+				swapped, existed, err := se.CAS(nil, name, v, v+1)
+				if err != nil {
+					panic(err)
+				}
+				if !existed {
+					panic("counter vanished")
+				}
+				if swapped {
+					succ[g][k]++
+					done++
+				}
+			}
+			for k := 0; k < keys; k++ {
+				handles[g][k] = se.Handle(keyName(k))
+			}
+		}()
+	}
+	wg.Wait()
+	// Handle coherence: every session agrees with a fresh one.
+	fresh := s.NewSession()
+	for k := 0; k < keys; k++ {
+		want := fresh.Handle(keyName(k))
+		for g := 0; g < goroutines; g++ {
+			if handles[g][k] != want {
+				t.Fatalf("session %d resolved %s to handle %d, fresh session to %d", g, keyName(k), handles[g][k], want)
+			}
+		}
+	}
+	// Increment conservation through the wire of sessions.
+	var total int64
+	for k := 0; k < keys; k++ {
+		var want int64
+		for g := 0; g < goroutines; g++ {
+			want += succ[g][k]
+		}
+		v, ok, err := s.Get(nil, keyName(k))
+		if err != nil {
+			t.Fatalf("final get %d: %v", k, err)
+		}
+		if !ok {
+			// The owner never happened to pick this key; nobody can have
+			// incremented it either.
+			if want != 0 {
+				t.Fatalf("counter %d missing but %d increments recorded", k, want)
+			}
+			continue
+		}
+		if int64(v) != want {
+			t.Fatalf("counter %d = %d, want %d", k, v, want)
+		}
+		total += want
+	}
+	if total != goroutines*increments {
+		t.Fatalf("total %d, want %d", total, goroutines*increments)
+	}
+}
+
 // initTrackTM records the initial value of every t-variable the store
 // allocates (arena nodes are created dynamically), so the
 // serializability checker knows the legal first read of each variable.

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"repro/internal/kv"
+)
+
+// This file preserves the PR 3 string-based request path verbatim —
+// ReadString lines, strings.Fields tokens, ToUpper verbs, Sprintf
+// replies, session-less Store calls — selected by Config.Legacy. It
+// exists only as the measured baseline of experiment E10 (the
+// byte-path speedup claim is re-measurable on every checkout, not an
+// artifact of a stale number) and as the reference parser for the
+// byte-tokenizer equivalence tests. It deliberately keeps the PR 3
+// request-accounting bug (one count per reply line, so an EXEC of n
+// ops counts n+1). New deployments must not set Legacy.
+
+func (s *Server) serveConnLegacy(c net.Conn) {
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+
+	var batch []kv.Op
+	reply := func(line string) {
+		w.WriteString(line)
+		w.WriteByte('\n')
+		s.requests.Add(1)
+	}
+
+	// flushBatch executes the pending unconditional ops as one
+	// transaction and writes their responses in order.
+	flushBatch := func() {
+		if len(batch) == 0 {
+			return
+		}
+		res, err := s.store.TxnLegacy(nil, batch)
+		for i := range batch {
+			if err != nil {
+				reply("ERR " + err.Error())
+				continue
+			}
+			reply(renderResultLegacy(batch[i], res[i]))
+		}
+		batch = batch[:0]
+	}
+
+	var inMulti bool
+	var multiOps []kv.Op
+
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		verb := strings.ToUpper(fields[0])
+		args := fields[1:]
+
+		if inMulti {
+			switch verb {
+			case "EXEC":
+				inMulti = false
+				res, err := s.store.TxnLegacy(nil, multiOps)
+				switch {
+				case errors.Is(err, kv.ErrCASFailed):
+					reply("ABORTED cas-guard")
+				case err != nil:
+					reply("ERR " + err.Error())
+				default:
+					reply(fmt.Sprintf("RESULTS %d", len(res)))
+					for i, re := range res {
+						reply(renderResultLegacy(multiOps[i], re))
+					}
+				}
+				multiOps = nil
+			case "DISCARD":
+				inMulti = false
+				multiOps = nil
+				reply("OK")
+			default:
+				op, perr := parseOpLegacy(verb, args)
+				switch {
+				case perr != nil:
+					reply("ERR " + perr.Error())
+				case len(multiOps) >= s.cfg.MaxMultiOps:
+					reply(fmt.Sprintf("ERR multi batch exceeds %d ops", s.cfg.MaxMultiOps))
+				default:
+					multiOps = append(multiOps, op)
+					reply("QUEUED")
+				}
+			}
+		} else {
+			switch verb {
+			case "GET", "SET", "DEL":
+				op, perr := parseOpLegacy(verb, args)
+				if perr != nil {
+					flushBatch()
+					reply("ERR " + perr.Error())
+					break
+				}
+				batch = append(batch, op)
+				if len(batch) >= s.cfg.Batch {
+					flushBatch()
+				}
+			case "CAS":
+				flushBatch()
+				op, perr := parseOpLegacy(verb, args)
+				if perr != nil {
+					reply("ERR " + perr.Error())
+					break
+				}
+				swapped, existed, err := s.store.CAS(nil, op.Key, op.Old, op.Val)
+				switch {
+				case err != nil:
+					reply("ERR " + err.Error())
+				case swapped:
+					reply("SWAPPED")
+				case existed:
+					reply("CASFAIL")
+				default:
+					reply("NOTFOUND")
+				}
+			case "LEN":
+				flushBatch()
+				n, err := s.store.Len(nil)
+				if err != nil {
+					reply("ERR " + err.Error())
+				} else {
+					reply(fmt.Sprintf("LEN %d", n))
+				}
+			case "STATS":
+				flushBatch()
+				st := s.store.Stats()
+				reply(fmt.Sprintf("STATS txns=%d cross=%d ratio=%.4f ops=%d aborts=%d shards=%d",
+					st.Txns, st.CrossShard, st.CrossShardRatio(), st.Ops(), st.Aborts(), len(st.Shards)))
+			case "PING":
+				flushBatch()
+				reply("PONG")
+			case "MULTI":
+				flushBatch()
+				inMulti = true
+				reply("OK")
+			case "QUIT":
+				flushBatch()
+				reply("BYE")
+				w.Flush()
+				return
+			default:
+				flushBatch()
+				reply(fmt.Sprintf("ERR unknown command %q", verb))
+			}
+		}
+
+		// Drain the pipeline before paying a flush/syscall: keep
+		// accumulating only while another *complete* request is already
+		// buffered. A buffer holding just a partial line must flush too —
+		// the client may be waiting for these responses before sending
+		// the rest of that request.
+		if !hasCompleteLine(r) {
+			flushBatch()
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// parseOpLegacy parses a single-key request into a kv.Op — the PR 3
+// string parser, the reference the byte parser (parseOp) is proved
+// equivalent to by TestParseOpEquivalence and FuzzParseOp.
+func parseOpLegacy(verb string, args []string) (kv.Op, error) {
+	key := func(i int) (string, error) {
+		if i >= len(args) {
+			return "", fmt.Errorf("%s: missing key", verb)
+		}
+		return args[i], nil
+	}
+	num := func(i int) (uint64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing numeric argument", verb)
+		}
+		v, err := strconv.ParseUint(args[i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad number %q", verb, args[i])
+		}
+		return v, nil
+	}
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d argument(s), got %d", verb, n, len(args))
+		}
+		return nil
+	}
+	switch verb {
+	case "GET":
+		if err := arity(1); err != nil {
+			return kv.Op{}, err
+		}
+		k, err := key(0)
+		return kv.Op{Kind: kv.OpGet, Key: k}, err
+	case "SET":
+		if err := arity(2); err != nil {
+			return kv.Op{}, err
+		}
+		k, err := key(0)
+		if err != nil {
+			return kv.Op{}, err
+		}
+		v, err := num(1)
+		return kv.Op{Kind: kv.OpPut, Key: k, Val: v}, err
+	case "DEL":
+		if err := arity(1); err != nil {
+			return kv.Op{}, err
+		}
+		k, err := key(0)
+		return kv.Op{Kind: kv.OpDelete, Key: k}, err
+	case "CAS":
+		if err := arity(3); err != nil {
+			return kv.Op{}, err
+		}
+		k, err := key(0)
+		if err != nil {
+			return kv.Op{}, err
+		}
+		old, err := num(1)
+		if err != nil {
+			return kv.Op{}, err
+		}
+		v, err := num(2)
+		return kv.Op{Kind: kv.OpCAS, Key: k, Old: old, Val: v}, err
+	}
+	return kv.Op{}, fmt.Errorf("unknown command %q", verb)
+}
+
+// renderResultLegacy formats one op outcome as its response line.
+func renderResultLegacy(op kv.Op, res kv.OpResult) string {
+	switch op.Kind {
+	case kv.OpGet:
+		if res.Found {
+			return fmt.Sprintf("VALUE %d", res.Val)
+		}
+		return "NOTFOUND"
+	case kv.OpPut:
+		if res.Found {
+			return "OK NEW"
+		}
+		return "OK"
+	case kv.OpDelete:
+		if res.Found {
+			return "DELETED"
+		}
+		return "NOTFOUND"
+	case kv.OpCAS:
+		if res.Swapped {
+			return "SWAPPED"
+		}
+		if res.Found {
+			return "CASFAIL"
+		}
+		return "NOTFOUND"
+	}
+	return "ERR unrenderable result"
+}

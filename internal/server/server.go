@@ -25,6 +25,13 @@
 // independent pipelined requests can never abort each other; an
 // explicit MULTI..EXEC batch, by contrast, is deliberately
 // all-or-nothing (a failed CAS guard rolls the whole batch back).
+//
+// The request path is byte-level and allocation-free in the steady
+// state: requests are tokenized in place over the bufio read buffer,
+// verbs case-fold through a table, keys resolve to pre-interned
+// handles via a per-connection kv.Session, and replies render through
+// reused scratch buffers (conn.go). The PR 3 string-based path is
+// preserved behind Config.Legacy as the measured baseline (legacy.go).
 package server
 
 import (
@@ -33,8 +40,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -60,6 +65,11 @@ type Config struct {
 	Batch int
 	// MaxMultiOps bounds a MULTI..EXEC batch (default 256).
 	MaxMultiOps int
+	// Legacy selects the retired PR 3 string-based request path
+	// (legacy.go) instead of the byte-level one. It exists solely so
+	// experiment E10 can measure the rewrite's speedup against a live
+	// baseline; it is not reachable from the oftm-server flags.
+	Legacy bool
 }
 
 func (c *Config) fill() {
@@ -110,7 +120,11 @@ type Server struct {
 
 	wg sync.WaitGroup
 
-	// requests counts protocol requests served (responses written).
+	// requests counts parsed protocol requests: one per non-blank
+	// request line, so an EXEC of n queued ops counts once. (The PR 3
+	// path counted reply lines instead, overstating MULTI traffic; the
+	// legacy handler retains that behavior as part of the preserved
+	// baseline.)
 	requests atomic.Int64
 }
 
@@ -135,7 +149,10 @@ func (s *Server) Store() *kv.Store { return s.store }
 // TM returns the engine.
 func (s *Server) TM() core.TM { return s.tm }
 
-// Requests returns the number of protocol requests served so far.
+// Requests returns the number of protocol requests parsed so far.
+// Connection handlers publish their count when they flush responses
+// and when they exit, so the figure is exact once connections are
+// drained (the shutdown report) and at most a flush behind in between.
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
 // Addr returns the bound listen address (nil before ListenAndServe).
@@ -249,155 +266,11 @@ func (s *Server) dropConn(c net.Conn) {
 
 func (s *Server) serveConn(c net.Conn) {
 	defer s.dropConn(c)
-	r := bufio.NewReader(c)
-	w := bufio.NewWriter(c)
-
-	var batch []kv.Op
-	reply := func(line string) {
-		w.WriteString(line)
-		w.WriteByte('\n')
-		s.requests.Add(1)
+	if s.cfg.Legacy {
+		s.serveConnLegacy(c)
+		return
 	}
-
-	// flushBatch executes the pending unconditional ops as one
-	// transaction and writes their responses in order.
-	flushBatch := func() {
-		if len(batch) == 0 {
-			return
-		}
-		res, err := s.store.Txn(nil, batch)
-		for i := range batch {
-			if err != nil {
-				reply("ERR " + err.Error())
-				continue
-			}
-			reply(renderResult(batch[i], res[i]))
-		}
-		batch = batch[:0]
-	}
-
-	var inMulti bool
-	var multiOps []kv.Op
-
-	for {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return
-		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
-			continue
-		}
-		verb := strings.ToUpper(fields[0])
-		args := fields[1:]
-
-		if inMulti {
-			switch verb {
-			case "EXEC":
-				inMulti = false
-				res, err := s.store.Txn(nil, multiOps)
-				switch {
-				case errors.Is(err, kv.ErrCASFailed):
-					reply("ABORTED cas-guard")
-				case err != nil:
-					reply("ERR " + err.Error())
-				default:
-					reply(fmt.Sprintf("RESULTS %d", len(res)))
-					for i, re := range res {
-						reply(renderResult(multiOps[i], re))
-					}
-				}
-				multiOps = nil
-			case "DISCARD":
-				inMulti = false
-				multiOps = nil
-				reply("OK")
-			default:
-				op, perr := parseOp(verb, args)
-				switch {
-				case perr != nil:
-					reply("ERR " + perr.Error())
-				case len(multiOps) >= s.cfg.MaxMultiOps:
-					reply(fmt.Sprintf("ERR multi batch exceeds %d ops", s.cfg.MaxMultiOps))
-				default:
-					multiOps = append(multiOps, op)
-					reply("QUEUED")
-				}
-			}
-		} else {
-			switch verb {
-			case "GET", "SET", "DEL":
-				op, perr := parseOp(verb, args)
-				if perr != nil {
-					flushBatch()
-					reply("ERR " + perr.Error())
-					break
-				}
-				batch = append(batch, op)
-				if len(batch) >= s.cfg.Batch {
-					flushBatch()
-				}
-			case "CAS":
-				flushBatch()
-				op, perr := parseOp(verb, args)
-				if perr != nil {
-					reply("ERR " + perr.Error())
-					break
-				}
-				swapped, existed, err := s.store.CAS(nil, op.Key, op.Old, op.Val)
-				switch {
-				case err != nil:
-					reply("ERR " + err.Error())
-				case swapped:
-					reply("SWAPPED")
-				case existed:
-					reply("CASFAIL")
-				default:
-					reply("NOTFOUND")
-				}
-			case "LEN":
-				flushBatch()
-				n, err := s.store.Len(nil)
-				if err != nil {
-					reply("ERR " + err.Error())
-				} else {
-					reply(fmt.Sprintf("LEN %d", n))
-				}
-			case "STATS":
-				flushBatch()
-				st := s.store.Stats()
-				reply(fmt.Sprintf("STATS txns=%d cross=%d ratio=%.4f ops=%d aborts=%d shards=%d",
-					st.Txns, st.CrossShard, st.CrossShardRatio(), st.Ops(), st.Aborts(), len(st.Shards)))
-			case "PING":
-				flushBatch()
-				reply("PONG")
-			case "MULTI":
-				flushBatch()
-				inMulti = true
-				reply("OK")
-			case "QUIT":
-				flushBatch()
-				reply("BYE")
-				w.Flush()
-				return
-			default:
-				flushBatch()
-				reply(fmt.Sprintf("ERR unknown command %q", verb))
-			}
-		}
-
-		// Drain the pipeline before paying a flush/syscall: keep
-		// accumulating only while another *complete* request is already
-		// buffered. A buffer holding just a partial line must flush too —
-		// the client may be waiting for these responses before sending
-		// the rest of that request.
-		if !hasCompleteLine(r) {
-			flushBatch()
-			if err := w.Flush(); err != nil {
-				return
-			}
-		}
-	}
+	newConn(s, c).run()
 }
 
 // hasCompleteLine reports whether r's buffer already holds a full
@@ -414,97 +287,3 @@ func hasCompleteLine(r *bufio.Reader) bool {
 	return bytes.IndexByte(peek, '\n') >= 0
 }
 
-// parseOp parses a single-key request into a kv.Op.
-func parseOp(verb string, args []string) (kv.Op, error) {
-	key := func(i int) (string, error) {
-		if i >= len(args) {
-			return "", fmt.Errorf("%s: missing key", verb)
-		}
-		return args[i], nil
-	}
-	num := func(i int) (uint64, error) {
-		if i >= len(args) {
-			return 0, fmt.Errorf("%s: missing numeric argument", verb)
-		}
-		v, err := strconv.ParseUint(args[i], 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("%s: bad number %q", verb, args[i])
-		}
-		return v, nil
-	}
-	arity := func(n int) error {
-		if len(args) != n {
-			return fmt.Errorf("%s: want %d argument(s), got %d", verb, n, len(args))
-		}
-		return nil
-	}
-	switch verb {
-	case "GET":
-		if err := arity(1); err != nil {
-			return kv.Op{}, err
-		}
-		k, err := key(0)
-		return kv.Op{Kind: kv.OpGet, Key: k}, err
-	case "SET":
-		if err := arity(2); err != nil {
-			return kv.Op{}, err
-		}
-		k, err := key(0)
-		if err != nil {
-			return kv.Op{}, err
-		}
-		v, err := num(1)
-		return kv.Op{Kind: kv.OpPut, Key: k, Val: v}, err
-	case "DEL":
-		if err := arity(1); err != nil {
-			return kv.Op{}, err
-		}
-		k, err := key(0)
-		return kv.Op{Kind: kv.OpDelete, Key: k}, err
-	case "CAS":
-		if err := arity(3); err != nil {
-			return kv.Op{}, err
-		}
-		k, err := key(0)
-		if err != nil {
-			return kv.Op{}, err
-		}
-		old, err := num(1)
-		if err != nil {
-			return kv.Op{}, err
-		}
-		v, err := num(2)
-		return kv.Op{Kind: kv.OpCAS, Key: k, Old: old, Val: v}, err
-	}
-	return kv.Op{}, fmt.Errorf("unknown command %q", verb)
-}
-
-// renderResult formats one op outcome as its response line.
-func renderResult(op kv.Op, res kv.OpResult) string {
-	switch op.Kind {
-	case kv.OpGet:
-		if res.Found {
-			return fmt.Sprintf("VALUE %d", res.Val)
-		}
-		return "NOTFOUND"
-	case kv.OpPut:
-		if res.Found {
-			return "OK NEW"
-		}
-		return "OK"
-	case kv.OpDelete:
-		if res.Found {
-			return "DELETED"
-		}
-		return "NOTFOUND"
-	case kv.OpCAS:
-		if res.Swapped {
-			return "SWAPPED"
-		}
-		if res.Found {
-			return "CASFAIL"
-		}
-		return "NOTFOUND"
-	}
-	return "ERR unrenderable result"
-}

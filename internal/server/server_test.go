@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -155,6 +157,114 @@ func TestPipelinedBatching(t *testing.T) {
 	}
 	if resps[53] != "PONG" {
 		t.Fatalf("PING = %q", resps[53])
+	}
+}
+
+// TestRequestAccounting pins the serving-report fix: the request
+// counter counts parsed requests — one per non-blank request line — so
+// an EXEC of n ops counts once (the PR 3 path counted its n+1 reply
+// lines), and blank lines count nothing.
+func TestRequestAccounting(t *testing.T) {
+	s := startServer(t, Config{Engine: "nztm", Shards: 4, Buckets: 4})
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	// 8 requests (PING, SET, MULTI, SET, GET, EXEC, BOGUS, QUIT); the
+	// blank line and trailing whitespace-only line are not requests.
+	if _, err := io.WriteString(nc, "PING\n\nSET a 1\nMULTI\nSET b 2\nGET a\nEXEC\nBOGUS\n \t\nQUIT\n"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// QUIT closes the connection, so the full response stream is
+	// readable to EOF — and by then the handler has published its count.
+	out, err := io.ReadAll(nc)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	wantLines := []string{
+		"PONG", "OK NEW", "OK", "QUEUED", "QUEUED", "RESULTS 2", "OK NEW", "VALUE 1",
+		`ERR unknown command "BOGUS"`, "BYE",
+	}
+	got := strings.Split(strings.TrimRight(string(out), "\n"), "\n")
+	if len(got) != len(wantLines) {
+		t.Fatalf("got %d response lines, want %d:\n%s", len(got), len(wantLines), out)
+	}
+	for i, w := range wantLines {
+		if got[i] != w {
+			t.Fatalf("response[%d] = %q, want %q", i, got[i], w)
+		}
+	}
+	if n := s.Requests(); n != 8 {
+		t.Fatalf("Requests() = %d, want 8 (parsed requests, not reply lines)", n)
+	}
+}
+
+// TestPipelinedOrderingStress asserts response order under -batch
+// folding: one connection pipelines windows of interleaved SET/GET/CAS
+// whose expected responses depend on every preceding request having
+// been applied in order, across many batch-flush boundaries (Batch: 3
+// forces folds mid-window).
+func TestPipelinedOrderingStress(t *testing.T) {
+	s := startServer(t, Config{Engine: "nztm", Shards: 8, Buckets: 8, Batch: 3})
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	const windows, perWindow = 30, 40
+	val := map[string]uint64{} // model: key -> value
+	for w := 0; w < windows; w++ {
+		var reqs, want []string
+		for i := 0; i < perWindow; i++ {
+			k := fmt.Sprintf("k%d", (w+i)%7)
+			cur, exists := val[k]
+			switch i % 5 {
+			case 0, 1: // SET
+				v := uint64(w*perWindow + i)
+				reqs = append(reqs, fmt.Sprintf("SET %s %d", k, v))
+				if exists {
+					want = append(want, "OK")
+				} else {
+					want = append(want, "OK NEW")
+				}
+				val[k] = v
+			case 2: // GET must observe the latest pipelined SET
+				reqs = append(reqs, "GET "+k)
+				if exists {
+					want = append(want, fmt.Sprintf("VALUE %d", cur))
+				} else {
+					want = append(want, "NOTFOUND")
+				}
+			case 3: // CAS against the modeled value always swaps
+				if !exists {
+					reqs = append(reqs, "GET "+k)
+					want = append(want, "NOTFOUND")
+					break
+				}
+				reqs = append(reqs, fmt.Sprintf("CAS %s %d %d", k, cur, cur+1))
+				want = append(want, "SWAPPED")
+				val[k] = cur + 1
+			default: // stale CAS never swaps
+				if !exists {
+					reqs = append(reqs, "GET "+k)
+					want = append(want, "NOTFOUND")
+					break
+				}
+				reqs = append(reqs, fmt.Sprintf("CAS %s %d %d", k, cur+99999, 1))
+				want = append(want, "CASFAIL")
+			}
+		}
+		resps, err := cl.Do(reqs...)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		for i := range want {
+			if resps[i] != want[i] {
+				t.Fatalf("window %d resp[%d] (%s) = %q, want %q", w, i, reqs[i], resps[i], want[i])
+			}
+		}
 	}
 }
 

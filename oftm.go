@@ -317,6 +317,10 @@ type (
 	KVOpResult = kv.OpResult
 	// KVStats is the store's per-shard counter snapshot.
 	KVStats = kv.Stats
+	// KVSession is a single-goroutine store handle (KV.NewSession): a
+	// private key-handle cache plus reusable batch scratch, so repeated
+	// operation shapes run allocation-free — one per connection/worker.
+	KVSession = kv.Session
 )
 
 // The KVOp kinds.
