@@ -38,15 +38,15 @@ bench-readheavy:
 	@$(GO) test -run '^$$' -bench BenchmarkReadHeavy -benchmem -benchtime $(BENCHTIME) .
 
 experiments:
-	@echo "Regenerating the E1..E9 experiment tables..."
+	@echo "Regenerating the E1..E11 experiment tables..."
 	@$(GO) run ./cmd/oftm-bench
 
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 bench-json:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON)
 
-BASELINE ?= BENCH_PR3.json
+BASELINE ?= BENCH_PR4.json
 bench-diff:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON) and diffing against $(BASELINE) (fails on >25% ns/op regressions and on allocs/op above the baseline allowance — zero-alloc records must stay zero; workloads new since the baseline are skipped with a notice)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON) -baseline $(BASELINE)
@@ -63,8 +63,14 @@ bench-server:
 	@$(GO) test -run '^$$' -bench BenchmarkServer -benchmem -benchtime $(BENCHTIME) ./internal/bench
 
 servebench:
-	@echo "Running experiment E10 (byte wire path vs the preserved PR 3 path)..."
+	@echo "Running experiments E10 (byte wire path vs the preserved PR 3 path) and E11 (WAL durability bill)..."
 	@$(GO) run ./cmd/oftm-bench -servebench
+
+recovery-smoke:
+	@echo "Vetting and running the crash/recovery suite (kill-and-recover, torn tail, WAL unit tests)..."
+	@$(GO) vet $(PKGS)
+	@$(GO) test -count=1 -v -run 'TestKillAndRecover|TestWALRestartCycle|TestRecoveryHelperProcess' ./internal/server
+	@$(GO) test -count=1 ./internal/wal
 
 SERVER_ADDR ?= 127.0.0.1:7781
 server-smoke: kv-smoke
@@ -78,4 +84,4 @@ server-smoke: kv-smoke
 	echo "client exit: $$RC, server exit: $$SRC"; \
 	[ $$RC -eq 0 ] && [ $$SRC -eq 0 ]
 
-.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke bench-server servebench server-smoke
+.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke bench-server servebench server-smoke recovery-smoke

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	oftm-bench                 # run every experiment E1..E10
+//	oftm-bench                 # run every experiment E1..E11
 //	oftm-bench -exp E5         # run one experiment
 //	oftm-bench -list           # list experiments
 //	oftm-bench -kvsmoke        # brief run of every kv-* workload (CI)
-//	oftm-bench -servebench     # end-to-end loopback server load (E10);
+//	oftm-bench -servebench     # end-to-end loopback server load
+//	                           # (E10 wire path + E11 durability);
 //	                           # with -json, write the serving records
 //	oftm-bench -json out.json  # write the perf-tracking grid as JSON
 //	oftm-bench -json out.json -baseline BENCH_PR1.json
@@ -33,11 +34,13 @@ func main() {
 	baseline := flag.String("baseline", "", "previous perf-tracking JSON to diff against (requires -json); exits 1 when any record's ns/op regresses by more than -tolerance")
 	tolerance := flag.Float64("tolerance", 25, "regression tolerance for -baseline, in percent")
 	kvsmoke := flag.Bool("kvsmoke", false, "run every kv-* workload briefly and exit (CI smoke)")
-	servebench := flag.Bool("servebench", false, "run the end-to-end loopback server load (experiment E10); with -json, write the serving records to that file")
+	servebench := flag.Bool("servebench", false, "run the end-to-end loopback server load (experiments E10 and E11); with -json, write the serving records to that file")
 	flag.Parse()
 
 	if *servebench {
 		bench.E10(os.Stdout)
+		fmt.Println()
+		bench.E11(os.Stdout)
 		if *jsonOut != "" {
 			if err := writeFile(*jsonOut, bench.WriteServerJSON); err != nil {
 				fmt.Fprintf(os.Stderr, "oftm-bench: %v\n", err)

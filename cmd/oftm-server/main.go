@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/server"
@@ -37,6 +38,10 @@ func main() {
 	shards := flag.Int("shards", 8, "key-space shards")
 	buckets := flag.Int("buckets", 16, "hash buckets per shard")
 	batch := flag.Int("batch", 64, "max pipelined requests folded into one transaction")
+	walDir := flag.String("wal-dir", "", "durability: write-ahead log directory (empty = volatile)")
+	fsync := flag.String("fsync", "interval", "durability: WAL fsync policy: always|interval|never")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "durability: fsync period for -fsync interval")
+	snapEvery := flag.Duration("snapshot-every", 0, "durability: periodic snapshot+truncate period (0 = off)")
 	connect := flag.String("connect", "", "client mode: address of a running server to load")
 	conns := flag.Int("conns", 4, "client mode: concurrent connections")
 	ops := flag.Int("ops", 1000, "client mode: requests per connection")
@@ -48,11 +53,15 @@ func main() {
 		return
 	}
 	runServer(server.Config{
-		Addr:    *addr,
-		Engine:  *engine,
-		Shards:  *shards,
-		Buckets: *buckets,
-		Batch:   *batch,
+		Addr:          *addr,
+		Engine:        *engine,
+		Shards:        *shards,
+		Buckets:       *buckets,
+		Batch:         *batch,
+		WALDir:        *walDir,
+		Fsync:         *fsync,
+		FsyncInterval: *fsyncEvery,
+		SnapshotEvery: *snapEvery,
 	})
 }
 
@@ -68,6 +77,15 @@ func runServer(cfg server.Config) {
 	}
 	fmt.Printf("oftm-server: serving on %s (engine=%s shards=%d buckets=%d batch=%d)\n",
 		s.Addr(), cfg.Engine, cfg.Shards, cfg.Buckets, cfg.Batch)
+	if cfg.WALDir != "" {
+		rec := s.Recovered()
+		fmt.Printf("oftm-server: wal %s (fsync=%s): recovered %d key(s), snapshot cut %d, %d record(s) replayed, last seq %d",
+			cfg.WALDir, cfg.Fsync, rec.Keys, rec.SnapshotSeq, rec.Records, rec.LastSeq)
+		if rec.TornTail {
+			fmt.Printf(" [torn tail truncated]")
+		}
+		fmt.Println()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -94,6 +112,11 @@ func runServer(cfg server.Config) {
 	if es, ok := core.StatsOf(s.TM()); ok {
 		fmt.Printf("  engine: epoch=%d forced_aborts=%d snapshot_extensions=%d\n",
 			es.Epoch, es.ForcedAborts, es.SnapshotExtensions)
+	}
+	if l := s.WAL(); l != nil {
+		ws := l.Stats()
+		fmt.Printf("  wal: appended=%d durable=%d snapshot_cut=%d segments=%d\n",
+			ws.Appended, ws.Durable, ws.SnapshotSeq, ws.Segments)
 	}
 }
 

@@ -99,21 +99,32 @@ func WriteJSON(w io.Writer) error {
 		return err
 	}
 	rep.Records = append(rep.Records, srvRecs...)
+	// Durability rows (E11): the same load with the WAL on.
+	wRecs, err := walRecords()
+	if err != nil {
+		return err
+	}
+	rep.Records = append(rep.Records, wRecs...)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
 }
 
-// WriteServerJSON measures only the serving rows (the E10 records) and
-// writes them as a report — the fast path behind `oftm-bench
-// -servebench -json`.
+// WriteServerJSON measures only the serving rows (the E10 and E11
+// records) and writes them as a report — the fast path behind
+// `oftm-bench -servebench -json`.
 func WriteServerJSON(w io.Writer) error {
 	recs, err := serverRecords()
 	if err != nil {
 		return err
 	}
+	wRecs, err := walRecords()
+	if err != nil {
+		return err
+	}
+	recs = append(recs, wRecs...)
 	rep := Report{
-		Note:    "experiment E10: loopback wire-path records (threads = connections); server-*-pr3 rows measure the preserved PR 3 legacy request path",
+		Note:    "experiments E10/E11: loopback wire-path records (threads = connections); server-*-pr3 rows measure the preserved PR 3 legacy request path, server-*-wal-* rows the durability layer",
 		Records: recs,
 	}
 	enc := json.NewEncoder(w)

@@ -186,13 +186,20 @@ func firstErrLine(b []byte) []byte {
 // startLoadServer builds, listens and serves a store pre-populated
 // with the load key space. Callers must Close the returned server.
 func startLoadServer(engine string, legacy bool) (*server.Server, []string, error) {
-	srv, err := server.New(server.Config{
-		Addr:    "127.0.0.1:0",
-		Engine:  engine,
-		Shards:  srvShards,
-		Buckets: srvBuckets,
-		Legacy:  legacy,
+	return startLoadServerCfg(server.Config{
+		Engine: engine,
+		Legacy: legacy,
 	})
+}
+
+// startLoadServerCfg is startLoadServer with full config control (the
+// WAL measurements need durability fields); Addr, Shards and Buckets
+// are forced to the harness standard.
+func startLoadServerCfg(cfg server.Config) (*server.Server, []string, error) {
+	cfg.Addr = "127.0.0.1:0"
+	cfg.Shards = srvShards
+	cfg.Buckets = srvBuckets
+	srv, err := server.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -226,6 +233,13 @@ func RunServerLoad(engine string, legacy bool, conns, pipeline, windows int) (Se
 	if err != nil {
 		return res, err
 	}
+	return measureLoad(srv, keys, res, conns, pipeline, windows)
+}
+
+// measureLoad drives the warmed, GC-fenced measurement phase against a
+// started server and closes it. Shared by the plain (E10) and WAL
+// (E11) measurements.
+func measureLoad(srv *server.Server, keys []string, res ServerResult, conns, pipeline, windows int) (ServerResult, error) {
 	defer srv.Close()
 
 	lcs := make([]*loadConn, conns)

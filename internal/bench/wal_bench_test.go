@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestRunServerLoadWAL is the E11 harness smoke: a short measured run
+// in every WAL mode must ack every request cleanly.
+func TestRunServerLoadWAL(t *testing.T) {
+	for _, m := range walModes {
+		r, err := RunServerLoadWAL("nztm", m.fsync, 2, 16, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", m.label, err)
+		}
+		if r.Path != m.label {
+			t.Fatalf("path mislabeled: %q, want %q", r.Path, m.label)
+		}
+		if r.Reqs != 2*16*20 || r.ReqsPerSec() <= 0 {
+			t.Fatalf("%s: reqs=%d rps=%.0f", m.label, r.Reqs, r.ReqsPerSec())
+		}
+	}
+}
+
+// TestWALLoadAllocBudget holds the durability layer to the wire path's
+// allocation discipline: with the WAL on (interval fsync) the whole
+// server+kv+wal stack must stay within 1 alloc per pipelined request —
+// the group-commit pending buffer and the session effect scratch are
+// reused, so logging adds no steady-state allocation.
+func TestWALLoadAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	r, err := RunServerLoadWAL("nztm", "interval", 2, 32, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AllocsPerReq > 1 {
+		t.Fatalf("wal-interval path allocates %.2f allocs/req, budget is 1", r.AllocsPerReq)
+	}
+}

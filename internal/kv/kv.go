@@ -33,6 +33,47 @@ import (
 // does not use it — a lone mismatch simply reports swapped=false.
 var ErrCASFailed = errors.New("kv: txn aborted by failed CAS guard")
 
+// Effect is one committed write, as observed by a CommitHook: Key now
+// holds Val, or (Del) Key was removed. Effects are listed in program
+// order of the batch that produced them, so replaying a stream of
+// effect lists in commit order reproduces the store state —
+// the contract the durability layer (internal/wal) is built on.
+type Effect struct {
+	Key string
+	Val uint64
+	Del bool
+}
+
+// CommitHook observes the write effects of every committed store
+// transaction, called after the engine commit succeeded (read-only
+// transactions never reach the hook). The effects slice is reused
+// scratch owned by the calling session — valid only for the duration
+// of the call. A hook error propagates to the store caller; the
+// in-memory commit itself is not undone (the engines have no
+// post-commit rollback), so a failing hook means the durability layer
+// is behind the memory state and the store should stop serving writes —
+// which is exactly how internal/wal treats a write error: sticky
+// failure, every subsequent append refused.
+//
+// Hooks run on the committing goroutine: a slow hook (fsync) is paid
+// by that transaction, which is what makes group commit in the hook's
+// implementation worthwhile.
+type CommitHook func(effects []Effect) error
+
+// SetCommitHook installs hook (nil removes it). Not synchronized with
+// in-flight transactions: install before serving traffic — the
+// recovery sequence (load state, then hook, then listen) does.
+//
+// With a hook installed, write batches additionally hold the
+// commit-order locks of the shards they touch across the engine
+// transaction and the hook, so hook invocation order equals commit
+// serialization order (the property a replayed log depends on). Write
+// concurrency is then per-shard rather than per-key; reads are
+// unaffected. Hooks are a raw-mode facility (the durability layer) —
+// do not combine with sim-mode stores, whose cooperative scheduler
+// must never block on a real mutex.
+func (s *Store) SetCommitHook(hook CommitHook) { s.hook = hook }
+
 // Store is a sharded transactional key-value store.
 type Store struct {
 	tm     core.TM
@@ -48,6 +89,17 @@ type Store struct {
 	handles  sync.Map
 	mu       sync.Mutex
 	nHandles uint64
+
+	// keys is the reverse of handles: keys[h-1] is the key interned as
+	// handle h. Published as an immutable-header snapshot so the
+	// commit-hook path can resolve handle -> key lock-free (the slice
+	// only ever grows; an element is written before the header carrying
+	// it is stored, and handles are handed out only after publication).
+	keys atomic.Pointer[[]string]
+
+	// hook, when set, observes the write effects of every committed
+	// transaction (see CommitHook).
+	hook CommitHook
 
 	// txns counts committed store operations (each one transaction);
 	// crossShard counts those that touched more than one shard. Their
@@ -67,6 +119,17 @@ type shard struct {
 	idx    *ds.Index
 	ops    atomic.Int64 // committed operations that touched this shard
 	aborts atomic.Int64 // aborted attempts (retries) charged to this shard
+
+	// mu is the shard's commit-order lock, taken only when a commit
+	// hook is installed: a write batch holds the locks of every shard
+	// it touches across [engine transaction .. hook], so the hook
+	// observes commits in serialization order. Two conflicting
+	// transactions share a key, hence a shard, hence a lock — without
+	// it, the later-serialized commit could reach the hook (the WAL
+	// append) first and recovery's log-order replay would resurrect
+	// the stale value. Hook-free stores (the volatile configuration)
+	// never touch it.
+	mu sync.Mutex
 }
 
 // New allocates a store with the given shard count and buckets per
@@ -106,8 +169,27 @@ func (s *Store) intern(key string) uint64 {
 		return h.(uint64)
 	}
 	s.nHandles++
+	var ks []string
+	if cur := s.keys.Load(); cur != nil {
+		ks = *cur
+	}
+	ks = append(ks, key)
+	// Publish the grown reverse table before the handle becomes
+	// observable: KeyOf(h) must succeed for any handle a caller holds.
+	s.keys.Store(&ks)
 	s.handles.Store(key, s.nHandles)
 	return s.nHandles
+}
+
+// KeyOf resolves a handle back to its key (the inverse of
+// Session.Handle). It is lock-free and allocation-free — the
+// commit-hook path uses it to render write effects.
+func (s *Store) KeyOf(h uint64) (string, bool) {
+	ks := s.keys.Load()
+	if ks == nil || h == 0 || h > uint64(len(*ks)) {
+		return "", false
+	}
+	return (*ks)[h-1], true
 }
 
 // shardOf maps a handle to its shard. The multiplier differs from the
@@ -139,67 +221,40 @@ func (s *Store) finish(committed bool, shardsTouched int) {
 	}
 }
 
-// single runs one single-key (hence single-shard) operation: intern,
-// shard selection, the retrying transaction, and the stats accounting
-// shared by Get/Put/Delete/CAS. fn runs once per attempt.
-func (s *Store) single(p *sim.Proc, key string, opts []core.RunOption, fn func(tx core.Tx, idx *ds.Index, h uint64) error) error {
-	h := s.intern(key)
-	sh := s.shards[s.shardOf(h)]
-	attempts := 0
-	err := core.Run(s.tm, p, func(tx core.Tx) error {
-		attempts++
-		return fn(tx, sh.idx, h)
-	}, opts...)
-	sh.record(attempts, err == nil)
-	s.finish(err == nil, 1)
-	return err
+// do runs one single-key operation on a pooled internal session, so
+// Store singles share the session execution path — including the
+// commit hook that the durability layer attaches.
+func (s *Store) do(p *sim.Proc, op Op, opts []core.RunOption) (OpResult, error) {
+	se := s.sessions.Get().(*Session)
+	res, err := se.Do(p, op, opts...)
+	s.sessions.Put(se)
+	return res, err
 }
 
 // Get returns the value stored at key and whether it is present.
 func (s *Store) Get(p *sim.Proc, key string, opts ...core.RunOption) (uint64, bool, error) {
-	var val uint64
-	var ok bool
-	err := s.single(p, key, opts, func(tx core.Tx, idx *ds.Index, h uint64) error {
-		var err error
-		val, ok, err = idx.Lookup(tx, h)
-		return err
-	})
-	return val, ok, err
+	r, err := s.do(p, Op{Kind: OpGet, Handle: s.intern(key)}, opts)
+	return r.Val, r.Found, err
 }
 
 // Put stores key -> val, reporting whether the key was new.
 func (s *Store) Put(p *sim.Proc, key string, val uint64, opts ...core.RunOption) (bool, error) {
-	var created bool
-	var spare uint64
-	err := s.single(p, key, opts, func(tx core.Tx, idx *ds.Index, h uint64) error {
-		var err error
-		created, err = idx.Insert(tx, h, val, &spare)
-		return err
-	})
-	return created, err
+	r, err := s.do(p, Op{Kind: OpPut, Handle: s.intern(key), Val: val}, opts)
+	return r.Found, err
 }
 
 // Delete removes key, reporting whether it was present.
 func (s *Store) Delete(p *sim.Proc, key string, opts ...core.RunOption) (bool, error) {
-	var removed bool
-	err := s.single(p, key, opts, func(tx core.Tx, idx *ds.Index, h uint64) error {
-		var err error
-		removed, err = idx.Remove(tx, h)
-		return err
-	})
-	return removed, err
+	r, err := s.do(p, Op{Kind: OpDelete, Handle: s.intern(key)}, opts)
+	return r.Found, err
 }
 
 // CAS atomically replaces the value at key with new iff the key is
 // present and currently holds old. It reports (swapped, existed):
 // (false, false) for a missing key, (false, true) on value mismatch.
 func (s *Store) CAS(p *sim.Proc, key string, old, new uint64, opts ...core.RunOption) (swapped, existed bool, err error) {
-	err = s.single(p, key, opts, func(tx core.Tx, idx *ds.Index, h uint64) error {
-		var err error
-		swapped, existed, err = idx.CompareAndSwap(tx, h, old, new)
-		return err
-	})
-	return swapped, existed, err
+	r, err := s.do(p, Op{Kind: OpCAS, Handle: s.intern(key), Old: old, Val: new}, opts)
+	return r.Swapped, r.Found, err
 }
 
 // OpKind enumerates the operations a Txn batch may contain.
@@ -296,6 +351,58 @@ func (s *Store) GetMulti(p *sim.Proc, keys []string, opts ...core.RunOption) ([]
 	}
 	s.sessions.Put(se)
 	return out, err
+}
+
+// Pair is one key/value entry of a Dump.
+type Pair struct {
+	Key string
+	Val uint64
+}
+
+// Dump reads every present key in one read-only transaction — a
+// consistent cut of the whole store, serialized at its snapshot
+// timestamp on the versioned engines and committed without validation
+// (the same fast path as GetMulti). The durability layer uses it to
+// take snapshots under live write traffic. Pairs are returned in
+// handle order (insertion order of first intern), which is stable
+// across calls.
+func (s *Store) Dump(p *sim.Proc, opts ...core.RunOption) ([]Pair, error) {
+	// Snapshot the handle space first: keys interned after this point
+	// belong to transactions that will be replayed from the log anyway.
+	var n uint64
+	if ks := s.keys.Load(); ks != nil {
+		n = uint64(len(*ks))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	pairs := make([]Pair, 0, n)
+	attempts := 0
+	err := core.Run(s.tm, p, func(tx core.Tx) error {
+		attempts++
+		pairs = pairs[:0]
+		for h := uint64(1); h <= n; h++ {
+			idx := s.shards[s.shardOf(h)].idx
+			v, ok, err := idx.Lookup(tx, h)
+			if err != nil {
+				return err
+			}
+			if ok {
+				k, _ := s.KeyOf(h)
+				pairs = append(pairs, Pair{Key: k, Val: v})
+			}
+		}
+		return nil
+	}, opts...)
+	committed := err == nil
+	for _, sh := range s.shards {
+		sh.record(attempts, committed)
+	}
+	s.finish(committed, len(s.shards))
+	if err != nil {
+		return nil, err
+	}
+	return pairs, nil
 }
 
 // Len counts all entries atomically across every shard (a long

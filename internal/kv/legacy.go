@@ -15,7 +15,9 @@ import (
 // exists only as the measured kv-layer baseline of experiment E10 —
 // the wire server's legacy path calls it so the "PR 3 path" rows
 // re-measure the whole retired request path, not just the parser.
-// Semantics are identical to Txn.
+// Semantics are identical to Txn, except that it bypasses the commit
+// hook (and its commit-order locks) — never combine the legacy path
+// with a durable (WAL-attached) store; the benchmarks don't.
 func (s *Store) TxnLegacy(p *sim.Proc, ops []Op, opts ...core.RunOption) ([]OpResult, error) {
 	if len(ops) == 0 {
 		return nil, nil

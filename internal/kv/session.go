@@ -35,6 +35,8 @@ type Session struct {
 	mops    []Op // GetMulti scratch batch
 	looks   []Lookup
 	op1     [1]Op
+	effects []Effect // commit-hook scratch (reused across transactions)
+	locks   []int    // shard indices locked for commit ordering (reused)
 
 	attempts int
 	guard    bool // OpCAS mismatch aborts the batch (Txn) vs reports (Do)
@@ -124,6 +126,15 @@ func (se *Session) txn(p *sim.Proc, ops []Op, guard bool, opts []core.RunOption)
 	}
 	s := se.s
 	se.pl.fill(s, se, ops)
+	// Commit-order locks (see shard.mu): only when a hook is installed
+	// and the batch can produce write effects. Taken in ascending shard
+	// order (the plan order is sorted by shard), so crossing batches
+	// cannot deadlock; held across engine commit + hook so the hook
+	// sees commits in serialization order.
+	if s.hook != nil && hasWrites(ops) {
+		se.lockShards(len(ops))
+		defer se.unlockShards()
+	}
 	se.results = grown(se.results, len(ops))
 	se.ops = ops
 	se.guard = guard
@@ -153,7 +164,41 @@ func (se *Session) txn(p *sim.Proc, ops []Op, guard bool, opts []core.RunOption)
 	if err != nil {
 		return nil, err
 	}
+	if s.hook != nil {
+		if herr := se.runHook(ops); herr != nil {
+			return nil, herr
+		}
+	}
 	return se.results, nil
+}
+
+// runHook renders the committed batch's write effects into the
+// session's reusable scratch (program order — same-key ops replay in
+// the order they applied) and hands them to the store's commit hook.
+// No-op batches (pure reads, missed deletes, failed unguarded CAS)
+// never reach the hook, so read traffic stays hook-free.
+func (se *Session) runHook(ops []Op) error {
+	se.effects = se.effects[:0]
+	s, pl := se.s, &se.pl
+	for i := range ops {
+		key, _ := s.KeyOf(pl.handles[i])
+		switch ops[i].Kind {
+		case OpPut:
+			se.effects = append(se.effects, Effect{Key: key, Val: ops[i].Val})
+		case OpDelete:
+			if se.results[i].Found {
+				se.effects = append(se.effects, Effect{Key: key, Del: true})
+			}
+		case OpCAS:
+			if se.results[i].Swapped {
+				se.effects = append(se.effects, Effect{Key: key, Val: ops[i].Val})
+			}
+		}
+	}
+	if len(se.effects) == 0 {
+		return nil
+	}
+	return s.hook(se.effects)
 }
 
 // Txn executes ops as one atomic transaction with Store.Txn semantics
@@ -222,6 +267,42 @@ func (se *Session) GetMulti(p *sim.Proc, keys []string, opts ...core.RunOption) 
 		se.looks[i] = Lookup{Val: r.Val, Found: r.Found}
 	}
 	return se.looks, nil
+}
+
+// hasWrites reports whether the batch contains any op that could
+// produce a write effect.
+func hasWrites(ops []Op) bool {
+	for i := range ops {
+		if ops[i].Kind != OpGet {
+			return true
+		}
+	}
+	return false
+}
+
+// lockShards takes the commit-order locks of the first n planned ops'
+// shards, ascending and deduplicated (the plan order is shard-sorted,
+// so duplicates are consecutive runs). Allocation-free once the locks
+// slice is warm.
+func (se *Session) lockShards(n int) {
+	pl := &se.pl
+	se.locks = se.locks[:0]
+	for _, i := range pl.order[:n] {
+		si := pl.shards[i]
+		if k := len(se.locks); k == 0 || se.locks[k-1] != si {
+			se.locks = append(se.locks, si)
+		}
+	}
+	for _, si := range se.locks {
+		se.s.shards[si].mu.Lock()
+	}
+}
+
+func (se *Session) unlockShards() {
+	for _, si := range se.locks {
+		se.s.shards[si].mu.Unlock()
+	}
+	se.locks = se.locks[:0]
 }
 
 // interner resolves a key to its handle; implemented by *Store (global

@@ -42,12 +42,14 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dstm"
 	"repro/internal/kv"
 	"repro/internal/locktm"
 	"repro/internal/nztm"
+	"repro/internal/wal"
 )
 
 // Config parameterizes a Server.
@@ -70,6 +72,26 @@ type Config struct {
 	// experiment E10 can measure the rewrite's speedup against a live
 	// baseline; it is not reachable from the oftm-server flags.
 	Legacy bool
+
+	// WALDir enables the durability layer (internal/wal): committed
+	// write effects are logged to this directory, state is recovered
+	// from it on startup, and a clean shutdown flushes and fsyncs the
+	// tail. Empty disables durability (the PR 3/4 volatile behavior).
+	WALDir string
+	// Fsync is the WAL fsync policy: "always" (group commit fsyncs
+	// before acknowledging), "interval" (timer-driven, the default) or
+	// "never" (OS page cache decides).
+	Fsync string
+	// FsyncInterval is the "interval" policy's fsync period (default
+	// 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery takes a periodic snapshot (consistent read-only cut
+	// of the store) and truncates covered log segments. 0 disables
+	// periodic snapshots; recovery then replays the whole log.
+	SnapshotEvery time.Duration
+	// WALSegmentBytes caps a log segment before rotation (default 64
+	// MiB).
+	WALSegmentBytes int64
 }
 
 func (c *Config) fill() {
@@ -87,6 +109,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxMultiOps <= 0 {
 		c.MaxMultiOps = 256
+	}
+	if c.Fsync == "" {
+		c.Fsync = "interval"
 	}
 }
 
@@ -107,11 +132,18 @@ func NewEngine(name string) (core.TM, error) {
 	return nil, fmt.Errorf("server: unknown engine %q (want dstm|nztm|2pl|tl2|coarse)", name)
 }
 
-// Server owns one engine, one store and one listener.
+// Server owns one engine, one store, one listener and (when WALDir is
+// set) one write-ahead log.
 type Server struct {
 	cfg   Config
 	tm    core.TM
 	store *kv.Store
+
+	// log is the durability layer, nil when Config.WALDir is empty.
+	log       *wal.Log
+	recovered wal.Recovered
+	snapStop  chan struct{}
+	snapDone  chan struct{}
 
 	mu     sync.Mutex
 	lis    net.Listener
@@ -128,20 +160,101 @@ type Server struct {
 	requests atomic.Int64
 }
 
-// New builds a server (no listening yet).
+// New builds a server (no listening yet). When cfg.WALDir is set it
+// also runs recovery: the store is loaded from the latest snapshot
+// plus the replayed log tail before the commit hook is installed, so
+// recovery loads are not re-logged.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
 	tm, err := NewEngine(cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		tm:    tm,
 		store: kv.New(tm, cfg.Shards, cfg.Buckets),
 		conns: map[net.Conn]struct{}{},
-	}, nil
+	}
+	if cfg.WALDir != "" {
+		if err := s.openWAL(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
+
+// openWAL recovers and attaches the durability layer.
+func (s *Server) openWAL(cfg Config) error {
+	policy, err := wal.ParsePolicy(cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	l, rec, err := wal.Open(wal.Options{
+		Dir:          cfg.WALDir,
+		Policy:       policy,
+		Interval:     cfg.FsyncInterval,
+		SegmentBytes: cfg.WALSegmentBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("server: wal: %w", err)
+	}
+	for k, v := range rec.State {
+		if _, err := s.store.Put(nil, k, v); err != nil {
+			l.Close()
+			return fmt.Errorf("server: wal: loading recovered state: %w", err)
+		}
+	}
+	s.store.SetCommitHook(l.Append)
+	s.log = l
+	// The store holds the state now; keeping the recovery map too
+	// would double resident memory for the server's whole lifetime.
+	rec.State = nil
+	s.recovered = rec
+	if cfg.SnapshotEvery > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(cfg.SnapshotEvery)
+	}
+	return nil
+}
+
+// snapshotLoop takes periodic snapshots until Close.
+func (s *Server) snapshotLoop(every time.Duration) {
+	defer close(s.snapDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-t.C:
+			// Best effort: a failed snapshot (e.g. mid-shutdown) leaves
+			// the previous one in place and the full tail replayable.
+			s.SnapshotNow()
+		}
+	}
+}
+
+// SnapshotNow takes one snapshot of the store (a consistent read-only
+// cut) and truncates the covered log history. Errors when the server
+// runs without a WAL.
+func (s *Server) SnapshotNow() error {
+	if s.log == nil {
+		return errors.New("server: no WAL configured")
+	}
+	return s.log.WriteSnapshot(func() ([]kv.Pair, error) {
+		return s.store.Dump(nil)
+	})
+}
+
+// WAL returns the attached log (nil without Config.WALDir).
+func (s *Server) WAL() *wal.Log { return s.log }
+
+// Recovered reports what startup recovery reconstructed (zero value
+// without Config.WALDir). Its State map is dropped after loading —
+// read Keys for the recovered key count.
+func (s *Server) Recovered() wal.Recovered { return s.recovered }
 
 // Store returns the underlying kv store (for embedding and tests).
 func (s *Server) Store() *kv.Store { return s.store }
@@ -231,8 +344,10 @@ func (s *Server) ListenAndServe() error {
 	return s.Serve()
 }
 
-// Close stops accepting, closes every open connection and waits for
-// their handlers. Safe to call more than once.
+// Close stops accepting, closes every open connection, waits for
+// their handlers, and — with a WAL attached — stops the snapshot loop
+// and flushes/fsyncs the log tail (the clean-shutdown flush). Safe to
+// call more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -254,6 +369,17 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	if s.snapStop != nil {
+		close(s.snapStop)
+		<-s.snapDone
+	}
+	if s.log != nil {
+		// All handlers have drained: this flush covers every
+		// acknowledged write.
+		if werr := s.log.Close(); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	return err
 }
 
@@ -286,4 +412,3 @@ func hasCompleteLine(r *bufio.Reader) bool {
 	}
 	return bytes.IndexByte(peek, '\n') >= 0
 }
-

@@ -1,0 +1,229 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Recovered reports what Open reconstructed from the log directory.
+type Recovered struct {
+	// State is the recovered store content: the latest snapshot with
+	// the log tail replayed on top. Consumers that only report should
+	// read Keys and drop the map once loaded (the server does).
+	State map[string]uint64
+	// Keys is len(State) at recovery time — it survives a consumer
+	// nil-ing State after loading it.
+	Keys int
+	// LastSeq is the highest sequence number recovered; appending
+	// resumes at LastSeq+1.
+	LastSeq uint64
+	// SnapshotSeq is the cut of the snapshot used (0 = none found).
+	SnapshotSeq uint64
+	// Records is the number of log records replayed on top of the
+	// snapshot.
+	Records int
+	// TornTail reports that the last segment ended in an incomplete or
+	// CRC-invalid record — the expected shape of a crash mid-write. The
+	// torn bytes were truncated away; every record before them
+	// survived.
+	TornTail bool
+}
+
+// Open recovers the log directory (creating it if missing) and returns
+// a Log ready to append, together with the recovered state: the latest
+// valid snapshot, with every log record after its cut replayed on top.
+// A torn final record — a crash mid-write — is truncated away; a
+// corrupt record anywhere before the tail is an error, because
+// replaying past a hole would silently drop committed transactions.
+// Appending resumes in a fresh segment numbered after the last
+// existing one.
+func Open(opts Options) (*Log, Recovered, error) {
+	opts.fill()
+	rec := Recovered{State: map[string]uint64{}}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, rec, err
+	}
+	ents, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, rec, err
+	}
+
+	var segIdxs []int
+	var snapSeqs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// An interrupted snapshot write; rename never happened.
+			os.Remove(filepath.Join(opts.Dir, name))
+		case parseSegIdx(name) >= 0:
+			segIdxs = append(segIdxs, parseSegIdx(name))
+		default:
+			if seq, ok := parseSnapName(name); ok {
+				snapSeqs = append(snapSeqs, seq)
+			}
+		}
+	}
+	sort.Ints(segIdxs)
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
+
+	// Latest loadable snapshot wins; an unreadable one (half-written
+	// before an old crash, bitrot) falls back to the one before it —
+	// correctness is unaffected because the full log tail since that
+	// older cut is replayed.
+	for _, seq := range snapSeqs {
+		img, err := os.ReadFile(filepath.Join(opts.Dir, snapName(seq)))
+		if err != nil {
+			continue
+		}
+		cut, state, err := decodeSnapshot(img)
+		if err != nil {
+			continue
+		}
+		rec.State = state
+		rec.SnapshotSeq = cut
+		rec.LastSeq = cut
+		break
+	}
+
+	l := &Log{
+		opts: opts,
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+
+	// next is the continuity cursor: the seq the next frame must carry.
+	// Zero means "not yet anchored" (anchored by the first segment's
+	// header).
+	var next uint64
+	for i, idx := range segIdxs {
+		last := i == len(segIdxs)-1
+		if err := l.replaySegment(idx, i == 0, last, &rec, &next); err != nil {
+			return nil, rec, err
+		}
+	}
+
+	rec.Keys = len(rec.State)
+	nextIdx := 1
+	if n := len(segIdxs); n > 0 {
+		nextIdx = segIdxs[n-1] + 1
+	}
+	l.lastSeq = rec.LastSeq
+	l.durableSeq = rec.LastSeq
+	l.snapSeq = rec.SnapshotSeq
+	if err := l.openSegment(nextIdx, rec.LastSeq+1); err != nil {
+		return nil, rec, err
+	}
+	go l.run()
+	return l, rec, nil
+}
+
+// replaySegment replays one segment file into rec, registering it in
+// the live segment list. In the last segment a torn tail is truncated
+// off; anywhere else it is corruption and an error.
+//
+// Sequence continuity is enforced: record seqs increment by exactly
+// one, within and across segments, and the first surviving segment
+// must adjoin the snapshot cut (firstSeq <= cut+1). A gap means
+// committed records went missing — a snapshot lost after its segments
+// were truncated away, or a deleted middle segment — and replaying
+// past it would silently drop committed transactions, so recovery
+// refuses instead.
+func (l *Log) replaySegment(idx int, first, last bool, rec *Recovered, next *uint64) error {
+	path := filepath.Join(l.opts.Dir, segName(idx))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) < segHeaderLen || string(b[:len(segMagic)]) != segMagic {
+		if !last {
+			return fmt.Errorf("wal: %s: bad segment header", path)
+		}
+		// A crash between file creation and the header fsync; the
+		// segment carries nothing.
+		rec.TornTail = len(b) > 0
+		return os.Remove(path)
+	}
+	firstSeq := binary.LittleEndian.Uint64(b[len(segMagic):])
+	if first {
+		// The oldest surviving segment must adjoin the snapshot:
+		// everything before it was truncated as covered.
+		if firstSeq > rec.SnapshotSeq+1 {
+			return fmt.Errorf("wal: %s: log starts at seq %d but the snapshot covers only up to %d — records %d..%d are missing (lost or unreadable snapshot?); refusing to recover a hole",
+				path, firstSeq, rec.SnapshotSeq, rec.SnapshotSeq+1, firstSeq-1)
+		}
+		*next = firstSeq
+	} else if firstSeq != *next {
+		return fmt.Errorf("wal: %s: segment starts at seq %d, want %d — a middle segment is missing; refusing to recover a hole",
+			path, firstSeq, *next)
+	}
+	l.segs = append(l.segs, segment{idx: idx, firstSeq: firstSeq, path: path})
+	off := segHeaderLen
+	for off < len(b) {
+		seq, payload, n, ok := parseFrame(b[off:])
+		if !ok {
+			if !last {
+				return fmt.Errorf("wal: %s: corrupt record at offset %d (not the log tail)", path, off)
+			}
+			rec.TornTail = true
+			return os.Truncate(path, int64(off))
+		}
+		if seq != *next {
+			return fmt.Errorf("wal: %s: record seq %d at offset %d, want %d — refusing to recover a hole", path, seq, off, *next)
+		}
+		*next = seq + 1
+		if seq > rec.SnapshotSeq {
+			if err := applyPayload(rec.State, payload); err != nil {
+				return fmt.Errorf("wal: %s: record %d: %w", path, seq, err)
+			}
+			rec.Records++
+		}
+		if seq > rec.LastSeq {
+			rec.LastSeq = seq
+		}
+		off += n
+	}
+	return nil
+}
+
+// parseSegIdx extracts the index of a segment file name, or -1.
+func parseSegIdx(name string) int {
+	rest, ok := strings.CutPrefix(name, "wal-")
+	if !ok {
+		return -1
+	}
+	rest, ok = strings.CutSuffix(rest, ".seg")
+	if !ok {
+		return -1
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// parseSnapName extracts the cut sequence of a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "snap-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".snap")
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}

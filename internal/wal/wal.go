@@ -1,0 +1,505 @@
+// Package wal is the durability layer of the serving stack: a
+// segmented append-only write-ahead log of committed kv write effects,
+// with group commit, periodic snapshots and startup recovery.
+//
+// The log records logical state transitions, not engine internals: one
+// CRC-framed record per committed store transaction, holding its write
+// effects ([]kv.Effect) in program order. Replaying records in log
+// order is therefore idempotent prefix-repair — re-applying a record
+// that a snapshot already covers rewrites the same values — which is
+// what makes the snapshot cut protocol simple (see Log.WriteSnapshot).
+//
+// Group commit: sessions do not write files. Log.Append encodes the
+// record into a shared pending buffer under a short mutex and wakes
+// the single log goroutine, which swaps the buffer out and writes the
+// whole batch with one write syscall — so N concurrent committers pay
+// one write (and, with SyncAlways, one fsync) instead of N. Under
+// SyncAlways, Append blocks until the fsync covering its record has
+// completed; under SyncInterval the log goroutine fsyncs on a timer;
+// under SyncNever it never fsyncs (the OS page cache decides).
+// The append path performs no steady-state heap allocation: frames are
+// rendered with binary.AppendUvarint into the reused pending buffer,
+// mirroring the wire path's byte-rendering discipline.
+//
+// Failure model: a write or fsync error is sticky — every subsequent
+// Append returns it, and the store above stops accepting writes. The
+// in-memory state may then be ahead of the log, never behind a
+// successful Append's acknowledgment.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/kv"
+)
+
+// Policy selects when the log fsyncs.
+type Policy uint8
+
+const (
+	// SyncInterval fsyncs on a timer (Options.Interval): bounded data
+	// loss, near wal-off throughput. The default.
+	SyncInterval Policy = iota
+	// SyncAlways fsyncs every group-commit batch before acknowledging
+	// the transactions in it: no acknowledged write is ever lost.
+	SyncAlways
+	// SyncNever leaves flushing to the OS: contents survive process
+	// crashes (the kill-and-recover scenario) but not OS crashes.
+	SyncNever
+)
+
+// ParsePolicy maps the -fsync flag values to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "interval":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+// String returns the -fsync flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	}
+	return "interval"
+}
+
+// Options parameterize Open.
+type Options struct {
+	// Dir is the log directory, created if missing.
+	Dir string
+	// Policy is the fsync policy (default SyncInterval).
+	Policy Policy
+	// Interval is the SyncInterval fsync period (default 100ms).
+	Interval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this
+	// size (default 64 MiB).
+	SegmentBytes int64
+}
+
+func (o *Options) fill() {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+}
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// segment is one on-disk log file.
+type segment struct {
+	idx      int
+	firstSeq uint64
+	path     string
+}
+
+// Log is an open write-ahead log. Append is safe for concurrent use;
+// WriteSnapshot and Close must not race each other.
+type Log struct {
+	opts Options
+
+	mu           sync.Mutex
+	cond         *sync.Cond // durableSeq advanced, or failure
+	pending      []byte     // framed records awaiting the log goroutine
+	pendingFirst uint64     // seq of the first frame in pending
+	lastSeq      uint64     // last assigned sequence number
+	durableSeq   uint64     // last seq persisted per the policy
+	snapSeq      uint64     // cut of the latest snapshot
+	segs         []segment  // all live segments; last is active
+	failed       error
+	closed       bool
+
+	wake chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	// log-goroutine-owned state.
+	f        *os.File
+	segBytes int64
+	spare    []byte // buffer swapped with pending
+	dirty    bool   // bytes written since the last fsync
+}
+
+// Append records one committed transaction's write effects and, under
+// SyncAlways, blocks until they are durable. Its signature matches
+// kv.CommitHook, so a store is wired with store.SetCommitHook(l.Append).
+func (l *Log) Append(effects []kv.Effect) error {
+	if len(effects) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	if err := l.failed; err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.lastSeq++
+	seq := l.lastSeq
+	if len(l.pending) == 0 {
+		l.pendingFirst = seq
+	}
+	l.pending = appendFrame(l.pending, seq, effects)
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+	if l.opts.Policy != SyncAlways {
+		l.mu.Unlock()
+		return nil
+	}
+	for l.durableSeq < seq && l.failed == nil {
+		l.cond.Wait()
+	}
+	err := l.failed
+	l.mu.Unlock()
+	return err
+}
+
+// LastSeq returns the last assigned sequence number.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// DurableSeq returns the last sequence number persisted according to
+// the policy (written for SyncInterval/SyncNever, fsynced for
+// SyncAlways).
+func (l *Log) DurableSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableSeq
+}
+
+// Stats is a point-in-time summary of the log, for serving reports.
+type Stats struct {
+	Appended    uint64 // records appended (last assigned seq)
+	Durable     uint64 // last seq persisted per the policy
+	SnapshotSeq uint64 // cut of the latest snapshot (0 = none)
+	Segments    int    // live segment files, active included
+}
+
+// Stats snapshots the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Appended: l.lastSeq, Durable: l.durableSeq, SnapshotSeq: l.snapSeq, Segments: len(l.segs)}
+}
+
+// Err returns the sticky failure, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// Close flushes everything pending, fsyncs regardless of policy (the
+// clean-shutdown flush), closes the active segment and stops the log
+// goroutine. Blocked SyncAlways appenders are released. Safe to call
+// more than once.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return l.Err()
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.quit)
+	<-l.done
+	return l.Err()
+}
+
+// run is the log goroutine: the single writer that batches, rotates,
+// and fsyncs.
+func (l *Log) run() {
+	defer close(l.done)
+	var tickC <-chan time.Time
+	if l.opts.Policy == SyncInterval {
+		t := time.NewTicker(l.opts.Interval)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-l.quit:
+			l.flushBatch()
+			l.syncNow()
+			l.f.Close()
+			l.mu.Lock()
+			l.cond.Broadcast()
+			l.mu.Unlock()
+			return
+		case <-l.wake:
+			l.flushBatch()
+		case <-tickC:
+			l.flushBatch()
+			l.syncNow()
+		}
+	}
+}
+
+// flushBatch swaps out the pending buffer and writes it as one batch —
+// the group commit. Under SyncAlways it fsyncs before advancing
+// durableSeq and waking the committers in the batch.
+func (l *Log) flushBatch() {
+	l.mu.Lock()
+	if len(l.pending) == 0 || l.failed != nil {
+		l.mu.Unlock()
+		return
+	}
+	buf := l.pending
+	batchSeq := l.lastSeq
+	batchFirst := l.pendingFirst
+	l.pending = l.spare[:0]
+	l.spare = nil
+	l.mu.Unlock()
+
+	err := l.writeBatch(buf, batchFirst)
+	if err == nil {
+		l.dirty = true
+		if l.opts.Policy == SyncAlways {
+			if err = l.f.Sync(); err == nil {
+				l.dirty = false
+			}
+		}
+	}
+
+	l.mu.Lock()
+	l.spare = buf[:0]
+	if err != nil {
+		if l.failed == nil {
+			l.failed = err
+		}
+	} else if batchSeq > l.durableSeq {
+		l.durableSeq = batchSeq
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// writeBatch appends buf — a run of complete frames — to the active
+// segment, rotating at frame boundaries when the segment fills. A
+// frame is never split across segments; a frame larger than the
+// segment limit gets a segment of its own.
+func (l *Log) writeBatch(buf []byte, firstSeq uint64) error {
+	nextSeq := firstSeq
+	for len(buf) > 0 {
+		n := frameHeaderLen + int(binary.LittleEndian.Uint32(buf))
+		if l.segBytes > segHeaderLen && l.segBytes+int64(n) > l.opts.SegmentBytes {
+			if err := l.rotate(nextSeq); err != nil {
+				return err
+			}
+		}
+		// Greedily extend the chunk with every further frame that fits.
+		end := n
+		for end+frameHeaderLen <= len(buf) {
+			m := frameHeaderLen + int(binary.LittleEndian.Uint32(buf[end:]))
+			if l.segBytes+int64(end+m) > l.opts.SegmentBytes {
+				break
+			}
+			end += m
+		}
+		w, err := l.f.Write(buf[:end])
+		l.segBytes += int64(w)
+		if err != nil {
+			return err
+		}
+		buf = buf[end:]
+		if len(buf) >= frameHeaderLen+1 {
+			// The first uvarint of the next frame's body is its seq — the
+			// header of a segment opened for it.
+			nextSeq, _ = binary.Uvarint(buf[frameHeaderLen:])
+		}
+	}
+	return nil
+}
+
+// rotate closes the active segment (fully durable first) and opens the
+// next one, whose records start at firstSeq.
+func (l *Log) rotate(firstSeq uint64) error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	idx := l.segs[len(l.segs)-1].idx + 1
+	l.mu.Unlock()
+	return l.openSegment(idx, firstSeq)
+}
+
+// syncNow fsyncs the active segment if anything was written since the
+// last fsync.
+func (l *Log) syncNow() {
+	if !l.dirty || l.f == nil {
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.mu.Lock()
+		if l.failed == nil {
+			l.failed = err
+		}
+		l.cond.Broadcast()
+		l.mu.Unlock()
+		return
+	}
+	l.dirty = false
+}
+
+// openSegment creates segment idx with the given first sequence
+// number, writes its header, and registers it as active.
+func (l *Log) openSegment(idx int, firstSeq uint64) error {
+	path := filepath.Join(l.opts.Dir, segName(idx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, segHeaderLen)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, firstSeq)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(l.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.segBytes = segHeaderLen
+	l.mu.Lock()
+	l.segs = append(l.segs, segment{idx: idx, firstSeq: firstSeq, path: path})
+	l.mu.Unlock()
+	return nil
+}
+
+// WriteSnapshot persists a consistent cut of the store and truncates
+// the log's history: dump must read the store state in one read-only
+// transaction (kv.Store.Dump — the validation-free read-only commit
+// path, so snapshots run under live write traffic).
+//
+// Cut protocol: the cut sequence C is read *before* dump runs, so
+// every record with seq <= C committed before the dump's snapshot was
+// taken and is included in it. The dump may additionally contain
+// effects of records later than C; recovery replays every record with
+// seq > C on top, and because records are whole-transaction effect
+// lists applied in log order, re-applying those overlapping records
+// reproduces exactly the logged state. Segments whose records are all
+// <= C, and snapshots older than this one, are deleted.
+func (l *Log) WriteSnapshot(dump func() ([]kv.Pair, error)) error {
+	l.mu.Lock()
+	cut := l.lastSeq
+	err := l.failed
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	pairs, err := dump()
+	if err != nil {
+		return err
+	}
+	img := encodeSnapshot(cut, pairs)
+	tmp := filepath.Join(l.opts.Dir, "snapshot.tmp")
+	if err := os.WriteFile(tmp, img, 0o644); err != nil {
+		return err
+	}
+	if err := fsyncFile(tmp); err != nil {
+		return err
+	}
+	final := filepath.Join(l.opts.Dir, snapName(cut))
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(l.opts.Dir); err != nil {
+		return err
+	}
+	l.truncate(cut, final)
+	return nil
+}
+
+// truncate deletes snapshots other than keep and closed segments fully
+// covered by the cut: a segment is removable when a later segment
+// exists whose first sequence is <= cut+1 (so every record the old
+// segment holds is <= cut). Removal failures are ignored — stale files
+// only cost disk and are retried by the next snapshot.
+func (l *Log) truncate(cut uint64, keep string) {
+	l.mu.Lock()
+	l.snapSeq = cut
+	var drop []string
+	kept := l.segs[:0]
+	for i, s := range l.segs {
+		if i+1 < len(l.segs) && l.segs[i+1].firstSeq <= cut+1 {
+			drop = append(drop, s.path)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	l.segs = kept
+	l.mu.Unlock()
+	for _, p := range drop {
+		os.Remove(p)
+	}
+	ents, err := os.ReadDir(l.opts.Dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if _, ok := parseSnapName(name); ok && filepath.Join(l.opts.Dir, name) != keep {
+			os.Remove(filepath.Join(l.opts.Dir, name))
+		}
+	}
+}
+
+func segName(idx int) string     { return fmt.Sprintf("wal-%08d.seg", idx) }
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%020d.snap", seq) }
+
+func fsyncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	cerr := f.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	f.Close()
+	return err
+}
