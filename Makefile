@@ -84,4 +84,35 @@ server-smoke: kv-smoke
 	echo "client exit: $$RC, server exit: $$SRC"; \
 	[ $$RC -eq 0 ] && [ $$SRC -eq 0 ]
 
-.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke bench-server servebench server-smoke recovery-smoke
+########################################
+### Fault-injection sim campaign
+
+# Knobs (also honored by `go test ./internal/campaign` via the
+# -campaign.* flags): seeds swept, driver ops per crash run, and the
+# probability the injected fault is a full crash vs a disk error.
+SIM_SEEDS ?= 10
+SEEDS ?= $(SIM_SEEDS)
+SIM_OPS ?= 300
+SIM_CRASH_PROB ?= 0.5
+
+sim-multi-seed:
+	@echo "Crash campaign over $(SEEDS) seeds (fail-stop, acked-writes-survive, recovery, serializability; failing seeds print an exact repro command)..."
+	@$(GO) run ./cmd/oftm-campaign -mode crash -seeds $(SEEDS) -ops $(SIM_OPS) -crashprob $(SIM_CRASH_PROB)
+
+sim-nondeterminism:
+	@echo "Same-seed determinism battery (two crash runs byte-identical, dstm vs nztm identical, sim-mode runs identical, histories serializable)..."
+	@$(GO) run ./cmd/oftm-campaign -mode nondet -seeds 4 -ops $(SIM_OPS) -crashprob $(SIM_CRASH_PROB)
+
+sim-import-export:
+	@echo "Snapshot import/export round-trip (export -> recover -> re-export must reproduce identical bytes)..."
+	@$(GO) run ./cmd/oftm-campaign -mode import-export -seeds 8 -ops $(SIM_OPS)
+
+sim-benchmark-invariants:
+	@echo "Timing the invariant gate itself (one full crash run + recovery + checks per iteration)..."
+	@$(GO) test -run '^$$' -bench BenchmarkInvariants -benchtime 20x ./internal/campaign
+
+sim-smoke: sim-nondeterminism
+	@echo "Campaign test wrappers under the race detector (10 seeds)..."
+	@$(GO) test -race -count=1 ./internal/campaign -campaign.seeds=10
+
+.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke bench-server servebench server-smoke recovery-smoke sim-multi-seed sim-nondeterminism sim-import-export sim-benchmark-invariants sim-smoke

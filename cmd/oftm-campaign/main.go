@@ -1,0 +1,96 @@
+// Command oftm-campaign runs the multi-seed crash campaign from the
+// command line — the same invariants the test wrappers in
+// internal/campaign enforce, packaged for the Makefile sim targets:
+//
+//	oftm-campaign -mode crash -seeds 100          # make sim-multi-seed
+//	oftm-campaign -mode nondet -seeds 4           # make sim-nondeterminism
+//	oftm-campaign -mode import-export -seeds 8    # make sim-import-export
+//
+// Every seed drives a deterministic workload into a WAL-backed store
+// while a seeded fault schedule (internal/faultfs) delivers a crash or
+// disk error, then recovers and checks fail-stop, acked-writes-survive,
+// serializability and same-seed determinism. On any violation the
+// command prints the seed and the exact `go test` command that replays
+// it, and exits non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	mode := flag.String("mode", "crash", "campaign mode: crash|nondet|import-export")
+	seeds := flag.Int("seeds", 10, "number of seeds to sweep")
+	ops := flag.Int("ops", 0, "driver operations per crash run (0 = default 300)")
+	crashProb := flag.Float64("crashprob", -1, "probability the injected fault is a crash (<0 keeps default 0.5)")
+	flag.Parse()
+
+	cfg := campaign.Config{}
+	if *ops > 0 {
+		cfg.Ops = *ops
+	}
+	if *crashProb >= 0 {
+		cfg.CrashProb = *crashProb
+		if cfg.CrashProb == 0 {
+			cfg.CrashProb = -1 // Config treats 0 as "default"; <0 disables crashes
+		}
+	}
+
+	fail := func(seed int64, err error) {
+		fmt.Fprintf(os.Stderr, "oftm-campaign: VIOLATION: %v\n", err)
+		fmt.Fprintf(os.Stderr, "oftm-campaign: repro: %s\n", campaign.ReproCommand(seed, cfg))
+		os.Exit(1)
+	}
+
+	engines := campaign.Engines()
+	switch *mode {
+	case "crash":
+		fmt.Printf("oftm-campaign: crash campaign, %d seeds (fail-stop, acked-writes-survive, serializability)\n", *seeds)
+		kinds := map[string]int{}
+		for seed := int64(0); seed < int64(*seeds); seed++ {
+			engine := engines[seed%int64(len(engines))]
+			rep, err := campaign.CrashRun(seed, engine, cfg)
+			if err != nil {
+				fail(seed, err)
+			}
+			kinds[strings.SplitN(rep.Plan, "+", 2)[0]]++
+			if err := campaign.SimSerializable(seed, engine, cfg); err != nil {
+				fail(seed, err)
+			}
+		}
+		fmt.Printf("oftm-campaign: %d seeds passed; fault coverage:\n", *seeds)
+		names := make([]string, 0, len(kinds))
+		for k := range kinds {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Printf("  %-28s %d\n", k, kinds[k])
+		}
+	case "nondet":
+		fmt.Printf("oftm-campaign: same-seed determinism battery, %d seeds (crash-run x2, cross-engine, sim x2, serializability)\n", *seeds)
+		for seed := int64(0); seed < int64(*seeds); seed++ {
+			if err := campaign.Nondeterminism(seed, cfg); err != nil {
+				fail(seed, err)
+			}
+		}
+		fmt.Printf("oftm-campaign: %d seeds byte-identical across runs and engines\n", *seeds)
+	case "import-export":
+		fmt.Printf("oftm-campaign: snapshot import/export round-trip, %d seeds\n", *seeds)
+		for seed := int64(0); seed < int64(*seeds); seed++ {
+			if err := campaign.ImportExport(seed, engines[seed%int64(len(engines))], cfg); err != nil {
+				fail(seed, err)
+			}
+		}
+		fmt.Printf("oftm-campaign: %d seeds round-tripped to identical snapshot bytes\n", *seeds)
+	default:
+		fmt.Fprintf(os.Stderr, "oftm-campaign: unknown -mode %q (crash|nondet|import-export)\n", *mode)
+		os.Exit(2)
+	}
+}

@@ -38,6 +38,7 @@ func main() {
 	shards := flag.Int("shards", 8, "key-space shards")
 	buckets := flag.Int("buckets", 16, "hash buckets per shard")
 	batch := flag.Int("batch", 64, "max pipelined requests folded into one transaction")
+	maxLine := flag.Int("max-line", 1<<20, "max request line length in bytes (longer lines answer ERR line too long and close)")
 	walDir := flag.String("wal-dir", "", "durability: write-ahead log directory (empty = volatile)")
 	fsync := flag.String("fsync", "interval", "durability: WAL fsync policy: always|interval|never")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "durability: fsync period for -fsync interval")
@@ -58,6 +59,7 @@ func main() {
 		Shards:        *shards,
 		Buckets:       *buckets,
 		Batch:         *batch,
+		MaxLine:       *maxLine,
 		WALDir:        *walDir,
 		Fsync:         *fsync,
 		FsyncInterval: *fsyncEvery,

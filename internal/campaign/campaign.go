@@ -1,0 +1,363 @@
+// Package campaign is the multi-seed crash campaign: the correctness
+// gate that drives seeded workloads into the durable store while a
+// deterministic fault-injecting filesystem (internal/faultfs) delivers
+// a crash or disk fault at a schedule-chosen point, then recovers the
+// directory with the real OS and checks the invariants that the paper's
+// claims rest on once durability enters the picture:
+//
+//   - acked-writes-survive: recovery restores the replay of a prefix of
+//     the committed effect batches that covers every acknowledged batch
+//     — acked writes are never lost, and no hole is ever loaded;
+//   - fail-stop: after the first write/fsync error no later write is
+//     ever acknowledged;
+//   - serializability: a sim-mode run of the same seed under an
+//     adversarial random scheduler records a history the exact checker
+//     accepts (internal/checker);
+//   - determinism: the same seed run twice — and across the dstm and
+//     nztm engines — produces byte-identical recovered state hashes;
+//   - import/export: snapshot → fresh store → re-snapshot reproduces
+//     identical bytes (wal.SnapshotImage is canonical).
+//
+// Every violation carries its seed; the Makefile targets
+// (sim-multi-seed, sim-nondeterminism, sim-import-export) print an
+// exact repro command.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/faultfs"
+	"repro/internal/kv"
+	"repro/internal/nztm"
+	"repro/internal/wal"
+)
+
+// Config parameterizes one campaign run. The zero value fills with
+// small CI-sized defaults; the Makefile knobs SIM_OPS and
+// SIM_CRASH_PROB land here.
+type Config struct {
+	// Ops is the number of driver operations per crash run (default 300).
+	Ops int
+	// Keys is the key-space size (default 64).
+	Keys int
+	// Shards is the store shard count (default 4).
+	Shards int
+	// CrashProb is the probability the injected fault is a full
+	// power-loss crash rather than a survivable disk error (default 0.5).
+	CrashProb float64
+	// SnapEvery takes a snapshot every N driver ops so faults can land
+	// in the snapshot/truncate path too (default Ops/3; <0 disables).
+	SnapEvery int
+	// SegmentBytes keeps segments tiny so rotation happens many times
+	// per run (default 2048).
+	SegmentBytes int64
+}
+
+func (c *Config) fill() {
+	if c.Ops <= 0 {
+		c.Ops = 300
+	}
+	if c.Keys <= 0 {
+		c.Keys = 64
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.CrashProb == 0 {
+		c.CrashProb = 0.5
+	}
+	if c.CrashProb < 0 {
+		c.CrashProb = 0
+	}
+	if c.SnapEvery == 0 {
+		c.SnapEvery = c.Ops / 3
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 2048
+	}
+}
+
+// Engines lists the engines the campaign sweeps.
+func Engines() []string { return []string{"dstm", "nztm"} }
+
+func newEngine(name string) core.TM {
+	if name == "dstm" {
+		return dstm.New()
+	}
+	return nztm.New()
+}
+
+// Violation is a failed invariant, tagged with everything needed to
+// reproduce it.
+type Violation struct {
+	Seed   int64
+	Engine string
+	Check  string
+	Msg    string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("seed %d [%s/%s]: %s", v.Seed, v.Engine, v.Check, v.Msg)
+}
+
+func violationf(seed int64, engine, check, format string, args ...any) error {
+	return &Violation{Seed: seed, Engine: engine, Check: check, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ReproCommand renders the exact command that re-runs one seed with the
+// given config — printed alongside every violation.
+func ReproCommand(seed int64, cfg Config) string {
+	cfg.fill()
+	return fmt.Sprintf("go test ./internal/campaign -run 'TestCrashSeed$' -v -campaign.seed=%d -campaign.ops=%d -campaign.crashprob=%g",
+		seed, cfg.Ops, cfg.CrashProb)
+}
+
+// CrashReport summarizes one crash run.
+type CrashReport struct {
+	Plan      string // the fault schedule delivered
+	FiredOn   string // the operation it fired on
+	Batches   int    // committed effect batches (hook invocations)
+	Acked     int    // batches whose Append was acknowledged durable
+	Latched   bool   // the log entered fail-stop
+	MatchedAt int    // prefix length the recovered state matched
+	TornTail  bool   // recovery truncated a torn record
+	StateHash string // canonical hash of the recovered state
+}
+
+// effectLog chains the store's commit hook: it records every committed
+// effect batch in commit order (the single-driver workload makes hook
+// order the serialization order) and forwards to the WAL, tracking
+// which batches were acknowledged durable.
+type effectLog struct {
+	log     *wal.Log
+	batches [][]kv.Effect
+	acked   int
+	reorder bool // an ack arrived after an unacked batch — fail-stop broken
+}
+
+func (e *effectLog) hook(effects []kv.Effect) error {
+	cp := make([]kv.Effect, len(effects))
+	copy(cp, effects)
+	err := e.log.Append(effects)
+	e.batches = append(e.batches, cp)
+	if err == nil {
+		if e.acked != len(e.batches)-1 {
+			e.reorder = true
+		}
+		e.acked = len(e.batches)
+	}
+	return err
+}
+
+// CrashRun drives one seeded workload into a WAL-backed store (fsync
+// always) through a fault injector scheduled from the same seed, then
+// recovers the directory with the real OS and checks fail-stop and
+// acked-writes-survive. The run is fully deterministic: the same seed
+// and config produce the same report, on either engine.
+func CrashRun(seed int64, engine string, cfg Config) (CrashReport, error) {
+	cfg.fill()
+	rep := CrashReport{}
+	dir, err := os.MkdirTemp("", "campaign-crash-*")
+	if err != nil {
+		return rep, fmt.Errorf("campaign: tempdir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	plan := faultfs.PlanForSeed(seed, cfg.Ops/4, cfg.CrashProb)
+	rep.Plan = plan.String()
+	inj := faultfs.NewInjector(faultfs.OS, plan)
+	segBytes := cfg.SegmentBytes
+	if plan.Target == faultfs.HeaderWrite {
+		// Header writes only happen on rotation; shrink segments so the
+		// scheduled rotation is guaranteed to occur within the workload.
+		segBytes = 256
+	}
+	l, _, err := wal.Open(wal.Options{
+		Dir: dir, Policy: wal.SyncAlways, SegmentBytes: segBytes, FS: inj,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("campaign: open wal: %w", err)
+	}
+	store := kv.New(newEngine(engine), cfg.Shards, 8)
+	elog := &effectLog{log: l}
+	store.SetCommitHook(elog.hook)
+	sess := store.NewSession()
+	inj.Arm()
+
+	rng := rand.New(rand.NewSource(seed*2654435761 + 1))
+	// A write op that commits no effects (failed CAS guard, delete of a
+	// missing key) never reaches the WAL and may legitimately succeed
+	// after the latch; the no-ack-after-failure invariant is enforced on
+	// the batch stream itself (effectLog.reorder). Here we only require
+	// that every surfaced write error is the fail-stop sentinel.
+	checkWrite := func(i int, err error) error {
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, wal.ErrFailStop) {
+			return violationf(seed, engine, "fail-stop",
+				"op %d: write failed with a non-fail-stop error: %v", i, err)
+		}
+		return nil
+	}
+	for i := 0; i < cfg.Ops; i++ {
+		key := fmt.Sprintf("key%03d", rng.Intn(cfg.Keys))
+		switch roll := rng.Intn(100); {
+		case roll < 40: // SET
+			_, err := sess.Do(nil, kv.Op{Kind: kv.OpPut, Handle: sess.Handle(key), Val: uint64(rng.Intn(1000) + 1)})
+			if verr := checkWrite(i, err); verr != nil {
+				return rep, verr
+			}
+		case roll < 50: // DEL
+			_, err := sess.Do(nil, kv.Op{Kind: kv.OpDelete, Handle: sess.Handle(key)})
+			if verr := checkWrite(i, err); verr != nil {
+				return rep, verr
+			}
+		case roll < 62: // CAS (read current, then swap — or miss on purpose)
+			cur, found, err := sess.Get(nil, key)
+			if err != nil {
+				return rep, violationf(seed, engine, "read", "op %d: GET failed: %v", i, err)
+			}
+			old := cur
+			if !found || rng.Intn(4) == 0 {
+				old = cur + 1 // deliberate CASFAIL: commits nothing
+			}
+			_, err = sess.Do(nil, kv.Op{Kind: kv.OpCAS, Handle: sess.Handle(key), Old: old, Val: uint64(rng.Intn(1000) + 1)})
+			if verr := checkWrite(i, err); verr != nil {
+				return rep, verr
+			}
+		case roll < 80: // multi-op transaction across shards
+			n := 2 + rng.Intn(3)
+			ops := make([]kv.Op, 0, n)
+			for j := 0; j < n; j++ {
+				k := fmt.Sprintf("key%03d", rng.Intn(cfg.Keys))
+				switch rng.Intn(3) {
+				case 0:
+					ops = append(ops, kv.Op{Kind: kv.OpGet, Handle: sess.Handle(k)})
+				case 1:
+					ops = append(ops, kv.Op{Kind: kv.OpPut, Handle: sess.Handle(k), Val: uint64(rng.Intn(1000) + 1)})
+				default:
+					ops = append(ops, kv.Op{Kind: kv.OpDelete, Handle: sess.Handle(k)})
+				}
+			}
+			_, err := sess.Txn(nil, ops)
+			if verr := checkWrite(i, err); verr != nil {
+				return rep, verr
+			}
+		default: // reads must keep working, before and after any fault
+			if _, _, err := sess.Get(nil, key); err != nil {
+				return rep, violationf(seed, engine, "read", "op %d: GET failed: %v", i, err)
+			}
+		}
+		if cfg.SnapEvery > 0 && i%cfg.SnapEvery == cfg.SnapEvery-1 {
+			// Best effort: a faulted snapshot must not break anything.
+			_ = l.WriteSnapshot(func() ([]kv.Pair, error) { return store.Dump(nil) })
+		}
+	}
+	fired, on := inj.Fired()
+	if !fired {
+		l.Close()
+		return rep, violationf(seed, engine, "harness",
+			"plan %v never fired within %d ops — widen the workload or narrow the horizon", plan, cfg.Ops)
+	}
+	rep.FiredOn = strings.ReplaceAll(on, dir, "$DIR") // keep reports comparable across runs
+	rep.Batches = len(elog.batches)
+	rep.Acked = elog.acked
+	rep.Latched = l.Err() != nil
+	if elog.reorder {
+		return rep, violationf(seed, engine, "fail-stop", "a batch was acknowledged after an unacknowledged one")
+	}
+	l.Close() // flush/close errors are expected on a faulted log
+
+	// Recover what actually survived, with the real filesystem.
+	l2, recd, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		return rep, violationf(seed, engine, "recovery",
+			"recovery refused after %s: %v (acked=%d/%d)", on, err, elog.acked, len(elog.batches))
+	}
+	l2.Close()
+	rep.TornTail = recd.TornTail
+	k, ok := matchPrefix(recd.State, elog.batches, elog.acked)
+	if !ok {
+		return rep, violationf(seed, engine, "acked-writes-survive",
+			"recovered state matches no batch prefix covering the %d acked batches (of %d; fault: %s)",
+			elog.acked, len(elog.batches), on)
+	}
+	rep.MatchedAt = k
+	rep.StateHash = StateHash(recd.State)
+	return rep, nil
+}
+
+// matchPrefix reports whether state equals the replay of batches[:k]
+// for some k with acked <= k <= len(batches) — the acked prefix
+// exactly, or acked plus written-but-unacknowledged tail batches.
+func matchPrefix(state map[string]uint64, batches [][]kv.Effect, acked int) (int, bool) {
+	ref := map[string]uint64{}
+	for i := 0; i < acked; i++ {
+		applyEffects(ref, batches[i])
+	}
+	for k := acked; ; k++ {
+		if mapsEqual(state, ref) {
+			return k, true
+		}
+		if k == len(batches) {
+			return 0, false
+		}
+		applyEffects(ref, batches[k])
+	}
+}
+
+func applyEffects(m map[string]uint64, effects []kv.Effect) {
+	for _, e := range effects {
+		if e.Del {
+			delete(m, e.Key)
+		} else {
+			m[e.Key] = e.Val
+		}
+	}
+}
+
+func mapsEqual(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// StateHash is the canonical digest of a store state: sha256 over
+// sorted key=value lines.
+func StateHash(state map[string]uint64) string {
+	keys := make([]string, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%d\n", k, state[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PairsHash is StateHash over a dump.
+func PairsHash(pairs []kv.Pair) string {
+	m := make(map[string]uint64, len(pairs))
+	for _, p := range pairs {
+		m[p.Key] = p.Val
+	}
+	return StateHash(m)
+}

@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+var (
+	flagSeeds     = flag.Int("campaign.seeds", 4, "number of seeds the campaign sweeps")
+	flagSeed      = flag.Int64("campaign.seed", -1, "replay exactly one seed (TestCrashSeed)")
+	flagOps       = flag.Int("campaign.ops", 0, "driver operations per crash run (0 = default)")
+	flagCrashProb = flag.Float64("campaign.crashprob", -999, "probability the injected fault is a crash (<0 keeps default)")
+)
+
+func testConfig() Config {
+	cfg := Config{}
+	if *flagOps > 0 {
+		cfg.Ops = *flagOps
+	}
+	if *flagCrashProb >= 0 {
+		cfg.CrashProb = *flagCrashProb
+		if cfg.CrashProb == 0 {
+			cfg.CrashProb = -1 // fill() treats 0 as "default"; <0 means "never crash"
+		}
+	}
+	return cfg
+}
+
+// fatalWithRepro fails the test printing the violation and the exact
+// command that replays the failing seed.
+func fatalWithRepro(t *testing.T, seed int64, cfg Config, err error) {
+	t.Helper()
+	t.Fatalf("%v\nrepro: %s", err, ReproCommand(seed, cfg))
+}
+
+// TestMultiSeedCrashCampaign is the sweep behind `make sim-multi-seed`:
+// every seed gets a crash run (fail-stop + acked-writes-survive +
+// recovery) on an alternating engine, plus a sim-mode serializability
+// check of the same seed.
+func TestMultiSeedCrashCampaign(t *testing.T) {
+	cfg := testConfig()
+	engines := Engines()
+	kinds := map[string]int{}
+	for seed := int64(0); seed < int64(*flagSeeds); seed++ {
+		engine := engines[seed%int64(len(engines))]
+		rep, err := CrashRun(seed, engine, cfg)
+		if err != nil {
+			fatalWithRepro(t, seed, cfg, err)
+		}
+		kinds[strings.SplitN(rep.Plan, "+", 2)[0]]++
+		if err := SimSerializable(seed, engine, cfg); err != nil {
+			fatalWithRepro(t, seed, cfg, err)
+		}
+	}
+	t.Logf("%d seeds passed; faults fired on: %v", *flagSeeds, kinds)
+}
+
+// TestNondeterminism is `make sim-nondeterminism`: the same-seed
+// determinism battery (crash-run twice, cross-engine, sim twice,
+// serializability) on a handful of seeds.
+func TestNondeterminism(t *testing.T) {
+	cfg := testConfig()
+	seeds := int64(*flagSeeds)
+	if seeds > 4 && !testing.Verbose() {
+		seeds = 4 // each seed already runs three crash runs + four sim runs
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		if err := Nondeterminism(seed, cfg); err != nil {
+			fatalWithRepro(t, seed, cfg, err)
+		}
+	}
+}
+
+// TestImportExport is `make sim-import-export`: snapshot bytes are a
+// canonical, loss-free interchange format on both engines.
+func TestImportExport(t *testing.T) {
+	cfg := testConfig()
+	for seed := int64(0); seed < int64(*flagSeeds); seed++ {
+		engine := Engines()[seed%2]
+		if err := ImportExport(seed, engine, cfg); err != nil {
+			fatalWithRepro(t, seed, cfg, err)
+		}
+	}
+}
+
+// TestCrashSeed replays exactly one seed with -campaign.seed=N — the
+// repro entry point printed by every campaign failure. Runs the full
+// battery for that seed on both engines, verbosely.
+func TestCrashSeed(t *testing.T) {
+	if *flagSeed < 0 {
+		t.Skip("replay entry point; run with -campaign.seed=N")
+	}
+	cfg := testConfig()
+	seed := *flagSeed
+	for _, engine := range Engines() {
+		rep, err := CrashRun(seed, engine, cfg)
+		t.Logf("seed %d on %s: plan=%s fired-on=%q batches=%d acked=%d latched=%v matched-at=%d torn=%v hash=%s",
+			seed, engine, rep.Plan, rep.FiredOn, rep.Batches, rep.Acked, rep.Latched, rep.MatchedAt, rep.TornTail, rep.StateHash)
+		if err != nil {
+			t.Errorf("crash run on %s: %v", engine, err)
+		}
+		if err := SimSerializable(seed, engine, cfg); err != nil {
+			t.Errorf("sim serializability on %s: %v", engine, err)
+		}
+	}
+	if err := Nondeterminism(seed, cfg); err != nil {
+		t.Errorf("determinism: %v", err)
+	}
+	if err := ImportExport(seed, Engines()[seed%2], cfg); err != nil {
+		t.Errorf("import/export: %v", err)
+	}
+}
+
+// BenchmarkInvariants times one full crash run + invariant check per
+// iteration — `make sim-benchmark-invariants` tracks how expensive the
+// correctness gate itself is.
+func BenchmarkInvariants(b *testing.B) {
+	cfg := testConfig()
+	for i := 0; i < b.N; i++ {
+		seed := int64(i)
+		engine := Engines()[seed%2]
+		if _, err := CrashRun(seed, engine, cfg); err != nil {
+			b.Fatalf("%v\nrepro: %s", err, ReproCommand(seed, cfg))
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/kv"
+	"repro/internal/wal"
+)
+
+// ImportExport checks that snapshot bytes are a faithful, canonical
+// state-interchange format: a seeded workload is snapshotted (export),
+// the directory is recovered into a fresh store (import), and
+// re-exporting that store's state at the same cut must reproduce the
+// identical bytes. Any nondeterminism in the dump/encode path, or any
+// divergence between recovered and live state, breaks byte equality.
+func ImportExport(seed int64, engine string, cfg Config) error {
+	cfg.fill()
+	dir, err := os.MkdirTemp("", "campaign-ie-*")
+	if err != nil {
+		return fmt.Errorf("campaign: tempdir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	l, _, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNever, SegmentBytes: cfg.SegmentBytes})
+	if err != nil {
+		return fmt.Errorf("campaign: open wal: %w", err)
+	}
+	store := kv.New(newEngine(engine), cfg.Shards, 8)
+	store.SetCommitHook(l.Append)
+	sess := store.NewSession()
+	rng := rand.New(rand.NewSource(seed*1099511628211 + 7))
+	for i := 0; i < cfg.Ops; i++ {
+		key := fmt.Sprintf("key%03d", rng.Intn(cfg.Keys))
+		if rng.Intn(5) == 0 {
+			if _, err := sess.Delete(nil, key); err != nil {
+				return violationf(seed, engine, "import-export", "op %d: DEL failed: %v", i, err)
+			}
+		} else if _, err := sess.Put(nil, key, uint64(rng.Intn(1000)+1)); err != nil {
+			return violationf(seed, engine, "import-export", "op %d: SET failed: %v", i, err)
+		}
+	}
+
+	// Export: snapshot the live store, then read the canonical bytes.
+	if err := l.WriteSnapshot(func() ([]kv.Pair, error) { return store.Dump(nil) }); err != nil {
+		return violationf(seed, engine, "import-export", "snapshot: %v", err)
+	}
+	cut := l.Stats().SnapshotSeq
+	if err := l.Close(); err != nil {
+		return violationf(seed, engine, "import-export", "close: %v", err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) != 1 {
+		return violationf(seed, engine, "import-export", "want exactly one snapshot file, got %v (%v)", snaps, err)
+	}
+	exported, err := os.ReadFile(snaps[0])
+	if err != nil {
+		return violationf(seed, engine, "import-export", "read snapshot: %v", err)
+	}
+
+	// Import: recover the directory, load the state into a fresh store.
+	l2, recd, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		return violationf(seed, engine, "import-export", "recovery: %v", err)
+	}
+	defer l2.Close()
+	livePairs, err := store.Dump(nil)
+	if err != nil {
+		return violationf(seed, engine, "import-export", "dump live: %v", err)
+	}
+	if got, want := StateHash(recd.State), PairsHash(livePairs); got != want {
+		return violationf(seed, engine, "import-export",
+			"recovered state differs from the live store: %s vs %s", got, want)
+	}
+	fresh := kv.New(newEngine(engine), cfg.Shards, 8)
+	for k, v := range recd.State {
+		if _, err := fresh.Put(nil, k, v); err != nil {
+			return violationf(seed, engine, "import-export", "import %s: %v", k, err)
+		}
+	}
+
+	// Re-export at the same cut: bytes must match exactly.
+	freshPairs, err := fresh.Dump(nil)
+	if err != nil {
+		return violationf(seed, engine, "import-export", "dump fresh: %v", err)
+	}
+	reexported := wal.SnapshotImage(cut, freshPairs)
+	if !bytes.Equal(exported, reexported) {
+		return violationf(seed, engine, "import-export",
+			"round-trip bytes differ: exported %d bytes, re-exported %d bytes", len(exported), len(reexported))
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/dstm"
+	"repro/internal/kv"
+	"repro/internal/model"
+	"repro/internal/nztm"
+	"repro/internal/sim"
+)
+
+// initTrack records the initial value of every t-variable the store
+// allocates, so the exact serializability checker knows the legal
+// first read of each variable.
+type initTrack struct {
+	core.TM
+	mu   sync.Mutex
+	init map[model.VarID]uint64
+}
+
+func (t *initTrack) NewVar(name string, init uint64) core.Var {
+	v := t.TM.NewVar(name, init)
+	t.mu.Lock()
+	t.init[v.ID()] = init
+	t.mu.Unlock()
+	return v
+}
+
+func newSimEngine(name string, env *sim.Env) core.TM {
+	if name == "dstm" {
+		return dstm.New(dstm.WithEnv(env))
+	}
+	return nztm.New(nztm.WithEnv(env))
+}
+
+// simWorkload spawns the seeded contended workload: 3 processes, each
+// running 2 multi-shard Txn batches over a 6-key space.
+func simWorkload(env *sim.Env, s *kv.Store, seed int64) {
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	for pi := 0; pi < 3; pi++ {
+		pi := pi
+		env.Spawn(func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed*31 + int64(pi)))
+			for k := 0; k < 2; k++ {
+				ops := []kv.Op{
+					{Kind: kv.OpPut, Key: keys[rng.Intn(len(keys))], Val: uint64(rng.Intn(9) + 1)},
+					{Kind: kv.OpGet, Key: keys[rng.Intn(len(keys))]},
+					{Kind: kv.OpPut, Key: keys[rng.Intn(len(keys))], Val: uint64(rng.Intn(9) + 1)},
+				}
+				_, _ = s.Txn(p, ops, core.MaxAttempts(40))
+			}
+		})
+	}
+}
+
+// SimSerializable records a sim-mode history of the seeded workload
+// under the adversarial random scheduler and feeds it to the exact
+// serializability checker.
+func SimSerializable(seed int64, engine string, cfg Config) error {
+	cfg.fill()
+	env := sim.New()
+	track := &initTrack{TM: newSimEngine(engine, env), init: map[model.VarID]uint64{}}
+	tm := core.Recorded(track, env.Recorder())
+	s := kv.New(tm, cfg.Shards, 2)
+	simWorkload(env, s, seed)
+	h := env.Run(sim.Random(seed))
+	if err := h.WellFormed(); err != nil {
+		return violationf(seed, engine, "serializable", "history not well-formed: %v", err)
+	}
+	res := checker.CheckSerializable(model.Transactions(h), track.init)
+	if !res.OK {
+		return violationf(seed, engine, "serializable", "history not serializable: %s", res.Reason)
+	}
+	return nil
+}
+
+// simStateHash runs the same seeded workload on an unrecorded engine
+// (recording changes no outcomes, only costs) and hashes the final
+// store state via a post-run raw-mode dump.
+func simStateHash(seed int64, engine string, cfg Config) string {
+	cfg.fill()
+	env := sim.New()
+	s := kv.New(newSimEngine(engine, env), cfg.Shards, 2)
+	simWorkload(env, s, seed)
+	env.Run(sim.Random(seed))
+	pairs, _ := s.Dump(nil)
+	return PairsHash(pairs)
+}
+
+// Nondeterminism is the same-seed determinism battery for one seed:
+//
+//   - a crash run repeated twice on the same engine must produce the
+//     identical report (fault firing point, ack count, state hash);
+//   - the crash run on the other engine must recover to the identical
+//     state hash (the single-driver workload has one serialization
+//     order, so engines cannot legitimately diverge);
+//   - a sim-mode contended run repeated twice (same engine) must reach
+//     the identical final state hash;
+//   - the sim-mode history must be exactly serializable on both engines.
+func Nondeterminism(seed int64, cfg Config) error {
+	cfg.fill()
+	a, err := CrashRun(seed, "dstm", cfg)
+	if err != nil {
+		return err
+	}
+	b, err := CrashRun(seed, "dstm", cfg)
+	if err != nil {
+		return err
+	}
+	if a != b {
+		return violationf(seed, "dstm", "determinism",
+			"same seed, two crash runs diverged:\n  run1: %+v\n  run2: %+v", a, b)
+	}
+	c, err := CrashRun(seed, "nztm", cfg)
+	if err != nil {
+		return err
+	}
+	if c.StateHash != a.StateHash || c.Acked != a.Acked {
+		return violationf(seed, "dstm-vs-nztm", "determinism",
+			"engines diverged on the same seed:\n  dstm: acked=%d hash=%s\n  nztm: acked=%d hash=%s",
+			a.Acked, a.StateHash, c.Acked, c.StateHash)
+	}
+	for _, engine := range Engines() {
+		h1 := simStateHash(seed, engine, cfg)
+		h2 := simStateHash(seed, engine, cfg)
+		if h1 != h2 {
+			return violationf(seed, engine, "determinism",
+				"same seed, two sim runs diverged: %s vs %s", h1, h2)
+		}
+		if err := SimSerializable(seed, engine, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func create(t *testing.T, fsys FS, path string) File {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	return f
+}
+
+func TestOSPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f := create(t, OS, path)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	b, err := OS.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("readback: %q, %v", b, err)
+	}
+}
+
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Plan{Kind: ShortWrite, Target: RecordWrite, After: 1, Cut: 0.5})
+	f := create(t, inj, filepath.Join(dir, "f"))
+	// Header write (first write) does not match RecordWrite.
+	if _, err := f.Write([]byte("HDRHDRHD")); err != nil {
+		t.Fatalf("header write faulted while disarmed path: %v", err)
+	}
+	inj.Arm()
+	if _, err := f.Write([]byte("rec0")); err != nil {
+		t.Fatalf("record write 0 (After=1 should pass): %v", err)
+	}
+	n, err := f.Write([]byte("rec1rec1"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want injected EIO, got n=%d err=%v", n, err)
+	}
+	if n != 4 {
+		t.Fatalf("cut=0.5 of 8 bytes: want 4 landed, got %d", n)
+	}
+	if fired, _ := inj.Fired(); !fired {
+		t.Fatal("plan did not report fired")
+	}
+	f.Close()
+	b, _ := os.ReadFile(filepath.Join(dir, "f"))
+	if string(b) != "HDRHDRHDrec0rec1" {
+		t.Fatalf("on-disk content %q", b)
+	}
+}
+
+func TestInjectorHeaderTarget(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Plan{Kind: NoSpace, Target: HeaderWrite, After: 0, Cut: 0.25})
+	inj.Arm()
+	f := create(t, inj, filepath.Join(dir, "a"))
+	if _, err := f.Write([]byte("12345678")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC on first header write, got %v", err)
+	}
+	f.Close()
+	// Fault is one-shot: the next file's header writes fine.
+	g := create(t, inj, filepath.Join(dir, "b"))
+	if _, err := g.Write([]byte("ok")); err != nil {
+		t.Fatalf("second header write after one-shot fault: %v", err)
+	}
+	g.Close()
+}
+
+func TestInjectorCrashAtSyncDropsUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	inj := NewInjector(OS, Plan{Kind: Crash, Target: FileSync, After: 1})
+	inj.Arm()
+	f := create(t, inj, path)
+	f.Write([]byte("synced__"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync (After=1) should pass: %v", err)
+	}
+	f.Write([]byte("unsynced"))
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	// Everything is dead now.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: %v", err)
+	}
+	if _, err := inj.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("readdir after crash: %v", err)
+	}
+	// The real disk (inspected with the real OS) holds only the synced
+	// prefix: the unsynced tail was truncated away.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("readback: %v", err)
+	}
+	if string(b) != "synced__" {
+		t.Fatalf("post-crash content %q, want only the synced prefix", b)
+	}
+}
+
+func TestPlanForSeedDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		a := PlanForSeed(seed, 100, 0.5)
+		b := PlanForSeed(seed, 100, 0.5)
+		if a != b {
+			t.Fatalf("seed %d: %v != %v", seed, a, b)
+		}
+		if a.After < 0 || a.After >= 100 {
+			t.Fatalf("seed %d: After %d out of horizon", seed, a.After)
+		}
+	}
+	// The schedule space is actually explored: both crash and disk
+	// faults, and more than one target, appear across seeds.
+	kinds := map[Kind]bool{}
+	targets := map[Target]bool{}
+	for seed := int64(0); seed < 64; seed++ {
+		p := PlanForSeed(seed, 100, 0.5)
+		kinds[p.Kind] = true
+		targets[p.Target] = true
+	}
+	if !kinds[Crash] || len(kinds) < 3 {
+		t.Fatalf("kind coverage too thin: %v", kinds)
+	}
+	if len(targets) < 3 {
+		t.Fatalf("target coverage too thin: %v", targets)
+	}
+}

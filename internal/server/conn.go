@@ -10,6 +10,7 @@ import (
 	"unicode/utf8"
 
 	"repro/internal/kv"
+	"repro/internal/wal"
 )
 
 // This file is the byte-level request path: the default connection
@@ -279,12 +280,23 @@ func newConn(s *Server, nc net.Conn) *conn {
 	}
 }
 
+// errLineTooLong aborts a connection whose current request line exceeds
+// Config.MaxLine: the reply is `ERR line too long` and the connection
+// closes, because resynchronizing mid-line is not worth buffering an
+// unbounded request for.
+var errLineTooLong = errors.New("line too long")
+
 // readLine returns the next newline-terminated request without copying
-// when it fits the read buffer; longer lines are assembled in c.long.
-// The returned slice is valid until the next readLine.
+// when it fits the read buffer; longer lines are assembled in c.long,
+// up to Config.MaxLine bytes. The returned slice is valid until the
+// next readLine.
 func (c *conn) readLine() ([]byte, error) {
+	max := c.srv.cfg.MaxLine
 	line, err := c.r.ReadSlice('\n')
 	if err == nil {
+		if len(line) > max {
+			return nil, errLineTooLong
+		}
 		return line, nil
 	}
 	if err != bufio.ErrBufferFull {
@@ -292,9 +304,15 @@ func (c *conn) readLine() ([]byte, error) {
 	}
 	c.long = append(c.long[:0], line...)
 	for {
+		if len(c.long) > max {
+			return nil, errLineTooLong
+		}
 		line, err = c.r.ReadSlice('\n')
 		c.long = append(c.long, line...)
 		if err == nil {
+			if len(c.long) > max {
+				return nil, errLineTooLong
+			}
 			return c.long, nil
 		}
 		if err != bufio.ErrBufferFull {
@@ -315,6 +333,15 @@ func (c *conn) run() {
 	for {
 		line, err := c.readLine()
 		if err != nil {
+			if err == errLineTooLong {
+				// Tell the client why before hanging up; the batch holds
+				// requests that preceded the oversized line, so answer
+				// them first to keep responses in request order.
+				c.flushBatch()
+				c.errLine(err)
+				c.syncRequests()
+				c.w.Flush()
+			}
 			return
 		}
 		c.toks = splitFields(line, c.toks)
@@ -513,6 +540,15 @@ func (c *conn) staticLine(s string) {
 }
 
 func (c *conn) errLine(err error) {
+	if errors.Is(err, wal.ErrFailStop) {
+		// The durability layer latched a failure: the server no longer
+		// acknowledges writes (reads still work). The cause rides along
+		// in parentheses; clients key on the "readonly" token.
+		c.w.WriteString("ERR readonly (")
+		c.w.WriteString(err.Error())
+		c.w.WriteString(")\n")
+		return
+	}
 	c.w.WriteString("ERR ")
 	c.w.WriteString(err.Error())
 	c.w.WriteByte('\n')

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dstm"
+	"repro/internal/faultfs"
 	"repro/internal/kv"
 	"repro/internal/locktm"
 	"repro/internal/nztm"
@@ -67,6 +68,12 @@ type Config struct {
 	Batch int
 	// MaxMultiOps bounds a MULTI..EXEC batch (default 256).
 	MaxMultiOps int
+	// MaxLine bounds a single request line in bytes (default 1 MiB). A
+	// longer line answers `ERR line too long` and the connection is
+	// closed: the line cannot be parsed without buffering it, so the
+	// bound caps per-connection memory against runaway (or hostile)
+	// unterminated requests.
+	MaxLine int
 	// Legacy selects the retired PR 3 string-based request path
 	// (legacy.go) instead of the byte-level one. It exists solely so
 	// experiment E10 can measure the rewrite's speedup against a live
@@ -92,6 +99,10 @@ type Config struct {
 	// WALSegmentBytes caps a log segment before rotation (default 64
 	// MiB).
 	WALSegmentBytes int64
+	// WALFS is the filesystem the WAL writes through (default the real
+	// OS). Fault-injection tests and the crash campaign install a
+	// faultfs.Injector here; production code leaves it nil.
+	WALFS faultfs.FS
 }
 
 func (c *Config) fill() {
@@ -109,6 +120,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxMultiOps <= 0 {
 		c.MaxMultiOps = 256
+	}
+	if c.MaxLine <= 0 {
+		c.MaxLine = 1 << 20
 	}
 	if c.Fsync == "" {
 		c.Fsync = "interval"
@@ -195,6 +209,7 @@ func (s *Server) openWAL(cfg Config) error {
 		Policy:       policy,
 		Interval:     cfg.FsyncInterval,
 		SegmentBytes: cfg.WALSegmentBytes,
+		FS:           cfg.WALFS,
 	})
 	if err != nil {
 		return fmt.Errorf("server: wal: %w", err)

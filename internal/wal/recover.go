@@ -3,7 +3,6 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -46,10 +45,10 @@ type Recovered struct {
 func Open(opts Options) (*Log, Recovered, error) {
 	opts.fill()
 	rec := Recovered{State: map[string]uint64{}}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, rec, err
 	}
-	ents, err := os.ReadDir(opts.Dir)
+	ents, err := opts.FS.ReadDir(opts.Dir)
 	if err != nil {
 		return nil, rec, err
 	}
@@ -61,7 +60,7 @@ func Open(opts Options) (*Log, Recovered, error) {
 		switch {
 		case strings.HasSuffix(name, ".tmp"):
 			// An interrupted snapshot write; rename never happened.
-			os.Remove(filepath.Join(opts.Dir, name))
+			opts.FS.Remove(filepath.Join(opts.Dir, name))
 		case parseSegIdx(name) >= 0:
 			segIdxs = append(segIdxs, parseSegIdx(name))
 		default:
@@ -78,7 +77,7 @@ func Open(opts Options) (*Log, Recovered, error) {
 	// correctness is unaffected because the full log tail since that
 	// older cut is replayed.
 	for _, seq := range snapSeqs {
-		img, err := os.ReadFile(filepath.Join(opts.Dir, snapName(seq)))
+		img, err := opts.FS.ReadFile(filepath.Join(opts.Dir, snapName(seq)))
 		if err != nil {
 			continue
 		}
@@ -139,7 +138,7 @@ func Open(opts Options) (*Log, Recovered, error) {
 // refuses instead.
 func (l *Log) replaySegment(idx int, first, last bool, rec *Recovered, next *uint64) error {
 	path := filepath.Join(l.opts.Dir, segName(idx))
-	b, err := os.ReadFile(path)
+	b, err := l.opts.FS.ReadFile(path)
 	if err != nil {
 		return err
 	}
@@ -150,7 +149,7 @@ func (l *Log) replaySegment(idx int, first, last bool, rec *Recovered, next *uin
 		// A crash between file creation and the header fsync; the
 		// segment carries nothing.
 		rec.TornTail = len(b) > 0
-		return os.Remove(path)
+		return l.opts.FS.Remove(path)
 	}
 	firstSeq := binary.LittleEndian.Uint64(b[len(segMagic):])
 	if first {
@@ -174,7 +173,7 @@ func (l *Log) replaySegment(idx int, first, last bool, rec *Recovered, next *uin
 				return fmt.Errorf("wal: %s: corrupt record at offset %d (not the log tail)", path, off)
 			}
 			rec.TornTail = true
-			return os.Truncate(path, int64(off))
+			return l.opts.FS.Truncate(path, int64(off))
 		}
 		if seq != *next {
 			return fmt.Errorf("wal: %s: record seq %d at offset %d, want %d — refusing to recover a hole", path, seq, off, *next)

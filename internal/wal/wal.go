@@ -21,10 +21,17 @@
 // rendered with binary.AppendUvarint into the reused pending buffer,
 // mirroring the wire path's byte-rendering discipline.
 //
-// Failure model: a write or fsync error is sticky — every subsequent
-// Append returns it, and the store above stops accepting writes. The
-// in-memory state may then be ahead of the log, never behind a
-// successful Append's acknowledgment.
+// Failure model: the log is fail-stop. The first write or fsync error
+// latches the log into a failed state (a FailStopError wrapping the
+// cause); every subsequent Append returns it, and the store above stops
+// accepting writes. Under SyncAlways a committer whose record was not
+// yet durable when the failure hit gets the error instead of an ack —
+// an acknowledged write is never lost. The in-memory state may then be
+// ahead of the log, never behind a successful Append's acknowledgment.
+//
+// All file I/O goes through a faultfs.FS (Options.FS, defaulting to the
+// real OS), so tests and the crash campaign can inject short writes,
+// EIO, ENOSPC, and power-loss crash points deterministically.
 package wal
 
 import (
@@ -33,9 +40,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/kv"
 )
 
@@ -89,6 +98,9 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this
 	// size (default 64 MiB).
 	SegmentBytes int64
+	// FS is the filesystem the log writes through (default the real
+	// OS). Tests and the crash campaign install a faultfs.Injector.
+	FS faultfs.FS
 }
 
 func (o *Options) fill() {
@@ -98,10 +110,33 @@ func (o *Options) fill() {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
 	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
+	}
 }
 
 // ErrClosed is returned by Append after Close.
 var ErrClosed = errors.New("wal: log closed")
+
+// ErrFailStop marks the log's latched failure: errors.Is(err,
+// ErrFailStop) holds for every error Append returns after the first
+// write or fsync error. The server maps it to the `ERR readonly` wire
+// reply.
+var ErrFailStop = errors.New("wal: fail-stop")
+
+// FailStopError is the sticky error the log latches into on the first
+// write or fsync failure. It matches ErrFailStop via errors.Is and
+// unwraps to the underlying cause (so errors.Is(err, syscall.EIO) etc.
+// still work).
+type FailStopError struct {
+	Cause error
+}
+
+func (e *FailStopError) Error() string { return "wal: fail-stop: " + e.Cause.Error() }
+func (e *FailStopError) Unwrap() error { return e.Cause }
+func (e *FailStopError) Is(target error) bool {
+	return target == ErrFailStop
+}
 
 // segment is one on-disk log file.
 type segment struct {
@@ -131,7 +166,7 @@ type Log struct {
 	done chan struct{}
 
 	// log-goroutine-owned state.
-	f        *os.File
+	f        faultfs.File
 	segBytes int64
 	spare    []byte // buffer swapped with pending
 	dirty    bool   // bytes written since the last fsync
@@ -170,7 +205,12 @@ func (l *Log) Append(effects []kv.Effect) error {
 	for l.durableSeq < seq && l.failed == nil {
 		l.cond.Wait()
 	}
-	err := l.failed
+	// A record that became durable before the failure latched keeps its
+	// ack: the error belongs to later, non-durable records.
+	var err error
+	if l.durableSeq < seq {
+		err = l.failed
+	}
 	l.mu.Unlock()
 	return err
 }
@@ -289,14 +329,20 @@ func (l *Log) flushBatch() {
 	l.mu.Lock()
 	l.spare = buf[:0]
 	if err != nil {
-		if l.failed == nil {
-			l.failed = err
-		}
+		l.latchLocked(err)
 	} else if batchSeq > l.durableSeq {
 		l.durableSeq = batchSeq
 	}
 	l.cond.Broadcast()
 	l.mu.Unlock()
+}
+
+// latchLocked flips the log into its terminal fail-stop state. Callers
+// hold l.mu.
+func (l *Log) latchLocked(cause error) {
+	if l.failed == nil {
+		l.failed = &FailStopError{Cause: cause}
+	}
 }
 
 // writeBatch appends buf — a run of complete frames — to the active
@@ -352,16 +398,21 @@ func (l *Log) rotate(firstSeq uint64) error {
 }
 
 // syncNow fsyncs the active segment if anything was written since the
-// last fsync.
+// last fsync. After a latched failure it does nothing: the log is
+// fail-stop and never touches the disk again.
 func (l *Log) syncNow() {
 	if !l.dirty || l.f == nil {
 		return
 	}
+	l.mu.Lock()
+	failed := l.failed != nil
+	l.mu.Unlock()
+	if failed {
+		return
+	}
 	if err := l.f.Sync(); err != nil {
 		l.mu.Lock()
-		if l.failed == nil {
-			l.failed = err
-		}
+		l.latchLocked(err)
 		l.cond.Broadcast()
 		l.mu.Unlock()
 		return
@@ -373,7 +424,7 @@ func (l *Log) syncNow() {
 // number, writes its header, and registers it as active.
 func (l *Log) openSegment(idx int, firstSeq uint64) error {
 	path := filepath.Join(l.opts.Dir, segName(idx))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.opts.FS.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -388,7 +439,7 @@ func (l *Log) openSegment(idx int, firstSeq uint64) error {
 		f.Close()
 		return err
 	}
-	if err := syncDir(l.opts.Dir); err != nil {
+	if err := syncDir(l.opts.FS, l.opts.Dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -425,19 +476,19 @@ func (l *Log) WriteSnapshot(dump func() ([]kv.Pair, error)) error {
 	if err != nil {
 		return err
 	}
-	img := encodeSnapshot(cut, pairs)
+	img := SnapshotImage(cut, pairs)
 	tmp := filepath.Join(l.opts.Dir, "snapshot.tmp")
-	if err := os.WriteFile(tmp, img, 0o644); err != nil {
+	if err := l.opts.FS.WriteFile(tmp, img, 0o644); err != nil {
 		return err
 	}
-	if err := fsyncFile(tmp); err != nil {
+	if err := fsyncFile(l.opts.FS, tmp); err != nil {
 		return err
 	}
 	final := filepath.Join(l.opts.Dir, snapName(cut))
-	if err := os.Rename(tmp, final); err != nil {
+	if err := l.opts.FS.Rename(tmp, final); err != nil {
 		return err
 	}
-	if err := syncDir(l.opts.Dir); err != nil {
+	if err := syncDir(l.opts.FS, l.opts.Dir); err != nil {
 		return err
 	}
 	l.truncate(cut, final)
@@ -464,16 +515,16 @@ func (l *Log) truncate(cut uint64, keep string) {
 	l.segs = kept
 	l.mu.Unlock()
 	for _, p := range drop {
-		os.Remove(p)
+		l.opts.FS.Remove(p)
 	}
-	ents, err := os.ReadDir(l.opts.Dir)
+	ents, err := l.opts.FS.ReadDir(l.opts.Dir)
 	if err != nil {
 		return
 	}
 	for _, e := range ents {
 		name := e.Name()
 		if _, ok := parseSnapName(name); ok && filepath.Join(l.opts.Dir, name) != keep {
-			os.Remove(filepath.Join(l.opts.Dir, name))
+			l.opts.FS.Remove(filepath.Join(l.opts.Dir, name))
 		}
 	}
 }
@@ -481,8 +532,8 @@ func (l *Log) truncate(cut uint64, keep string) {
 func segName(idx int) string     { return fmt.Sprintf("wal-%08d.seg", idx) }
 func snapName(seq uint64) string { return fmt.Sprintf("snap-%020d.snap", seq) }
 
-func fsyncFile(path string) error {
-	f, err := os.Open(path)
+func fsyncFile(fsys faultfs.FS, path string) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}
@@ -494,12 +545,22 @@ func fsyncFile(path string) error {
 	return cerr
 }
 
-func syncDir(dir string) error {
-	f, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	f, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
 	err = f.Sync()
 	f.Close()
 	return err
+}
+
+// SnapshotImage renders the canonical snapshot file image for a cut and
+// a set of pairs: entries are sorted by key (pairs is sorted in place),
+// so two stores holding the same logical state produce byte-identical
+// images regardless of key intern order. The campaign's import/export
+// round-trip check relies on this.
+func SnapshotImage(cut uint64, pairs []kv.Pair) []byte {
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	return encodeSnapshot(cut, pairs)
 }
