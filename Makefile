@@ -41,12 +41,16 @@ experiments:
 	@echo "Regenerating the E1..E11 experiment tables..."
 	@$(GO) run ./cmd/oftm-bench
 
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR7.json
 bench-json:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON)
 
-BASELINE ?= BENCH_PR4.json
+# BENCH_PR6.json is the PR 6 tree re-measured on the PR 7 session's
+# container (median of three runs per record) — PR 6 shipped no BENCH
+# file, and ns/op baselines only gate honestly when both sides ran on
+# the same machine. BENCH_PR5.json remains the PR 5 session's record.
+BASELINE ?= BENCH_PR6.json
 bench-diff:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON) and diffing against $(BASELINE) (fails on >25% ns/op regressions and on allocs/op above the baseline allowance — zero-alloc records must stay zero; workloads new since the baseline are skipped with a notice)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON) -baseline $(BASELINE)
@@ -63,8 +67,13 @@ bench-server:
 	@$(GO) test -run '^$$' -bench BenchmarkServer -benchmem -benchtime $(BENCHTIME) ./internal/bench
 
 servebench:
-	@echo "Running experiments E10 (byte wire path vs the preserved PR 3 path) and E11 (WAL durability bill)..."
+	@echo "Running experiments E10 (byte wire path vs the preserved PR 3 path), E11 (WAL durability bill) and E13 (serving-runtime scaling grid, 2 loadgen procs)..."
 	@$(GO) run ./cmd/oftm-bench -servebench
+
+server-scale-smoke:
+	@echo "E13 smoke: truncated scaling grid (8/64 conns, 2 workers, 2 loadgen procs) with the allocs/req <= 1 gate..."
+	@$(GO) run ./cmd/oftm-bench -exp E13 -procs 2 -scale-conns 8,64 -scale-workers 2 | tee /tmp/oftm-scale-smoke.out
+	@awk '/^(worker|goroutine) / { if ($$8 == "" || $$8+0 > 1) { print "allocs/req gate failed: " $$0; bad = 1 } } END { if (bad) exit 1; print "allocs/req <= 1 at every smoke grid point" }' /tmp/oftm-scale-smoke.out
 
 recovery-smoke:
 	@echo "Vetting and running the crash/recovery suite (kill-and-recover, torn tail, WAL unit tests)..."
@@ -115,4 +124,4 @@ sim-smoke: sim-nondeterminism
 	@echo "Campaign test wrappers under the race detector (10 seeds)..."
 	@$(GO) test -race -count=1 ./internal/campaign -campaign.seeds=10
 
-.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke bench-server servebench server-smoke recovery-smoke sim-multi-seed sim-nondeterminism sim-import-export sim-benchmark-invariants sim-smoke
+.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke bench-server servebench server-scale-smoke server-smoke recovery-smoke sim-multi-seed sim-nondeterminism sim-import-export sim-benchmark-invariants sim-smoke

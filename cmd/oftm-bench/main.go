@@ -8,8 +8,14 @@
 //	oftm-bench -list           # list experiments
 //	oftm-bench -kvsmoke        # brief run of every kv-* workload (CI)
 //	oftm-bench -servebench     # end-to-end loopback server load
-//	                           # (E10 wire path + E11 durability);
+//	                           # (E10 wire path + E11 durability +
+//	                           # E13 runtime scaling grid);
 //	                           # with -json, write the serving records
+//	oftm-bench -servebench -procs 4
+//	                           # ...driving the E13 grid from 4 loadgen
+//	                           # processes so the client never
+//	                           # bottlenecks the measurement (default 2;
+//	                           # -procs 1 falls back to in-process load)
 //	oftm-bench -json out.json  # write the perf-tracking grid as JSON
 //	oftm-bench -json out.json -baseline BENCH_PR1.json
 //	                           # ...and diff ns/op + allocs/op against
@@ -22,25 +28,47 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
+	// A re-exec'd loadgen child (E13 -procs) never comes back from this.
+	bench.MaybeLoadgenChild()
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.String("json", "", "measure the perf-tracking grid and write JSON to this file ('-' for stdout)")
 	baseline := flag.String("baseline", "", "previous perf-tracking JSON to diff against (requires -json); exits 1 when any record's ns/op regresses by more than -tolerance")
 	tolerance := flag.Float64("tolerance", 25, "regression tolerance for -baseline, in percent")
 	kvsmoke := flag.Bool("kvsmoke", false, "run every kv-* workload briefly and exit (CI smoke)")
-	servebench := flag.Bool("servebench", false, "run the end-to-end loopback server load (experiments E10 and E11); with -json, write the serving records to that file")
+	servebench := flag.Bool("servebench", false, "run the end-to-end loopback server load (experiments E10, E11 and E13); with -json, write the serving records to that file")
+	procs := flag.Int("procs", 2, "E13: number of loadgen processes driving the scaling grid (1 = in-process; >1 keeps the measured process serving-only, so its req/s-per-core is clean)")
+	scaleConns := flag.String("scale-conns", "", "E13: comma-separated connection grid override (e.g. 8,64 for the CI smoke)")
+	scaleWorkers := flag.Int("scale-workers", 0, "E13: worker count for worker-runtime grid points (0 = server default)")
 	flag.Parse()
+
+	opts := bench.ScaleOptions{Procs: *procs, Workers: *scaleWorkers}
+	if *scaleConns != "" {
+		for _, f := range strings.Split(*scaleConns, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "oftm-bench: bad -scale-conns entry %q\n", f)
+				os.Exit(2)
+			}
+			opts.Conns = append(opts.Conns, n)
+		}
+	}
+	bench.SetScaleOptions(opts)
 
 	if *servebench {
 		bench.E10(os.Stdout)
 		fmt.Println()
 		bench.E11(os.Stdout)
+		fmt.Println()
+		bench.E13(os.Stdout)
 		if *jsonOut != "" {
 			if err := writeFile(*jsonOut, bench.WriteServerJSON); err != nil {
 				fmt.Fprintf(os.Stderr, "oftm-bench: %v\n", err)
@@ -134,7 +162,7 @@ func diffBaseline(curPath, basePath string, tolPct float64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("perf diff vs %s (tolerance %.0f%%):\n", basePath, tolPct)
+	fmt.Printf("perf diff: %s (current) vs %s (baseline), tolerance %.0f%%:\n", curPath, basePath, tolPct)
 	if n := bench.Compare(os.Stdout, base, cur, tolPct); n > 0 {
 		return fmt.Errorf("%d record(s) regressed beyond %.0f%% vs %s", n, tolPct, basePath)
 	}

@@ -39,6 +39,9 @@ func main() {
 	buckets := flag.Int("buckets", 16, "hash buckets per shard")
 	batch := flag.Int("batch", 64, "max pipelined requests folded into one transaction")
 	maxLine := flag.Int("max-line", 1<<20, "max request line length in bytes (longer lines answer ERR line too long and close)")
+	runtimeKind := flag.String("runtime", "worker", "serving runtime: worker (shard-affine loops) | goroutine (one per connection)")
+	workers := flag.Int("workers", 0, "worker runtime: number of worker loops (0 = GOMAXPROCS, capped at -shards)")
+	unit := flag.Int("unit", 0, "worker runtime: max ops folded into one merged shard unit (0 = default 8, the engines' inline read/write-set size)")
 	walDir := flag.String("wal-dir", "", "durability: write-ahead log directory (empty = volatile)")
 	fsync := flag.String("fsync", "interval", "durability: WAL fsync policy: always|interval|never")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "durability: fsync period for -fsync interval")
@@ -60,6 +63,9 @@ func main() {
 		Buckets:       *buckets,
 		Batch:         *batch,
 		MaxLine:       *maxLine,
+		Runtime:       *runtimeKind,
+		Workers:       *workers,
+		Unit:          *unit,
 		WALDir:        *walDir,
 		Fsync:         *fsync,
 		FsyncInterval: *fsyncEvery,
@@ -77,8 +83,8 @@ func runServer(cfg server.Config) {
 		fmt.Fprintf(os.Stderr, "oftm-server: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("oftm-server: serving on %s (engine=%s shards=%d buckets=%d batch=%d)\n",
-		s.Addr(), cfg.Engine, cfg.Shards, cfg.Buckets, cfg.Batch)
+	fmt.Printf("oftm-server: serving on %s (engine=%s shards=%d buckets=%d batch=%d runtime=%s workers=%d)\n",
+		s.Addr(), cfg.Engine, cfg.Shards, cfg.Buckets, cfg.Batch, cfg.Runtime, len(s.WorkerStats()))
 	if cfg.WALDir != "" {
 		rec := s.Recovered()
 		fmt.Printf("oftm-server: wal %s (fsync=%s): recovered %d key(s), snapshot cut %d, %d record(s) replayed, last seq %d",
@@ -110,6 +116,10 @@ func runServer(cfg server.Config) {
 	fmt.Printf("  cross-shard ratio:      %.4f\n", st.CrossShardRatio())
 	for i, sh := range st.Shards {
 		fmt.Printf("  shard %2d: ops=%d aborts=%d\n", i, sh.Ops, sh.Aborts)
+	}
+	for i, w := range s.WorkerStats() {
+		fmt.Printf("  worker %2d: conns=%d reqs=%d rounds=%d escalations=%d\n",
+			i, w.Conns, w.Requests, w.FlushRounds, w.Escalations)
 	}
 	if es, ok := core.StatsOf(s.TM()); ok {
 		fmt.Printf("  engine: epoch=%d forced_aborts=%d snapshot_extensions=%d\n",

@@ -48,6 +48,31 @@ type jsonCase struct {
 	threads  int
 }
 
+// benchRuns is how many times each perf-tracking record is measured;
+// the run with the median ns/op is recorded. Single runs on the
+// 1-core CI-class runner swing well past the diff gate's 25%
+// tolerance on scheduler- and GC-sensitive rows (oversubscribed
+// bank-8, fsync-bound wal rows, the allocating legacy path), and some
+// of those rows are bimodal — a minimum would record whichever side
+// got lucky. The median is the robust per-row statistic two same-
+// machine measurements can be diffed on.
+const benchRuns = 3
+
+// bestOf measures k times via f and keeps the record with the median
+// ns/op (allocs/op and stats ride along from that same run).
+func bestOf(k int, f func() (Record, error)) (Record, error) {
+	runs := make([]Record, 0, k)
+	for i := 0; i < k; i++ {
+		r, err := f()
+		if err != nil {
+			return r, err
+		}
+		runs = append(runs, r)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].NsPerOp < runs[j].NsPerOp })
+	return runs[(len(runs)-1)/2], nil
+}
+
 // WriteJSON measures the standard perf-tracking grid with
 // testing.Benchmark and writes the report to w. The grid deliberately
 // covers the four axes the repository optimizes: contended small
@@ -87,7 +112,8 @@ func WriteJSON(w io.Writer) error {
 
 	rep := Report{Note: "ns/op, allocs/op and B/op per engine × workload × threads; epoch/forced_aborts/snapshot_extensions are engine TMStats after the timed run; server-* rows are loopback wire measurements (threads = connections), with -pr3 the preserved legacy request path"}
 	for _, c := range cases {
-		rec, err := measure(c)
+		c := c
+		rec, err := bestOf(benchRuns, func() (Record, error) { return measure(c) })
 		if err != nil {
 			return err
 		}
@@ -105,6 +131,12 @@ func WriteJSON(w io.Writer) error {
 		return err
 	}
 	rep.Records = append(rep.Records, wRecs...)
+	// Scaling rows (E13): both runtimes across the connection grid.
+	sRecs, err := scaleRecords()
+	if err != nil {
+		return err
+	}
+	rep.Records = append(rep.Records, sRecs...)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -123,8 +155,13 @@ func WriteServerJSON(w io.Writer) error {
 		return err
 	}
 	recs = append(recs, wRecs...)
+	sRecs, err := scaleRecords()
+	if err != nil {
+		return err
+	}
+	recs = append(recs, sRecs...)
 	rep := Report{
-		Note:    "experiments E10/E11: loopback wire-path records (threads = connections); server-*-pr3 rows measure the preserved PR 3 legacy request path, server-*-wal-* rows the durability layer",
+		Note:    "experiments E10/E11/E13: loopback wire-path records (threads = connections); server-*-pr3 rows measure the preserved PR 3 legacy request path, server-*-wal-* rows the durability layer, server-scale-* rows the serving-runtime connection grid",
 		Records: recs,
 	}
 	enc := json.NewEncoder(w)

@@ -200,6 +200,14 @@ func (s *Store) shardOf(h uint64) int {
 	return int((h * 0xBF58476D1CE4E5B9) >> 33 % uint64(len(s.shards)))
 }
 
+// ShardOf maps a handle to the index of the shard holding it — the
+// same partition the execution plan uses. The serving layer's worker
+// runtime routes requests by it: a request batch whose handles all map
+// to shards owned by one worker executes on that worker's session, so
+// the shard's commit-order lock is taken only ever by its owner and is
+// uncontended by construction.
+func (s *Store) ShardOf(h uint64) int { return s.shardOf(h) }
+
 // record charges a finished single-shard operation to sh: attempts-1
 // aborted tries, and one committed op if it succeeded.
 func (sh *shard) record(attempts int, committed bool) {

@@ -31,8 +31,9 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (cl *Client) Close() error { return cl.c.Close() }
 
-// readResponse reads one logical response: one line, or — for EXEC —
-// the RESULTS header plus its result lines joined with "; ".
+// readResponse reads one logical response: one line, or — for EXEC and
+// STATS WORKERS — the RESULTS/WORKERS header plus its body lines
+// joined with "; ".
 func (cl *Client) readResponse() (string, error) {
 	line, err := cl.r.ReadString('\n')
 	if err != nil {
@@ -43,6 +44,22 @@ func (cl *Client) readResponse() (string, error) {
 		n, err := strconv.Atoi(rest)
 		if err != nil {
 			return "", fmt.Errorf("client: bad RESULTS header %q", line)
+		}
+		parts := make([]string, 0, n+1)
+		parts = append(parts, line)
+		for i := 0; i < n; i++ {
+			sub, err := cl.r.ReadString('\n')
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, strings.TrimRight(sub, "\r\n"))
+		}
+		return strings.Join(parts, "; "), nil
+	}
+	if rest, ok := strings.CutPrefix(line, "WORKERS "); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return "", fmt.Errorf("client: bad WORKERS header %q", line)
 		}
 		parts := make([]string, 0, n+1)
 		parts = append(parts, line)

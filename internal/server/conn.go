@@ -418,9 +418,11 @@ func (c *conn) step(v verb) bool {
 		}
 	case vStats:
 		c.flushBatch()
-		st := c.srv.store.Stats()
-		fmt.Fprintf(c.w, "STATS txns=%d cross=%d ratio=%.4f ops=%d aborts=%d shards=%d\n",
-			st.Txns, st.CrossShard, st.CrossShardRatio(), st.Ops(), st.Aborts(), len(st.Shards))
+		if len(args) == 1 && foldEq(args[0], "WORKERS") {
+			renderWorkerStats(c.w, c.srv)
+			break
+		}
+		renderStats(c.w, c.srv.store.Stats())
 	case vPing:
 		c.flushBatch()
 		c.staticLine("PONG")
@@ -499,39 +501,7 @@ func (c *conn) flushBatch() {
 
 // writeResult renders one op outcome as its response line.
 func (c *conn) writeResult(op kv.Op, res kv.OpResult) {
-	switch op.Kind {
-	case kv.OpGet:
-		if res.Found {
-			c.w.WriteString("VALUE ")
-			c.writeUint(res.Val)
-			c.w.WriteByte('\n')
-		} else {
-			c.staticLine("NOTFOUND")
-		}
-	case kv.OpPut:
-		if res.Found {
-			c.staticLine("OK NEW")
-		} else {
-			c.staticLine("OK")
-		}
-	case kv.OpDelete:
-		if res.Found {
-			c.staticLine("DELETED")
-		} else {
-			c.staticLine("NOTFOUND")
-		}
-	case kv.OpCAS:
-		switch {
-		case res.Swapped:
-			c.staticLine("SWAPPED")
-		case res.Found:
-			c.staticLine("CASFAIL")
-		default:
-			c.staticLine("NOTFOUND")
-		}
-	default:
-		c.staticLine("ERR unrenderable result")
-	}
+	renderResult(c.w, &c.num, op, res)
 }
 
 func (c *conn) staticLine(s string) {
@@ -539,22 +509,91 @@ func (c *conn) staticLine(s string) {
 	c.w.WriteByte('\n')
 }
 
-func (c *conn) errLine(err error) {
+func (c *conn) errLine(err error) { renderErr(c.w, err) }
+
+func (c *conn) writeUint(v uint64) { renderUint(c.w, &c.num, v) }
+
+// The render helpers below are shared by both runtimes (the goroutine
+// path above and worker.go), so the two produce byte-identical replies
+// by construction — the property the runtime equivalence suite pins.
+
+// renderResult renders one op outcome as its response line, using num
+// as reusable numeric scratch.
+func renderResult(w *bufio.Writer, num *[]byte, op kv.Op, res kv.OpResult) {
+	switch op.Kind {
+	case kv.OpGet:
+		if res.Found {
+			w.WriteString("VALUE ")
+			renderUint(w, num, res.Val)
+			w.WriteByte('\n')
+		} else {
+			renderStatic(w, "NOTFOUND")
+		}
+	case kv.OpPut:
+		if res.Found {
+			renderStatic(w, "OK NEW")
+		} else {
+			renderStatic(w, "OK")
+		}
+	case kv.OpDelete:
+		if res.Found {
+			renderStatic(w, "DELETED")
+		} else {
+			renderStatic(w, "NOTFOUND")
+		}
+	case kv.OpCAS:
+		switch {
+		case res.Swapped:
+			renderStatic(w, "SWAPPED")
+		case res.Found:
+			renderStatic(w, "CASFAIL")
+		default:
+			renderStatic(w, "NOTFOUND")
+		}
+	default:
+		renderStatic(w, "ERR unrenderable result")
+	}
+}
+
+func renderStatic(w *bufio.Writer, s string) {
+	w.WriteString(s)
+	w.WriteByte('\n')
+}
+
+func renderErr(w *bufio.Writer, err error) {
 	if errors.Is(err, wal.ErrFailStop) {
 		// The durability layer latched a failure: the server no longer
 		// acknowledges writes (reads still work). The cause rides along
 		// in parentheses; clients key on the "readonly" token.
-		c.w.WriteString("ERR readonly (")
-		c.w.WriteString(err.Error())
-		c.w.WriteString(")\n")
+		w.WriteString("ERR readonly (")
+		w.WriteString(err.Error())
+		w.WriteString(")\n")
 		return
 	}
-	c.w.WriteString("ERR ")
-	c.w.WriteString(err.Error())
-	c.w.WriteByte('\n')
+	w.WriteString("ERR ")
+	w.WriteString(err.Error())
+	w.WriteByte('\n')
 }
 
-func (c *conn) writeUint(v uint64) {
-	c.num = strconv.AppendUint(c.num[:0], v, 10)
-	c.w.Write(c.num)
+func renderUint(w *bufio.Writer, num *[]byte, v uint64) {
+	*num = strconv.AppendUint((*num)[:0], v, 10)
+	w.Write(*num)
+}
+
+// renderStats renders the store-counter STATS line.
+func renderStats(w *bufio.Writer, st kv.Stats) {
+	fmt.Fprintf(w, "STATS txns=%d cross=%d ratio=%.4f ops=%d aborts=%d shards=%d\n",
+		st.Txns, st.CrossShard, st.CrossShardRatio(), st.Ops(), st.Aborts(), len(st.Shards))
+}
+
+// renderWorkerStats renders the STATS WORKERS block: a WORKERS <n>
+// header and one per-worker counter line. The goroutine runtime has no
+// workers and answers `WORKERS 0`.
+func renderWorkerStats(w *bufio.Writer, s *Server) {
+	ws := s.WorkerStats()
+	fmt.Fprintf(w, "WORKERS %d\n", len(ws))
+	for i, st := range ws {
+		fmt.Fprintf(w, "WORKER %d conns=%d reqs=%d rounds=%d escalations=%d\n",
+			i, st.Conns, st.Requests, st.FlushRounds, st.Escalations)
+	}
 }

@@ -23,7 +23,11 @@ func TestRecoveryHelperProcess(t *testing.T) {
 		t.Skip("helper process for TestKillAndRecover")
 	}
 	dir := os.Getenv("OFTM_WAL_DIR")
-	s, err := New(Config{Addr: "127.0.0.1:0", Engine: "nztm", WALDir: dir, Fsync: "always"})
+	// OFTM_RUNTIME pins the serving runtime (empty = the default worker
+	// runtime) so recovery smoke can run the kill-and-recover scenario
+	// against either path explicitly.
+	s, err := New(Config{Addr: "127.0.0.1:0", Engine: "nztm", WALDir: dir, Fsync: "always",
+		Runtime: os.Getenv("OFTM_RUNTIME")})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "helper: %v\n", err)
 		os.Exit(3)

@@ -40,8 +40,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -66,6 +68,16 @@ type Config struct {
 	// Batch bounds how many pipelined unconditional requests are folded
 	// into one transaction (default 64; 1 disables batching).
 	Batch int
+	// Unit bounds how many ops the worker runtime folds into one merged
+	// shard unit (default 8). The default is deliberately smaller than
+	// Batch: the engines keep a transaction's read and write sets in an
+	// 8-entry inline array before spilling to a map, and on the
+	// versioned engines validation walks the read set — so past the
+	// inline size, bigger units cost more per op than they amortize.
+	// The goroutine path has no say in its fold size (it folds whatever
+	// one connection's window delivers); choosing the unit size freely
+	// is a structural advantage of the worker runtime.
+	Unit int
 	// MaxMultiOps bounds a MULTI..EXEC batch (default 256).
 	MaxMultiOps int
 	// MaxLine bounds a single request line in bytes (default 1 MiB). A
@@ -78,7 +90,22 @@ type Config struct {
 	// (legacy.go) instead of the byte-level one. It exists solely so
 	// experiment E10 can measure the rewrite's speedup against a live
 	// baseline; it is not reachable from the oftm-server flags.
+	// Setting it forces Runtime "goroutine".
 	Legacy bool
+	// Runtime selects the connection execution model. "worker" (the
+	// default) runs Workers shard-affine run-to-completion loops:
+	// connections are assigned to a worker at accept time, requests
+	// route to the worker owning their key's shard, and each worker
+	// executes its shard group's requests on a single kv.Session — so
+	// the per-shard commit-order locks are taken only by their owner
+	// and batches fold across connections (worker.go). "goroutine" is
+	// the PR 4 goroutine-per-connection byte path, kept live as the
+	// measured baseline and equivalence reference.
+	Runtime string
+	// Workers is the worker-loop count for Runtime "worker" (default
+	// min(NumCPU, Shards); always capped at Shards — a worker owning no
+	// shard would never execute anything).
+	Workers int
 
 	// WALDir enables the durability layer (internal/wal): committed
 	// write effects are logged to this directory, state is recovered
@@ -118,6 +145,9 @@ func (c *Config) fill() {
 	if c.Batch <= 0 {
 		c.Batch = 64
 	}
+	if c.Unit <= 0 {
+		c.Unit = 8
+	}
 	if c.MaxMultiOps <= 0 {
 		c.MaxMultiOps = 256
 	}
@@ -126,6 +156,18 @@ func (c *Config) fill() {
 	}
 	if c.Fsync == "" {
 		c.Fsync = "interval"
+	}
+	if c.Runtime == "" {
+		c.Runtime = "worker"
+	}
+	if c.Legacy {
+		c.Runtime = "goroutine"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Workers > c.Shards {
+		c.Workers = c.Shards
 	}
 }
 
@@ -159,6 +201,10 @@ type Server struct {
 	snapStop  chan struct{}
 	snapDone  chan struct{}
 
+	// rt is the shard-affine worker runtime (worker.go), nil when
+	// Config.Runtime selects the goroutine-per-connection path.
+	rt *workerRuntime
+
 	mu     sync.Mutex
 	lis    net.Listener
 	conns  map[net.Conn]struct{}
@@ -180,6 +226,11 @@ type Server struct {
 // recovery loads are not re-logged.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
+	switch cfg.Runtime {
+	case "worker", "goroutine":
+	default:
+		return nil, fmt.Errorf("server: unknown runtime %q (want worker|goroutine)", cfg.Runtime)
+	}
 	tm, err := NewEngine(cfg.Engine)
 	if err != nil {
 		return nil, err
@@ -194,6 +245,9 @@ func New(cfg Config) (*Server, error) {
 		if err := s.openWAL(cfg); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Runtime == "worker" {
+		s.rt = newWorkerRuntime(s, cfg.Workers)
 	}
 	return s, nil
 }
@@ -320,18 +374,28 @@ func (s *Server) Serve() error {
 	if lis == nil {
 		return errors.New("server: Serve before Listen")
 	}
+	var backoff time.Duration
 	for {
 		c, err := lis.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
+			if !closed && isTransientAcceptErr(err) {
+				// Resource exhaustion (EMFILE and friends) clears when a
+				// connection closes; a hot retry loop would spin a core
+				// until then. Back off exponentially, reset on success.
+				backoff = nextAcceptBackoff(backoff)
+				time.Sleep(backoff)
+				continue
+			}
 			s.wg.Wait()
 			if closed {
 				return nil
 			}
 			return err
 		}
+		backoff = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -384,6 +448,12 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	if s.rt != nil {
+		// Readers have all exited (wg above), so every EOF is already
+		// queued: the workers drain them — publishing the exact request
+		// tally — and stop.
+		s.rt.stopAll()
+	}
 	if s.snapStop != nil {
 		close(s.snapStop)
 		<-s.snapDone
@@ -406,12 +476,45 @@ func (s *Server) dropConn(c net.Conn) {
 }
 
 func (s *Server) serveConn(c net.Conn) {
+	if s.rt != nil {
+		// The accept goroutine becomes the connection's reader; the
+		// owning worker closes the conn (dropConn) when it drains the
+		// reader's EOF.
+		s.rt.serve(c)
+		return
+	}
 	defer s.dropConn(c)
 	if s.cfg.Legacy {
 		s.serveConnLegacy(c)
 		return
 	}
 	newConn(s, c).run()
+}
+
+// nextAcceptBackoff doubles the accept retry delay, starting at 5ms
+// and capping at 1s.
+func nextAcceptBackoff(prev time.Duration) time.Duration {
+	if prev <= 0 {
+		return 5 * time.Millisecond
+	}
+	if prev >= time.Second/2 {
+		return time.Second
+	}
+	return prev * 2
+}
+
+// isTransientAcceptErr reports whether an Accept error is worth
+// retrying with backoff: fd exhaustion (EMFILE/ENFILE clear when
+// connections close), connections reset before the accept completed,
+// interrupted syscalls, and listener timeouts. Everything else (a
+// closed or broken listener) stays fatal.
+func isTransientAcceptErr(err error) bool {
+	if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EINTR) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // hasCompleteLine reports whether r's buffer already holds a full

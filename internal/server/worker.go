@@ -1,0 +1,1080 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kv"
+)
+
+// This file is the shard-affine worker runtime (Config.Runtime
+// "worker"): instead of one goroutine per connection, N run-to-
+// completion worker loops serve every connection. A connection is
+// assigned to a worker at accept time (round-robin, static — ownership
+// never rebalances); its dedicated reader goroutine ships raw chunks
+// to that worker over a channel. Each worker parses its connections'
+// requests with the PR 4 byte parser and routes every operation to the
+// worker owning the key's shard (shard s belongs to worker s mod W):
+//
+//   - Unconditional single-key requests (GET/SET/DEL) fold into merged
+//     units of up to Config.Batch ops per owner — across connections,
+//     not just within one, which is what amortizes engine begin/commit
+//     far beyond what per-connection batching can.
+//   - CAS and single-owner MULTI..EXEC become their own ordered units
+//     (same wire semantics as the goroutine path: CAS never rides in a
+//     batch, EXEC is all-or-nothing).
+//   - Cross-owner MULTI..EXEC, LEN and STATS escalate to a slow path
+//     that runs after the round barrier on the parsing worker's own
+//     session — kv's ascending-order commit-lock discipline keeps that
+//     correct; the connection pauses so its later requests cannot
+//     overtake the escalated one.
+//
+// Each round the worker dispatches the unit lists to their owners,
+// executes its own inline, and waits for the peers — servicing their
+// unit lists while it waits, so crossing dispatches cannot deadlock.
+// Because a shard's units are only ever executed by its owner, the
+// per-shard commit-order locks of PR 5 are uncontended on this path by
+// construction; only escalations ever take more than one.
+//
+// Replies render from per-connection slot queues in request order and
+// every touched connection is flushed exactly once per round — all of
+// its replies leave in one write. The steady state allocates nothing:
+// units, slots, buffers and sessions are all reused.
+//
+// Liveness note: workers write replies synchronously, so a client that
+// stops reading while the server's socket buffer is full stalls its
+// worker (and, transitively, peers waiting on that worker's barrier)
+// until the write drains. The goroutine runtime confines that stall to
+// one connection. Non-blocking writes with poller wakeups are the
+// standard fix and are out of scope here.
+
+// wmsgKind discriminates worker mailbox messages.
+type wmsgKind uint8
+
+const (
+	// wmData: a reader delivered a raw chunk (buf aliases the reader's
+	// buffer; the worker must ack once the chunk is consumed).
+	wmData wmsgKind = iota
+	// wmEOF: the connection's reader saw an error or EOF and exited.
+	wmEOF
+	// wmUnits: a peer dispatched a unit list for this worker to execute.
+	wmUnits
+	// wmDone: a peer finished executing the unit list we sent it.
+	wmDone
+)
+
+type wmsg struct {
+	kind  wmsgKind
+	c     *wconn
+	buf   []byte
+	from  *worker
+	units []*unit
+}
+
+// unitKind discriminates execution units.
+type unitKind uint8
+
+const (
+	// unitBatch is a merged unconditional batch (GET/SET/DEL), executed
+	// as one transaction; ops may come from different connections.
+	unitBatch unitKind = iota
+	// unitCAS is a lone CAS with single-op semantics (a mismatch
+	// reports CASFAIL, it never aborts anything else).
+	unitCAS
+	// unitMulti is a single-owner MULTI..EXEC batch (all-or-nothing;
+	// a failed CAS guard answers ABORTED cas-guard).
+	unitMulti
+)
+
+// unit is one ordered piece of a round's work for one owner. It is
+// allocated from the parsing worker's pool and reused every round; the
+// owner fills res/err, the parsing worker renders from them after the
+// barrier.
+type unit struct {
+	kind unitKind
+	ops  []kv.Op
+	res  []kv.OpResult
+	err  error
+}
+
+// slotKind discriminates reply slots.
+type slotKind uint8
+
+const (
+	slotStatic slotKind = iota // fixed text line
+	slotErr                    // error via the shared errLine rules
+	slotOp                     // one op's result out of a unit
+	slotExec                   // a whole unit as a RESULTS block
+	slotLen                    // LEN result (filled post-barrier)
+	slotStats                  // store STATS line (rendered at flush)
+	slotWorkerStats            // STATS WORKERS block (rendered at flush)
+	// slotFoldStatic and slotFoldVal are folded replies whose outcome
+	// is known at parse time but contingent on the governing unit (u)
+	// committing: they render text / VALUE val / NOTFOUND on success
+	// and the unit's error otherwise (see worker.folds).
+	slotFoldStatic
+	slotFoldVal
+)
+
+// rslot is one queued reply of a connection; slots render in request
+// order at the end of the round.
+type rslot struct {
+	kind  slotKind
+	text  string
+	err   error
+	u     *unit
+	idx   int
+	val   uint64
+	found bool
+}
+
+// escKind discriminates slow-path escalations.
+type escKind uint8
+
+const (
+	escExec escKind = iota // cross-owner MULTI..EXEC
+	escLen
+	escStats
+	escStatsWorkers
+)
+
+// escal is one escalated request, executed after the round barrier in
+// parse order.
+type escal struct {
+	kind escKind
+	c    *wconn
+	slot int
+	u    *unit
+}
+
+// wconn is one connection's state, owned by exactly one worker for the
+// connection's whole life (static assignment — the churn soak pins
+// this). The reader goroutine only touches nc, bufs and ack.
+type wconn struct {
+	w  *worker
+	nc net.Conn
+	bw *bufio.Writer
+
+	// bufs are the reader's ping-pong chunk buffers; ack releases a
+	// consumed chunk's buffer back to the reader (capacity 2 = the
+	// maximum outstanding chunks, so acking never blocks the worker).
+	bufs [2][]byte
+	ack  chan struct{}
+
+	// carry assembles a line split across chunks (always a copy, so
+	// chunks can be acked while a partial line is pending). rem is the
+	// unparsed tail of the current chunk after a mid-chunk pause; next
+	// is the one further chunk that may already be queued behind it.
+	// Both alias reader buffers and hold their acks until consumed.
+	carry []byte
+	rem   []byte
+	next  []byte
+
+	toks    [][]byte
+	multi   []kv.Op
+	slots   []rslot
+	num     []byte
+	reqs    int64
+	inMulti bool
+	// paused stops parsing until the round barrier (set by
+	// escalations, cleared when the round ends).
+	paused   bool
+	closing  bool // QUIT / fatal protocol error: close after flush
+	eof      bool // reader exited
+	gone     bool // closed and unregistered
+	inActive bool // already on the worker's per-round active list
+}
+
+func (c *wconn) ackChunk() { c.ack <- struct{}{} }
+
+// discardInput drops any unconsumed input, releasing the acks its
+// chunks still hold so the reader can never deadlock on a dead conn.
+func (c *wconn) discardInput() {
+	c.carry = c.carry[:0]
+	if c.rem != nil {
+		c.rem = nil
+		c.ackChunk()
+	}
+	if c.next != nil {
+		c.next = nil
+		c.ackChunk()
+	}
+}
+
+// ownerOut accumulates one owner's ordered unit list for the current
+// round. open is the trailing merged batch still accepting ops.
+type ownerOut struct {
+	units []*unit
+	open  *unit
+}
+
+// foldState is one handle's per-round folding state (see worker.folds).
+// seq must match the worker's current roundSeq for the entry to be
+// live. ru/ridx name the round's first still-valid GET of the handle
+// (later GETs share its result); wu names the unit carrying the
+// round's trailing write, after which the key's state is known to be
+// (present, val) — provided that unit commits. widx is the index of a
+// rewritable SET op inside wu (-1 when the trailing write is a DEL).
+type foldState struct {
+	seq     uint64
+	ru      *unit
+	ridx    int
+	wu      *unit
+	widx    int
+	val     uint64
+	present bool
+}
+
+// worker is one run-to-completion loop.
+type worker struct {
+	id   int
+	rt   *workerRuntime
+	sess *kv.Session
+
+	// dataCh carries reader traffic (data/EOF); ctrlCh carries peer
+	// dispatch traffic (units/done). They are separate so the round
+	// barrier can wait on peers without consuming new connection input,
+	// and ctrlCh's capacity (2W) covers the worst case in flight — at
+	// most one unit list and one done per peer — so control sends never
+	// block.
+	dataCh chan wmsg
+	ctrlCh chan wmsg
+
+	outs    []ownerOut
+	escs    []escal
+	active  []*wconn
+	pending []*wconn
+
+	unitPool []*unit
+	nUnits   int
+
+	// folds is the round's per-handle folding state, the worker
+	// runtime's cross-connection amortization (goroutine-per-connection
+	// has no view across connections):
+	//
+	//   - duplicate GETs fold onto the round's first engine read of the
+	//     same handle and share its result;
+	//   - a GET after a same-round write is answered from the written
+	//     state without touching the engine;
+	//   - SET-after-SET rewrites the pending SET op's value in place
+	//     (last-writer-wins) instead of appending a second op;
+	//   - DEL of a key the round already removed (or whose trailing
+	//     write was a DEL) answers statically — deleting an absent key
+	//     is a no-op on state.
+	//
+	// Folding is sound because all of a round's units execute before
+	// any reply is flushed: the folded ops serialize adjacently at the
+	// governing unit's commit, which respects every connection's
+	// program order — an escalated write cannot be overtaken
+	// (escalations pause their connection), and a same-round op from
+	// another connection is concurrent with the folded ops (none of the
+	// round's replies has left the server), so placing the folded ops
+	// next to their source is a valid linearization. Replies derived
+	// from a write render contingent on that write's unit: if the unit
+	// errors (WAL fail-stop latch), the folded reply reports the same
+	// error instead of acknowledging state that never committed. CAS
+	// and EXEC writes invalidate the handle's entry. Entries are
+	// stamped with roundSeq so the map is never cleared on the hot
+	// path; a stale entry (old stamp, possibly a recycled unit) is
+	// simply ignored.
+	folds    map[uint64]foldState
+	roundSeq uint64
+
+	// Counters (read cross-worker by STATS WORKERS and the shutdown
+	// report, hence atomic).
+	connsN atomic.Int64
+	reqsN  atomic.Int64
+	rounds atomic.Int64
+	escals atomic.Int64
+
+	// Config cached off the hot path.
+	batchCap int
+	maxMulti int
+	maxLine  int
+}
+
+// workerRuntime owns the worker loops of one server.
+type workerRuntime struct {
+	srv     *Server
+	workers []*worker
+	next    atomic.Uint64
+
+	stop    chan struct{}
+	live    atomic.Int32
+	allIdle chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newWorkerRuntime(s *Server, n int) *workerRuntime {
+	if n < 1 {
+		n = 1
+	}
+	rt := &workerRuntime{srv: s, stop: make(chan struct{}), allIdle: make(chan struct{})}
+	rt.live.Store(int32(n))
+	for i := 0; i < n; i++ {
+		rt.workers = append(rt.workers, &worker{
+			id:       i,
+			rt:       rt,
+			sess:     s.store.NewSession(),
+			dataCh:   make(chan wmsg, 512),
+			ctrlCh:   make(chan wmsg, 2*n),
+			outs:     make([]ownerOut, n),
+			folds:    make(map[uint64]foldState, 256),
+			batchCap: s.cfg.Unit,
+			maxMulti: s.cfg.MaxMultiOps,
+			maxLine:  s.cfg.MaxLine,
+		})
+	}
+	rt.wg.Add(n)
+	for _, w := range rt.workers {
+		go w.loop()
+	}
+	return rt
+}
+
+// ownerOf maps a key handle to the worker owning its shard.
+func (rt *workerRuntime) ownerOf(h uint64) int {
+	return rt.srv.store.ShardOf(h) % len(rt.workers)
+}
+
+// stopAll is called by Server.Close after every reader goroutine has
+// exited: the workers drain what remains and stop.
+func (rt *workerRuntime) stopAll() {
+	close(rt.stop)
+	rt.wg.Wait()
+}
+
+// serve is the reader loop: it runs on the accept goroutine, shipping
+// raw chunks to the connection's worker and recycling its two buffers
+// as the worker acks them. Assignment is round-robin and permanent.
+func (rt *workerRuntime) serve(nc net.Conn) {
+	w := rt.workers[int(rt.next.Add(1)-1)%len(rt.workers)]
+	c := &wconn{
+		w:   w,
+		nc:  nc,
+		bw:  bufio.NewWriterSize(nc, 16<<10),
+		ack: make(chan struct{}, 2),
+	}
+	c.bufs[0] = make([]byte, 16<<10)
+	c.bufs[1] = make([]byte, 16<<10)
+	w.connsN.Add(1)
+	var cur int
+	var sent [2]bool
+	for {
+		if sent[cur] {
+			// The worker still owns this buffer's previous chunk; acks
+			// arrive in chunk order, so the first ack frees exactly it.
+			<-c.ack
+			sent[cur] = false
+		}
+		n, err := nc.Read(c.bufs[cur])
+		if n > 0 {
+			w.dataCh <- wmsg{kind: wmData, c: c, buf: c.bufs[cur][:n]}
+			sent[cur] = true
+			cur ^= 1
+		}
+		if err != nil {
+			w.dataCh <- wmsg{kind: wmEOF, c: c}
+			return
+		}
+	}
+}
+
+// roundChunkBudget bounds how many queued messages one round absorbs,
+// so a deep backlog cannot starve the flush of already-parsed replies.
+const roundChunkBudget = 256
+
+func (w *worker) loop() {
+	defer w.rt.wg.Done()
+	for {
+		// Block only when nothing is deferred from the previous round.
+		if len(w.pending) == 0 {
+			select {
+			case m := <-w.dataCh:
+				w.handleData(m)
+			case m := <-w.ctrlCh:
+				w.handleCtrl(m)
+			case <-w.rt.stop:
+				w.drainAndExit()
+				return
+			}
+		}
+		// Yield once before draining: the blocking receive above wakes
+		// this worker after a single reader's send, while the other
+		// ready readers are still queued behind it on the scheduler's
+		// run queue. Stepping to the back of that queue lets every
+		// runnable reader deliver its chunk first, so the drain below
+		// absorbs a whole round's worth of connections instead of one —
+		// which is what gives the merged units their cross-connection
+		// fold (and the read-dedup its duplicates). The cost is one
+		// scheduler pass per round, paid only on the worker loop.
+		runtime.Gosched()
+		// Absorb whatever else is already queued, bounded.
+	drain:
+		for n := 0; n < roundChunkBudget; n++ {
+			select {
+			case m := <-w.dataCh:
+				w.handleData(m)
+			case m := <-w.ctrlCh:
+				w.handleCtrl(m)
+			default:
+				break drain
+			}
+		}
+		w.resumePending()
+		w.finishRound()
+	}
+}
+
+func (w *worker) handleData(m wmsg) {
+	c := m.c
+	switch m.kind {
+	case wmData:
+		if c.gone || c.closing {
+			c.ackChunk()
+			return
+		}
+		if c.paused || c.rem != nil {
+			// Mid-chunk pause: at most one further chunk can be in
+			// flight (the reader owns two buffers and blocks on the
+			// ack of the paused one before reading a third).
+			c.next = m.buf
+			return
+		}
+		if rest := w.parseLines(c, m.buf); rest != nil {
+			c.rem = rest
+		} else {
+			c.ackChunk()
+		}
+	case wmEOF:
+		c.eof = true
+		w.touch(c) // make the round visit it for close
+	}
+}
+
+// handleCtrl services one peer message; it reports whether it was a
+// completion (the barrier counts those).
+func (w *worker) handleCtrl(m wmsg) bool {
+	switch m.kind {
+	case wmUnits:
+		w.runUnits(m.units)
+		m.from.ctrlCh <- wmsg{kind: wmDone}
+		return false
+	case wmDone:
+		return true
+	}
+	return false
+}
+
+// resumePending re-parses connections paused mid-chunk by the previous
+// round, oldest input first (rem, then the queued next chunk).
+func (w *worker) resumePending() {
+	pend := w.pending
+	w.pending = w.pending[:0]
+	for _, c := range pend {
+		if c.gone || c.closing {
+			c.discardInput()
+			w.touch(c)
+			continue
+		}
+		if c.rem != nil {
+			data := c.rem
+			c.rem = nil
+			if rest := w.parseLines(c, data); rest != nil {
+				c.rem = rest
+				continue
+			}
+			c.ackChunk()
+		}
+		if c.paused {
+			continue // re-pended by finishRound if input remains
+		}
+		if c.next != nil {
+			data := c.next
+			c.next = nil
+			if rest := w.parseLines(c, data); rest != nil {
+				c.rem = rest
+				continue
+			}
+			c.ackChunk()
+		}
+	}
+}
+
+// parseLines consumes newline-terminated requests from data. It
+// returns the unconsumed tail when the connection paused mid-chunk,
+// nil when the chunk is fully consumed (or discarded) — the caller
+// acks exactly the nil case.
+func (w *worker) parseLines(c *wconn, data []byte) []byte {
+	for len(data) > 0 {
+		if c.closing || c.gone {
+			return nil
+		}
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			if len(c.carry)+len(data) > w.maxLine {
+				w.lineTooLong(c)
+				return nil
+			}
+			c.carry = append(c.carry, data...)
+			return nil
+		}
+		var line []byte
+		if len(c.carry) > 0 {
+			if len(c.carry)+i+1 > w.maxLine {
+				w.lineTooLong(c)
+				return nil
+			}
+			c.carry = append(c.carry, data[:i+1]...)
+			line = c.carry
+		} else {
+			line = data[:i+1]
+			if len(line) > w.maxLine {
+				w.lineTooLong(c)
+				return nil
+			}
+		}
+		data = data[i+1:]
+		w.handleLine(c, line)
+		c.carry = c.carry[:0]
+		if c.paused && len(data) > 0 {
+			return data
+		}
+	}
+	return nil
+}
+
+// lineTooLong mirrors the goroutine path's oversized-line handling:
+// answer `ERR line too long` (after the replies queued before it, in
+// order) and close the connection.
+func (w *worker) lineTooLong(c *wconn) {
+	s := w.slot(c)
+	s.kind = slotStatic
+	s.text = "ERR line too long"
+	c.closing = true
+	c.discardInput()
+}
+
+// handleLine parses and routes one request line.
+func (w *worker) handleLine(c *wconn, line []byte) {
+	c.toks = splitFields(line, c.toks)
+	if len(c.toks) == 0 {
+		return
+	}
+	c.reqs++
+	w.touch(c)
+	v := lookupVerb(c.toks[0])
+	if c.inMulti {
+		w.stepMulti(c, v)
+		return
+	}
+	args := c.toks[1:]
+	switch v {
+	case vGet, vSet, vDel:
+		op, err := parseOp(w.sess, v, c.toks[0], args)
+		if err != nil {
+			w.errSlot(c, err)
+			return
+		}
+		w.pushOp(c, op)
+	case vCas:
+		op, err := parseOp(w.sess, v, c.toks[0], args)
+		if err != nil {
+			w.errSlot(c, err)
+			return
+		}
+		w.pushCAS(c, op)
+	case vLen:
+		s := w.slot(c)
+		s.kind = slotLen
+		w.escalate(c, escLen, nil, len(c.slots)-1)
+	case vStats:
+		s := w.slot(c)
+		if len(args) == 1 && foldEq(args[0], "WORKERS") {
+			s.kind = slotWorkerStats
+			w.escalate(c, escStatsWorkers, nil, len(c.slots)-1)
+		} else {
+			s.kind = slotStats
+			w.escalate(c, escStats, nil, len(c.slots)-1)
+		}
+	case vPing:
+		w.staticSlot(c, "PONG")
+	case vMulti:
+		c.inMulti = true
+		c.multi = c.multi[:0]
+		w.staticSlot(c, "OK")
+	case vQuit:
+		w.staticSlot(c, "BYE")
+		c.closing = true
+		c.discardInput()
+	default:
+		s := w.slot(c)
+		s.kind = slotStatic
+		s.text = fmt.Sprintf("ERR unknown command %q", foldUpper(c.toks[0]))
+	}
+}
+
+// stepMulti handles one request inside a MULTI block.
+func (w *worker) stepMulti(c *wconn, v verb) {
+	switch v {
+	case vExec:
+		c.inMulti = false
+		w.pushExec(c)
+		c.multi = c.multi[:0]
+	case vDiscard:
+		c.inMulti = false
+		c.multi = c.multi[:0]
+		w.staticSlot(c, "OK")
+	default:
+		op, err := parseOp(w.sess, v, c.toks[0], c.toks[1:])
+		switch {
+		case err != nil:
+			w.errSlot(c, err)
+		case len(c.multi) >= w.maxMulti:
+			s := w.slot(c)
+			s.kind = slotStatic
+			s.text = fmt.Sprintf("ERR multi batch exceeds %d ops", w.maxMulti)
+		default:
+			c.multi = append(c.multi, op)
+			w.staticSlot(c, "QUEUED")
+		}
+	}
+}
+
+// appendOp appends an unconditional op to its owner's trailing merged
+// batch, opening a new one at the Config.Unit boundary.
+func (w *worker) appendOp(op kv.Op) (*unit, int) {
+	o := &w.outs[w.rt.ownerOf(op.Handle)]
+	u := o.open
+	if u == nil || len(u.ops) >= w.batchCap {
+		u = w.newUnit(unitBatch)
+		o.units = append(o.units, u)
+		o.open = u
+	}
+	u.ops = append(u.ops, op)
+	return u, len(u.ops) - 1
+}
+
+// pushOp routes an unconditional op through the round's per-handle
+// folding state (see worker.folds), appending to a merged unit only
+// when the op genuinely needs the engine.
+func (w *worker) pushOp(c *wconn, op kv.Op) {
+	s := w.slot(c)
+	f, live := w.folds[op.Handle]
+	live = live && f.seq == w.roundSeq
+	switch op.Kind {
+	case kv.OpGet:
+		if live && f.wu != nil {
+			// The round already wrote this key: answer from the written
+			// state, contingent on that write's unit committing.
+			s.kind = slotFoldVal
+			s.u = f.wu
+			s.val = f.val
+			s.found = f.present
+			return
+		}
+		if live && f.ru != nil {
+			// Duplicate read: share the round's first read of the key.
+			s.kind = slotOp
+			s.u = f.ru
+			s.idx = f.ridx
+			return
+		}
+		s.kind = slotOp
+		s.u, s.idx = w.appendOp(op)
+		w.folds[op.Handle] = foldState{seq: w.roundSeq, ru: s.u, ridx: s.idx}
+	case kv.OpPut:
+		if live && f.wu != nil && f.widx >= 0 {
+			// SET after SET: last-writer-wins — rewrite the pending op's
+			// value in place (units dispatch only at the round barrier,
+			// so the op is still the parsing worker's to mutate). The
+			// reply is OK, not OK NEW: the folded-into SET created the
+			// key, so this one observes it present.
+			f.wu.ops[f.widx].Val = op.Val
+			f.val = op.Val
+			w.folds[op.Handle] = f
+			s.kind = slotFoldStatic
+			s.u = f.wu
+			s.text = "OK"
+			return
+		}
+		s.kind = slotOp
+		s.u, s.idx = w.appendOp(op)
+		w.folds[op.Handle] = foldState{
+			seq: w.roundSeq, wu: s.u, widx: s.idx, val: op.Val, present: true,
+		}
+	case kv.OpDelete:
+		if live && f.wu != nil && !f.present {
+			// The round's trailing write already removed the key (or a
+			// prior DEL established absence): deleting an absent key is
+			// a no-op on state, so no engine op is needed.
+			s.kind = slotFoldStatic
+			s.u = f.wu
+			s.text = "NOTFOUND"
+			return
+		}
+		s.kind = slotOp
+		s.u, s.idx = w.appendOp(op)
+		w.folds[op.Handle] = foldState{seq: w.roundSeq, wu: s.u, widx: -1}
+	default:
+		s.kind = slotOp
+		s.u, s.idx = w.appendOp(op)
+		delete(w.folds, op.Handle)
+	}
+}
+
+// pushCAS seals the owner's merged batch (CAS never rides in one, so
+// independent pipelined requests cannot abort each other) and appends
+// the CAS as its own ordered unit.
+func (w *worker) pushCAS(c *wconn, op kv.Op) {
+	delete(w.folds, op.Handle)
+	o := &w.outs[w.rt.ownerOf(op.Handle)]
+	u := w.newUnit(unitCAS)
+	u.ops = append(u.ops, op)
+	o.units = append(o.units, u)
+	o.open = nil
+	s := w.slot(c)
+	s.kind = slotOp
+	s.u = u
+	s.idx = 0
+}
+
+// pushExec routes a MULTI..EXEC batch: single-owner batches become an
+// ordered unit on that owner; cross-owner batches escalate to the
+// post-barrier slow path.
+func (w *worker) pushExec(c *wconn) {
+	if len(c.multi) == 0 {
+		w.staticSlot(c, "RESULTS 0")
+		return
+	}
+	owner := w.rt.ownerOf(c.multi[0].Handle)
+	single := true
+	for _, op := range c.multi[1:] {
+		if w.rt.ownerOf(op.Handle) != owner {
+			single = false
+			break
+		}
+	}
+	u := w.newUnit(unitMulti)
+	// Copy out of c.multi: the connection may queue another MULTI in
+	// the same round, and the unit must outlive the scratch.
+	u.ops = append(u.ops, c.multi...)
+	// A batch write invalidates the handle's folding state for the rest
+	// of the round (the key's post-EXEC state is not tracked).
+	for i := range u.ops {
+		if u.ops[i].Kind != kv.OpGet {
+			delete(w.folds, u.ops[i].Handle)
+		}
+	}
+	s := w.slot(c)
+	s.kind = slotExec
+	s.u = u
+	if single {
+		o := &w.outs[owner]
+		o.units = append(o.units, u)
+		o.open = nil
+		return
+	}
+	w.escalate(c, escExec, u, len(c.slots)-1)
+}
+
+// escalate defers a request to the post-barrier slow path and pauses
+// the connection so its later requests cannot overtake this one.
+func (w *worker) escalate(c *wconn, k escKind, u *unit, slot int) {
+	w.escs = append(w.escs, escal{kind: k, c: c, slot: slot, u: u})
+	c.paused = true
+	w.escals.Add(1)
+}
+
+// runUnits executes a unit list on this worker's session — the owner
+// side of a dispatch. Results are copied into each unit immediately
+// (session scratch is only valid until its next operation).
+func (w *worker) runUnits(units []*unit) {
+	for _, u := range units {
+		if u.kind == unitCAS {
+			r, err := w.sess.Do(nil, u.ops[0])
+			u.res = append(u.res[:0], r)
+			u.err = err
+			continue
+		}
+		res, err := w.sess.Txn(nil, u.ops)
+		u.err = err
+		if err == nil {
+			u.res = append(u.res[:0], res...)
+		}
+	}
+}
+
+// runEscalations executes the round's deferred slow-path requests in
+// parse order, after every unit of the round has completed.
+func (w *worker) runEscalations() {
+	srv := w.rt.srv
+	for i := range w.escs {
+		e := &w.escs[i]
+		switch e.kind {
+		case escExec:
+			res, err := w.sess.Txn(nil, e.u.ops)
+			e.u.err = err
+			if err == nil {
+				e.u.res = append(e.u.res[:0], res...)
+			}
+		case escLen:
+			n, err := srv.store.Len(nil)
+			s := &e.c.slots[e.slot]
+			s.val, s.err = uint64(n), err
+		case escStats, escStatsWorkers:
+			// Counter snapshots; rendered at flush, ordered here.
+		}
+	}
+	w.escs = w.escs[:0]
+}
+
+// finishRound dispatches, executes, renders and flushes one round.
+func (w *worker) finishRound() {
+	outstanding := 0
+	for v := range w.outs {
+		o := &w.outs[v]
+		o.open = nil
+		if len(o.units) == 0 || v == w.id {
+			continue
+		}
+		w.rt.workers[v].ctrlCh <- wmsg{kind: wmUnits, from: w, units: o.units}
+		outstanding++
+	}
+	w.runUnits(w.outs[w.id].units)
+	for outstanding > 0 {
+		if w.handleCtrl(<-w.ctrlCh) {
+			outstanding--
+		}
+	}
+	w.runEscalations()
+
+	flushed := false
+	for _, c := range w.active {
+		c.inActive = false
+		c.paused = false
+		for i := range c.slots {
+			w.renderSlot(c, &c.slots[i])
+		}
+		c.slots = c.slots[:0]
+		if !c.gone {
+			if err := c.bw.Flush(); err != nil {
+				c.closing = true
+				c.discardInput()
+			}
+			flushed = true
+		}
+		if c.reqs != 0 {
+			w.rt.srv.requests.Add(c.reqs)
+			w.reqsN.Add(c.reqs)
+			c.reqs = 0
+		}
+		if c.closing || (c.eof && c.rem == nil && c.next == nil) {
+			w.closeConn(c)
+			continue
+		}
+		if c.rem != nil || c.next != nil {
+			w.pending = append(w.pending, c)
+		}
+	}
+	w.active = w.active[:0]
+	for v := range w.outs {
+		w.outs[v].units = w.outs[v].units[:0]
+	}
+	w.nUnits = 0
+	// Invalidate the round's folded reads in O(1): stale stamps are
+	// ignored, so the map needs no clearing.
+	w.roundSeq++
+	if flushed {
+		w.rounds.Add(1)
+	}
+}
+
+// renderSlot writes one queued reply to the connection's buffer.
+func (w *worker) renderSlot(c *wconn, s *rslot) {
+	bw := c.bw
+	switch s.kind {
+	case slotStatic:
+		renderStatic(bw, s.text)
+	case slotErr:
+		renderErr(bw, s.err)
+	case slotOp:
+		if s.u.err != nil {
+			renderErr(bw, s.u.err)
+		} else {
+			renderResult(bw, &c.num, s.u.ops[s.idx], s.u.res[s.idx])
+		}
+	case slotExec:
+		u := s.u
+		switch {
+		case errors.Is(u.err, kv.ErrCASFailed):
+			renderStatic(bw, "ABORTED cas-guard")
+		case u.err != nil:
+			renderErr(bw, u.err)
+		default:
+			bw.WriteString("RESULTS ")
+			renderUint(bw, &c.num, uint64(len(u.res)))
+			bw.WriteByte('\n')
+			for i := range u.res {
+				renderResult(bw, &c.num, u.ops[i], u.res[i])
+			}
+		}
+	case slotLen:
+		if s.err != nil {
+			renderErr(bw, s.err)
+		} else {
+			bw.WriteString("LEN ")
+			renderUint(bw, &c.num, s.val)
+			bw.WriteByte('\n')
+		}
+	case slotStats:
+		renderStats(bw, w.rt.srv.store.Stats())
+	case slotWorkerStats:
+		renderWorkerStats(bw, w.rt.srv)
+	case slotFoldStatic:
+		if s.u.err != nil {
+			renderErr(bw, s.u.err)
+		} else {
+			renderStatic(bw, s.text)
+		}
+	case slotFoldVal:
+		switch {
+		case s.u.err != nil:
+			renderErr(bw, s.u.err)
+		case s.found:
+			bw.WriteString("VALUE ")
+			renderUint(bw, &c.num, s.val)
+			bw.WriteByte('\n')
+		default:
+			renderStatic(bw, "NOTFOUND")
+		}
+	}
+}
+
+func (w *worker) closeConn(c *wconn) {
+	if c.gone {
+		return
+	}
+	c.gone = true
+	c.discardInput()
+	w.connsN.Add(-1)
+	w.rt.srv.dropConn(c.nc)
+}
+
+// drainAndExit runs after Server.Close has closed every connection and
+// waited out the readers: whatever they produced is already queued.
+// Drain it (publishing the exact request tallies), then keep answering
+// peers still finishing their last round until every worker is here.
+func (w *worker) drainAndExit() {
+	for {
+		select {
+		case m := <-w.dataCh:
+			switch m.kind {
+			case wmData:
+				m.c.ackChunk()
+			case wmEOF:
+				if m.c.reqs != 0 {
+					w.rt.srv.requests.Add(m.c.reqs)
+					w.reqsN.Add(m.c.reqs)
+					m.c.reqs = 0
+				}
+				w.closeConn(m.c)
+			}
+		default:
+			// No dispatch can be in flight once every worker idles here
+			// (a mid-round worker has not decremented yet and its
+			// barrier completes because we keep serving ctrlCh).
+			if w.rt.live.Add(-1) == 0 {
+				close(w.rt.allIdle)
+			}
+			for {
+				select {
+				case m := <-w.ctrlCh:
+					w.handleCtrl(m)
+				case <-w.rt.allIdle:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (w *worker) touch(c *wconn) {
+	if !c.inActive {
+		c.inActive = true
+		w.active = append(w.active, c)
+	}
+}
+
+func (w *worker) slot(c *wconn) *rslot {
+	w.touch(c)
+	c.slots = append(c.slots, rslot{})
+	return &c.slots[len(c.slots)-1]
+}
+
+func (w *worker) staticSlot(c *wconn, text string) {
+	s := w.slot(c)
+	s.kind = slotStatic
+	s.text = text
+}
+
+func (w *worker) errSlot(c *wconn, err error) {
+	s := w.slot(c)
+	s.kind = slotErr
+	s.err = err
+}
+
+func (w *worker) newUnit(k unitKind) *unit {
+	var u *unit
+	if w.nUnits < len(w.unitPool) {
+		u = w.unitPool[w.nUnits]
+	} else {
+		u = &unit{}
+		w.unitPool = append(w.unitPool, u)
+	}
+	w.nUnits++
+	u.kind = k
+	u.ops = u.ops[:0]
+	u.res = u.res[:0]
+	u.err = nil
+	return u
+}
+
+// WorkerStats is one worker loop's counter snapshot.
+type WorkerStats struct {
+	// Conns is the number of connections currently assigned.
+	Conns int64
+	// Requests counts parsed protocol requests (published at flush and
+	// close, like Server.Requests).
+	Requests int64
+	// FlushRounds counts rounds that flushed at least one connection.
+	FlushRounds int64
+	// Escalations counts slow-path requests: cross-worker MULTI..EXEC,
+	// LEN and STATS.
+	Escalations int64
+}
+
+// WorkerStats snapshots the per-worker counters — the figures behind
+// `STATS WORKERS` and the shutdown report. It returns nil when the
+// server runs the goroutine runtime.
+func (s *Server) WorkerStats() []WorkerStats {
+	if s.rt == nil {
+		return nil
+	}
+	out := make([]WorkerStats, len(s.rt.workers))
+	for i, w := range s.rt.workers {
+		out[i] = WorkerStats{
+			Conns:       w.connsN.Load(),
+			Requests:    w.reqsN.Load(),
+			FlushRounds: w.rounds.Load(),
+			Escalations: w.escals.Load(),
+		}
+	}
+	return out
+}
