@@ -42,6 +42,7 @@ func main() {
 	runtimeKind := flag.String("runtime", "worker", "serving runtime: worker (shard-affine loops) | goroutine (one per connection)")
 	workers := flag.Int("workers", 0, "worker runtime: number of worker loops (0 = GOMAXPROCS, capped at -shards)")
 	unit := flag.Int("unit", 0, "worker runtime: max ops folded into one merged shard unit (0 = default 8, the engines' inline read/write-set size)")
+	flushTimeout := flag.Duration("flush-timeout", 0, "worker runtime: write deadline per reply flush; a connection that cannot drain within it is closed (0 = default 5s, negative disables)")
 	walDir := flag.String("wal-dir", "", "durability: write-ahead log directory (empty = volatile)")
 	fsync := flag.String("fsync", "interval", "durability: WAL fsync policy: always|interval|never")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "durability: fsync period for -fsync interval")
@@ -66,6 +67,7 @@ func main() {
 		Runtime:       *runtimeKind,
 		Workers:       *workers,
 		Unit:          *unit,
+		FlushTimeout:  *flushTimeout,
 		WALDir:        *walDir,
 		Fsync:         *fsync,
 		FsyncInterval: *fsyncEvery,

@@ -103,9 +103,18 @@ type Config struct {
 	// measured baseline and equivalence reference.
 	Runtime string
 	// Workers is the worker-loop count for Runtime "worker" (default
-	// min(NumCPU, Shards); always capped at Shards — a worker owning no
-	// shard would never execute anything).
+	// min(GOMAXPROCS, Shards); always capped at Shards — a worker
+	// owning no shard would never execute anything).
 	Workers int
+	// FlushTimeout bounds how long a worker-runtime reply flush may
+	// block on one connection (default 5s; negative disables). Workers
+	// write synchronously, so a client that stops reading with a full
+	// socket buffer stalls its worker — and, through the round barrier,
+	// every worker dispatching to it. A connection that cannot drain
+	// its replies within the deadline is treated as failed and closed.
+	// The goroutine runtime does not use it: there a stalled write
+	// blocks only the offending connection's own handler.
+	FlushTimeout time.Duration
 
 	// WALDir enables the durability layer (internal/wal): committed
 	// write effects are logged to this directory, state is recovered
@@ -164,10 +173,18 @@ func (c *Config) fill() {
 		c.Runtime = "goroutine"
 	}
 	if c.Workers <= 0 {
-		c.Workers = runtime.NumCPU()
+		// GOMAXPROCS, not NumCPU: the loop count should follow what the
+		// scheduler will actually run in parallel (bench harnesses and
+		// container deployments routinely set GOMAXPROCS below the
+		// machine's core count), and it is what the -workers flag help
+		// documents.
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.Workers > c.Shards {
 		c.Workers = c.Shards
+	}
+	if c.FlushTimeout == 0 {
+		c.FlushTimeout = 5 * time.Second
 	}
 }
 

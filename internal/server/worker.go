@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kv"
 )
@@ -49,10 +50,13 @@ import (
 //
 // Liveness note: workers write replies synchronously, so a client that
 // stops reading while the server's socket buffer is full stalls its
-// worker (and, transitively, peers waiting on that worker's barrier)
-// until the write drains. The goroutine runtime confines that stall to
-// one connection. Non-blocking writes with poller wakeups are the
-// standard fix and are out of scope here.
+// worker (and, transitively, peers waiting on that worker's barrier).
+// Each flush therefore runs under a write deadline (Config.FlushTimeout):
+// a connection that cannot drain its replies within it is treated as
+// failed and closed, bounding how long one slow or malicious client can
+// stall the others. Non-blocking writes with poller wakeups — which
+// would confine the stall to the offending connection without a timeout
+// — are the standard fix and remain out of scope here.
 
 // wmsgKind discriminates worker mailbox messages.
 type wmsgKind uint8
@@ -101,6 +105,11 @@ type unit struct {
 	ops  []kv.Op
 	res  []kv.OpResult
 	err  error
+	// readsOK: the unit failed (err != nil) but its OpGet ops were
+	// re-run read-only and res holds their results (see retryReads) —
+	// reads keep their availability when another connection's write
+	// poisons a merged batch (WAL fail-stop).
+	readsOK bool
 }
 
 // slotKind discriminates reply slots.
@@ -169,9 +178,14 @@ type wconn struct {
 
 	// carry assembles a line split across chunks (always a copy, so
 	// chunks can be acked while a partial line is pending). rem is the
-	// unparsed tail of the current chunk after a mid-chunk pause; next
-	// is the one further chunk that may already be queued behind it.
-	// Both alias reader buffers and hold their acks until consumed.
+	// unparsed tail of the current chunk after a pause — possibly
+	// empty but non-nil when the pause fell on the exact chunk
+	// boundary, so the chunk stays un-acked either way; next is the
+	// one further chunk that may already be queued behind it. Both
+	// alias reader buffers and hold their acks until consumed, which
+	// is what caps the reader at one queued chunk: a pause always
+	// pins rem's buffer, so of the reader's two buffers at most one
+	// can be in flight (next), and a third chunk cannot exist.
 	carry []byte
 	rem   []byte
 	next  []byte
@@ -253,6 +267,7 @@ type worker struct {
 
 	unitPool []*unit
 	nUnits   int
+	readOps  []kv.Op // retryReads scratch (reused)
 
 	// folds is the round's per-handle folding state, the worker
 	// runtime's cross-connection amortization (goroutine-per-connection
@@ -294,9 +309,10 @@ type worker struct {
 	escals atomic.Int64
 
 	// Config cached off the hot path.
-	batchCap int
-	maxMulti int
-	maxLine  int
+	batchCap     int
+	maxMulti     int
+	maxLine      int
+	flushTimeout time.Duration
 }
 
 // workerRuntime owns the worker loops of one server.
@@ -318,24 +334,32 @@ func newWorkerRuntime(s *Server, n int) *workerRuntime {
 	rt := &workerRuntime{srv: s, stop: make(chan struct{}), allIdle: make(chan struct{})}
 	rt.live.Store(int32(n))
 	for i := 0; i < n; i++ {
-		rt.workers = append(rt.workers, &worker{
-			id:       i,
-			rt:       rt,
-			sess:     s.store.NewSession(),
-			dataCh:   make(chan wmsg, 512),
-			ctrlCh:   make(chan wmsg, 2*n),
-			outs:     make([]ownerOut, n),
-			folds:    make(map[uint64]foldState, 256),
-			batchCap: s.cfg.Unit,
-			maxMulti: s.cfg.MaxMultiOps,
-			maxLine:  s.cfg.MaxLine,
-		})
+		rt.workers = append(rt.workers, rt.newWorker(i, n))
 	}
 	rt.wg.Add(n)
 	for _, w := range rt.workers {
 		go w.loop()
 	}
 	return rt
+}
+
+// newWorker builds one worker of an n-worker runtime (the loop is
+// started by the caller; worker-internal tests drive rounds directly).
+func (rt *workerRuntime) newWorker(id, n int) *worker {
+	s := rt.srv
+	return &worker{
+		id:           id,
+		rt:           rt,
+		sess:         s.store.NewSession(),
+		dataCh:       make(chan wmsg, 512),
+		ctrlCh:       make(chan wmsg, 2*n),
+		outs:         make([]ownerOut, n),
+		folds:        make(map[uint64]foldState, 256),
+		batchCap:     s.cfg.Unit,
+		maxMulti:     s.cfg.MaxMultiOps,
+		maxLine:      s.cfg.MaxLine,
+		flushTimeout: s.cfg.FlushTimeout,
+	}
 }
 
 // ownerOf maps a key handle to the worker owning its shard.
@@ -405,6 +429,12 @@ func (w *worker) loop() {
 				return
 			}
 		}
+		// Re-parse input deferred from the previous round BEFORE
+		// absorbing new chunks: a connection's held tail (rem) and
+		// queued chunk (next) are strictly older than anything still in
+		// dataCh, and parsing them first is what keeps each connection's
+		// requests in arrival order across a pause.
+		w.resumePending()
 		// Yield once before draining: the blocking receive above wakes
 		// this worker after a single reader's send, while the other
 		// ready readers are still queued behind it on the scheduler's
@@ -427,7 +457,6 @@ func (w *worker) loop() {
 				break drain
 			}
 		}
-		w.resumePending()
 		w.finishRound()
 	}
 }
@@ -440,10 +469,17 @@ func (w *worker) handleData(m wmsg) {
 			c.ackChunk()
 			return
 		}
-		if c.paused || c.rem != nil {
-			// Mid-chunk pause: at most one further chunk can be in
-			// flight (the reader owns two buffers and blocks on the
-			// ack of the paused one before reading a third).
+		if c.paused || c.rem != nil || c.next != nil {
+			// The connection holds older unparsed input: a pause always
+			// pins its chunk un-acked in rem (even a pause on the exact
+			// chunk boundary keeps an empty tail there — see
+			// parseLines), so the reader owns at most one more buffer
+			// and exactly one chunk can ever be queued here. A third
+			// would mean the ping-pong accounting broke; queue it and
+			// it would silently overwrite client input, so fail loudly.
+			if c.next != nil {
+				panic("server: worker received a chunk with one already queued behind a pause")
+			}
 			c.next = m.buf
 			return
 		}
@@ -508,9 +544,13 @@ func (w *worker) resumePending() {
 }
 
 // parseLines consumes newline-terminated requests from data. It
-// returns the unconsumed tail when the connection paused mid-chunk,
-// nil when the chunk is fully consumed (or discarded) — the caller
-// acks exactly the nil case.
+// returns the unconsumed tail when the connection paused — a zero-
+// length but non-nil tail when the pause fell on the exact chunk
+// boundary — and nil when the chunk is fully consumed (or discarded).
+// The caller acks exactly the nil case: a paused connection must keep
+// its chunk un-acked even when nothing is left to parse, so the
+// reader stays blocked and can queue at most one further chunk
+// (c.next) before the pause resolves.
 func (w *worker) parseLines(c *wconn, data []byte) []byte {
 	for len(data) > 0 {
 		if c.closing || c.gone {
@@ -543,8 +583,8 @@ func (w *worker) parseLines(c *wconn, data []byte) []byte {
 		data = data[i+1:]
 		w.handleLine(c, line)
 		c.carry = c.carry[:0]
-		if c.paused && len(data) > 0 {
-			return data
+		if c.paused {
+			return data // non-nil even when empty: the chunk stays un-acked
 		}
 	}
 	return nil
@@ -807,8 +847,52 @@ func (w *worker) runUnits(units []*unit) {
 		u.err = err
 		if err == nil {
 			u.res = append(u.res[:0], res...)
+		} else if u.kind == unitBatch {
+			w.retryReads(u)
 		}
 	}
+}
+
+// retryReads re-runs a failed merged batch's GETs as one read-only
+// transaction. A merged batch mixes independent requests from many
+// connections, so its error must not spread to ops that could not have
+// caused it: under WAL fail-stop only writes fail (reads never reach
+// the commit hook), and the goroutine runtime — where another
+// connection's GET can never share a batch with this one's SET — would
+// answer that GET from the store. Re-running the reads restores
+// exactly that answer: a failed hook does not roll the engine commit
+// back (see kv.CommitHook), so the state the retried reads observe is
+// the same state any later read would. Write slots still render the
+// unit's error.
+func (w *worker) retryReads(u *unit) {
+	w.readOps = w.readOps[:0]
+	for i := range u.ops {
+		if u.ops[i].Kind == kv.OpGet {
+			w.readOps = append(w.readOps, u.ops[i])
+		}
+	}
+	if len(w.readOps) == 0 {
+		return
+	}
+	res, err := w.sess.Txn(nil, w.readOps)
+	if err != nil {
+		return // reads genuinely fail too: every slot reports u.err
+	}
+	if cap(u.res) < len(u.ops) {
+		u.res = make([]kv.OpResult, len(u.ops))
+	} else {
+		u.res = u.res[:len(u.ops)]
+	}
+	j := 0
+	for i := range u.ops {
+		if u.ops[i].Kind == kv.OpGet {
+			u.res[i] = res[j]
+			j++
+		} else {
+			u.res[i] = kv.OpResult{}
+		}
+	}
+	u.readsOK = true
 }
 
 // runEscalations executes the round's deferred slow-path requests in
@@ -864,6 +948,14 @@ func (w *worker) finishRound() {
 		}
 		c.slots = c.slots[:0]
 		if !c.gone {
+			// Bound the synchronous flush: a client that stops reading
+			// with a full socket buffer would otherwise stall this
+			// worker — and, through the round barrier, every peer
+			// dispatching to it — indefinitely. Past the deadline the
+			// connection is treated as failed and closed below.
+			if w.flushTimeout > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(w.flushTimeout))
+			}
 			if err := c.bw.Flush(); err != nil {
 				c.closing = true
 				c.discardInput()
@@ -905,10 +997,12 @@ func (w *worker) renderSlot(c *wconn, s *rslot) {
 	case slotErr:
 		renderErr(bw, s.err)
 	case slotOp:
-		if s.u.err != nil {
-			renderErr(bw, s.u.err)
-		} else {
+		switch {
+		case s.u.err == nil,
+			s.u.readsOK && s.u.ops[s.idx].Kind == kv.OpGet:
 			renderResult(bw, &c.num, s.u.ops[s.idx], s.u.res[s.idx])
+		default:
+			renderErr(bw, s.u.err)
 		}
 	case slotExec:
 		u := s.u
@@ -1043,6 +1137,7 @@ func (w *worker) newUnit(k unitKind) *unit {
 	u.ops = u.ops[:0]
 	u.res = u.res[:0]
 	u.err = nil
+	u.readsOK = false
 	return u
 }
 
