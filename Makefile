@@ -38,19 +38,21 @@ bench-readheavy:
 	@$(GO) test -run '^$$' -bench BenchmarkReadHeavy -benchmem -benchtime $(BENCHTIME) .
 
 experiments:
-	@echo "Regenerating the E1..E11 experiment tables..."
+	@echo "Regenerating the E1..E14 experiment tables..."
 	@$(GO) run ./cmd/oftm-bench
 
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 bench-json:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON)
 
-# BENCH_PR6.json is the PR 6 tree re-measured on the PR 7 session's
-# container (median of three runs per record) — PR 6 shipped no BENCH
-# file, and ns/op baselines only gate honestly when both sides ran on
-# the same machine. BENCH_PR5.json remains the PR 5 session's record.
-BASELINE ?= BENCH_PR6.json
+# Each BENCH_PRn.json is the median of three runs per record, measured
+# on that PR session's container; ns/op baselines only gate honestly
+# when both sides ran on the same machine, so the diff against the
+# previous PR's file is advisory across containers and binding within
+# one. Records new since the baseline (e.g. the PR 8 server-repl-*
+# rows vs BENCH_PR7.json) are skipped with a notice.
+BASELINE ?= BENCH_PR7.json
 bench-diff:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON) and diffing against $(BASELINE) (fails on >25% ns/op regressions and on allocs/op above the baseline allowance — zero-alloc records must stay zero; workloads new since the baseline are skipped with a notice)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON) -baseline $(BASELINE)
@@ -67,13 +69,34 @@ bench-server:
 	@$(GO) test -run '^$$' -bench BenchmarkServer -benchmem -benchtime $(BENCHTIME) ./internal/bench
 
 servebench:
-	@echo "Running experiments E10 (byte wire path vs the preserved PR 3 path), E11 (WAL durability bill) and E13 (serving-runtime scaling grid, 2 loadgen procs)..."
+	@echo "Running experiments E10 (byte wire path vs the preserved PR 3 path), E11 (WAL durability bill), E13 (serving-runtime scaling grid, 2 loadgen procs) and E14 (replication follower-read scaling)..."
 	@$(GO) run ./cmd/oftm-bench -servebench
 
 server-scale-smoke:
 	@echo "E13 smoke: truncated scaling grid (8/64 conns, 2 workers, 2 loadgen procs) with the allocs/req <= 1 gate..."
 	@$(GO) run ./cmd/oftm-bench -exp E13 -procs 2 -scale-conns 8,64 -scale-workers 2 | tee /tmp/oftm-scale-smoke.out
 	@awk '/^(worker|goroutine) / { if ($$8 == "" || $$8+0 > 1) { print "allocs/req gate failed: " $$0; bad = 1 } } END { if (bad) exit 1; print "allocs/req <= 1 at every smoke grid point" }' /tmp/oftm-scale-smoke.out
+
+replication-smoke:
+	@echo "Replication unit suites under the race detector (WAL tail-follow, repl stream, follower reads, kill-primary promote)..."
+	@$(GO) test -race -count=1 ./internal/wal ./internal/repl
+	@$(GO) test -race -count=1 -run 'TestReplicaFollowerReads|TestKillPrimaryPromoteReplica' ./internal/server
+	@echo "Binary-level smoke: primary + 1 replica, mixed load, catch-up, SIGUSR1 promote, load at the promoted node..."
+	@$(GO) build -o /tmp/oftm-repl-smoke ./cmd/oftm-server
+	@rm -rf /tmp/oftm-repl-smoke-p /tmp/oftm-repl-smoke-r; \
+	/tmp/oftm-repl-smoke -addr 127.0.0.1:7791 -wal-dir /tmp/oftm-repl-smoke-p -fsync always -replicate-addr 127.0.0.1:7792 & \
+	PRV=$$!; sleep 1; \
+	/tmp/oftm-repl-smoke -addr 127.0.0.1:7793 -wal-dir /tmp/oftm-repl-smoke-r -replica-of 127.0.0.1:7792 & \
+	REP=$$!; sleep 1; \
+	/tmp/oftm-repl-smoke -connect 127.0.0.1:7791 -conns 4 -ops 500; RC1=$$?; \
+	sleep 1; \
+	kill -INT $$PRV; wait $$PRV; \
+	kill -USR1 $$REP; sleep 1; \
+	/tmp/oftm-repl-smoke -connect 127.0.0.1:7793 -conns 4 -ops 500; RC2=$$?; \
+	kill -INT $$REP; wait $$REP; SRC=$$?; \
+	rm -rf /tmp/oftm-repl-smoke /tmp/oftm-repl-smoke-p /tmp/oftm-repl-smoke-r; \
+	echo "primary-load exit: $$RC1, promoted-load exit: $$RC2, replica server exit: $$SRC"; \
+	[ $$RC1 -eq 0 ] && [ $$RC2 -eq 0 ] && [ $$SRC -eq 0 ]
 
 recovery-smoke:
 	@echo "Vetting and running the crash/recovery suite (kill-and-recover, torn tail, WAL unit tests)..."
@@ -124,4 +147,4 @@ sim-smoke: sim-nondeterminism
 	@echo "Campaign test wrappers under the race detector (10 seeds)..."
 	@$(GO) test -race -count=1 ./internal/campaign -campaign.seeds=10
 
-.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke bench-server servebench server-scale-smoke server-smoke recovery-smoke sim-multi-seed sim-nondeterminism sim-import-export sim-benchmark-invariants sim-smoke
+.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke bench-server servebench server-scale-smoke server-smoke replication-smoke recovery-smoke sim-multi-seed sim-nondeterminism sim-import-export sim-benchmark-invariants sim-smoke

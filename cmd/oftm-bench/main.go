@@ -9,7 +9,8 @@
 //	oftm-bench -kvsmoke        # brief run of every kv-* workload (CI)
 //	oftm-bench -servebench     # end-to-end loopback server load
 //	                           # (E10 wire path + E11 durability +
-//	                           # E13 runtime scaling grid);
+//	                           # E13 runtime scaling grid +
+//	                           # E14 replication follower reads);
 //	                           # with -json, write the serving records
 //	oftm-bench -servebench -procs 4
 //	                           # ...driving the E13 grid from 4 loadgen
@@ -69,6 +70,8 @@ func main() {
 		bench.E11(os.Stdout)
 		fmt.Println()
 		bench.E13(os.Stdout)
+		fmt.Println()
+		bench.E14(os.Stdout)
 		if *jsonOut != "" {
 			if err := writeFile(*jsonOut, bench.WriteServerJSON); err != nil {
 				fmt.Fprintf(os.Stderr, "oftm-bench: %v\n", err)

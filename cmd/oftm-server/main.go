@@ -47,6 +47,8 @@ func main() {
 	fsync := flag.String("fsync", "interval", "durability: WAL fsync policy: always|interval|never")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "durability: fsync period for -fsync interval")
 	snapEvery := flag.Duration("snapshot-every", 0, "durability: periodic snapshot+truncate period (0 = off)")
+	replicateAddr := flag.String("replicate-addr", "", "replication: serve the WAL record stream to replicas on this address (requires -wal-dir)")
+	replicaOf := flag.String("replica-of", "", "replication: boot as a read-only replica of the primary's -replicate-addr (requires -wal-dir; SIGUSR1 or PROMOTE promotes)")
 	connect := flag.String("connect", "", "client mode: address of a running server to load")
 	conns := flag.Int("conns", 4, "client mode: concurrent connections")
 	ops := flag.Int("ops", 1000, "client mode: requests per connection")
@@ -72,6 +74,8 @@ func main() {
 		Fsync:         *fsync,
 		FsyncInterval: *fsyncEvery,
 		SnapshotEvery: *snapEvery,
+		ReplicateAddr: *replicateAddr,
+		ReplicaOf:     *replicaOf,
 	})
 }
 
@@ -87,6 +91,13 @@ func runServer(cfg server.Config) {
 	}
 	fmt.Printf("oftm-server: serving on %s (engine=%s shards=%d buckets=%d batch=%d runtime=%s workers=%d)\n",
 		s.Addr(), cfg.Engine, cfg.Shards, cfg.Buckets, cfg.Batch, cfg.Runtime, len(s.WorkerStats()))
+	if cfg.ReplicateAddr != "" {
+		fmt.Printf("oftm-server: role=%s replicating on %s\n", s.Role(), s.ReplAddr())
+	}
+	if cfg.ReplicaOf != "" {
+		fmt.Printf("oftm-server: role=%s of %s (writes answer ERR readonly; SIGUSR1 or PROMOTE promotes)\n",
+			s.Role(), cfg.ReplicaOf)
+	}
 	if cfg.WALDir != "" {
 		rec := s.Recovered()
 		fmt.Printf("oftm-server: wal %s (fsync=%s): recovered %d key(s), snapshot cut %d, %d record(s) replayed, last seq %d",
@@ -103,6 +114,18 @@ func runServer(cfg server.Config) {
 		<-sig
 		fmt.Println("oftm-server: shutting down...")
 		s.Close()
+	}()
+	promote := make(chan os.Signal, 1)
+	signal.Notify(promote, syscall.SIGUSR1)
+	go func() {
+		for range promote {
+			seq, err := s.Promote()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "oftm-server: promote: %v\n", err)
+				continue
+			}
+			fmt.Printf("oftm-server: promoted to primary at seq %d\n", seq)
+		}
 	}()
 
 	if err := s.Serve(); err != nil {
@@ -131,6 +154,11 @@ func runServer(cfg server.Config) {
 		ws := l.Stats()
 		fmt.Printf("  wal: appended=%d durable=%d snapshot_cut=%d segments=%d\n",
 			ws.Appended, ws.Durable, ws.SnapshotSeq, ws.Segments)
+	}
+	if cfg.ReplicateAddr != "" || cfg.ReplicaOf != "" {
+		rs := s.ReplStats()
+		fmt.Printf("  repl: role=%s peers=%d last_shipped=%d last_applied=%d lag=%d\n",
+			rs.Role, rs.Peers, rs.LastShipped, rs.LastApplied, rs.Lag)
 	}
 }
 

@@ -43,6 +43,7 @@ func All() []Experiment {
 		{"E10", "Wire path rewrite: loopback req/s + allocs/req, byte vs PR 3 path", E10},
 		{"E11", "Durability: WAL group commit under load, wal-off vs interval vs always", E11},
 		{"E13", "Serving runtime scaling: worker loops vs goroutine-per-conn, conns x shards x fsync", E13},
+		{"E14", "Follower-read scaling: 1 primary + N replicas, aggregate read capacity", E14},
 	}
 }
 

@@ -137,6 +137,12 @@ func WriteJSON(w io.Writer) error {
 		return err
 	}
 	rep.Records = append(rep.Records, sRecs...)
+	// Replication rows (E14): follower-read aggregate capacity.
+	rRecs, err := replRecords()
+	if err != nil {
+		return err
+	}
+	rep.Records = append(rep.Records, rRecs...)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -160,8 +166,13 @@ func WriteServerJSON(w io.Writer) error {
 		return err
 	}
 	recs = append(recs, sRecs...)
+	rRecs, err := replRecords()
+	if err != nil {
+		return err
+	}
+	recs = append(recs, rRecs...)
 	rep := Report{
-		Note:    "experiments E10/E11/E13: loopback wire-path records (threads = connections); server-*-pr3 rows measure the preserved PR 3 legacy request path, server-*-wal-* rows the durability layer, server-scale-* rows the serving-runtime connection grid",
+		Note:    "experiments E10/E11/E13/E14: loopback wire-path records (threads = connections); server-*-pr3 rows measure the preserved PR 3 legacy request path, server-*-wal-* rows the durability layer, server-scale-* rows the serving-runtime connection grid, server-repl-reads-r* rows the replication topology's aggregate read capacity (sequential per-node phases summed; 1-core container)",
 		Records: recs,
 	}
 	enc := json.NewEncoder(w)

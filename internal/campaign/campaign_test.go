@@ -125,3 +125,15 @@ func BenchmarkInvariants(b *testing.B) {
 		}
 	}
 }
+
+// TestReplicaApply is the replica-apply determinism check standalone:
+// the seeded workload's shipped record stream must reproduce the
+// primary's state hash byte-identically on both engines.
+func TestReplicaApply(t *testing.T) {
+	cfg := testConfig()
+	for seed := int64(0); seed < int64(*flagSeeds); seed++ {
+		if err := ReplicaApply(seed, cfg); err != nil {
+			fatalWithRepro(t, seed, cfg, err)
+		}
+	}
+}

@@ -100,7 +100,10 @@ func simStateHash(seed int64, engine string, cfg Config) string {
 //     order, so engines cannot legitimately diverge);
 //   - a sim-mode contended run repeated twice (same engine) must reach
 //     the identical final state hash;
-//   - the sim-mode history must be exactly serializable on both engines.
+//   - the sim-mode history must be exactly serializable on both engines;
+//   - the seeded workload's shipped record stream, applied replica-style
+//     on both engines, must reproduce the primary's state hash exactly
+//     (ReplicaApply).
 func Nondeterminism(seed int64, cfg Config) error {
 	cfg.fill()
 	a, err := CrashRun(seed, "dstm", cfg)
@@ -135,5 +138,5 @@ func Nondeterminism(seed int64, cfg Config) error {
 			return err
 		}
 	}
-	return nil
+	return ReplicaApply(seed, cfg)
 }

@@ -1,0 +1,29 @@
+package kv
+
+import "repro/internal/core"
+
+// ApplyEffects applies a run of shipped WAL-record write effects to the
+// live store as one atomic transaction — the replication replica's
+// ingest path (internal/repl). Effects are absolute (put this value /
+// delete this key) and applied in stream order, so replaying any prefix
+// of the record stream — including records a snapshot already covers —
+// is idempotent prefix-repair, exactly like startup recovery. Deletes
+// of absent keys are no-ops; the batch goes through the normal
+// transactional path, so replica reads running concurrently see either
+// the state before the batch or after it, never a torn middle.
+func (se *Session) ApplyEffects(effects []Effect, opts ...core.RunOption) error {
+	if len(effects) == 0 {
+		return nil
+	}
+	se.aops = se.aops[:0]
+	for i := range effects {
+		e := &effects[i]
+		if e.Del {
+			se.aops = append(se.aops, Op{Kind: OpDelete, Handle: se.intern(e.Key)})
+		} else {
+			se.aops = append(se.aops, Op{Kind: OpPut, Handle: se.intern(e.Key), Val: e.Val})
+		}
+	}
+	_, err := se.txn(nil, se.aops, false, opts)
+	return err
+}

@@ -35,6 +35,7 @@ type Session struct {
 	mops    []Op // GetMulti scratch batch
 	looks   []Lookup
 	op1     [1]Op
+	aops    []Op     // ApplyEffects scratch batch (replication ingest)
 	effects []Effect // commit-hook scratch (reused across transactions)
 	locks   []int    // shard indices locked for commit ordering (reused)
 

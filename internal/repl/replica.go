@@ -1,0 +1,372 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/wal"
+)
+
+// ReplicaConfig parameterizes Connect.
+type ReplicaConfig struct {
+	// PrimaryAddr is the primary's replication listener address.
+	PrimaryAddr string
+	// WAL are the replica's own log options (Dir is required).
+	WAL wal.Options
+	// ConnectTimeout bounds the initial bootstrap dial (default 10s).
+	// Reconnects after a successful bootstrap retry forever (with
+	// backoff) until Stop — a replica keeps serving reads while its
+	// primary is down.
+	ConnectTimeout time.Duration
+	// Logf, when set, receives replication lifecycle messages
+	// (reconnects, stream refusals). Default: discard.
+	Logf func(format string, args ...any)
+}
+
+// Replica is a live replication follower: it owns the node's WAL
+// (ingesting shipped records into it) and applies each record to the
+// store through the transactional path, so concurrent reads see
+// record-granular snapshots.
+type Replica struct {
+	cfg   ReplicaConfig
+	log   *wal.Log
+	store *kv.Store
+	sess  *kv.Session
+
+	lastApplied atomic.Uint64 // newest seq applied to the store
+	primarySeq  atomic.Uint64 // newest primary durable seq heard
+	connected   atomic.Bool
+
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	stopped bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// Connect opens (recovering) the replica's WAL, dials the primary, and
+// completes the bootstrap handshake. If the primary's retained history
+// no longer reaches the replica's log, the shipped snapshot image is
+// installed into the log (wal.InstallSnapshot) before returning. The
+// returned Recovered holds the state the caller must load into the
+// store before Start — either local recovery's, or the installed
+// snapshot's.
+func Connect(cfg ReplicaConfig) (*Replica, wal.Recovered, error) {
+	if cfg.ConnectTimeout <= 0 {
+		cfg.ConnectTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	l, rec, err := wal.Open(cfg.WAL)
+	if err != nil {
+		return nil, rec, err
+	}
+	r := &Replica{cfg: cfg, log: l, stop: make(chan struct{}), done: make(chan struct{})}
+
+	deadline := time.Now().Add(cfg.ConnectTimeout)
+	var conn net.Conn
+	for {
+		conn, err = r.dial()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			l.Close()
+			return nil, rec, fmt.Errorf("repl: bootstrap: %w", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	// The primary speaks first: a snapshot if we are too far behind,
+	// otherwise the hello 'R' carrying its durable seq.
+	typ, payload, err := readMsg(br)
+	if err != nil {
+		conn.Close()
+		l.Close()
+		return nil, rec, fmt.Errorf("repl: bootstrap handshake: %w", err)
+	}
+	switch typ {
+	case msgSnapshot:
+		cut, state, derr := wal.DecodeSnapshot(payload)
+		if derr == nil {
+			_, derr = l.InstallSnapshot(payload)
+		}
+		if derr != nil {
+			conn.Close()
+			l.Close()
+			return nil, rec, fmt.Errorf("repl: bootstrap snapshot: %w", derr)
+		}
+		rec = wal.Recovered{State: state, Keys: len(state), LastSeq: cut, SnapshotSeq: cut}
+		r.lastApplied.Store(cut)
+		r.primarySeq.Store(cut)
+	case msgRecords:
+		if len(payload) < 8 {
+			conn.Close()
+			l.Close()
+			return nil, rec, fmt.Errorf("repl: bootstrap: short records message")
+		}
+		r.primarySeq.Store(binary.LittleEndian.Uint64(payload))
+		r.lastApplied.Store(rec.LastSeq)
+		if frames := payload[8:]; len(frames) > 0 {
+			// Records already? Only possible after the hello; be strict.
+			conn.Close()
+			l.Close()
+			return nil, rec, fmt.Errorf("repl: bootstrap: unexpected records before hello")
+		}
+	case msgError:
+		conn.Close()
+		l.Close()
+		return nil, rec, fmt.Errorf("repl: primary refused stream: %s", payload)
+	default:
+		conn.Close()
+		l.Close()
+		return nil, rec, fmt.Errorf("repl: bootstrap: unknown message type %q", typ)
+	}
+	r.setConn(conn, br)
+	r.connected.Store(true)
+	return r, rec, nil
+}
+
+// Log returns the replica's write-ahead log.
+func (r *Replica) Log() *wal.Log { return r.log }
+
+// dial opens a connection to the primary and sends the handshake with
+// the log's current cursor.
+func (r *Replica) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", r.cfg.PrimaryAddr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	var hs [16]byte
+	copy(hs[:], magic)
+	binary.LittleEndian.PutUint64(hs[8:], r.log.LastSeq()+1)
+	if _, err := conn.Write(hs[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func (r *Replica) setConn(conn net.Conn, br *bufio.Reader) {
+	r.mu.Lock()
+	r.conn, r.br = conn, br
+	r.mu.Unlock()
+}
+
+// Start begins the live apply loop against store. Call once, after
+// loading the Connect-returned state into the store.
+func (r *Replica) Start(store *kv.Store) {
+	r.store = store
+	r.sess = store.NewSession()
+	go r.run()
+}
+
+// Stop detaches from the primary and stops the apply loop, waiting for
+// the in-flight record batch to finish — after Stop returns, the store
+// is quiescent and the log holds a contiguous prefix of the primary's
+// stream. Used by promote and by shutdown. Safe to call more than once.
+func (r *Replica) Stop() {
+	r.mu.Lock()
+	already := r.stopped
+	r.stopped = true
+	conn := r.conn
+	r.mu.Unlock()
+	if !already {
+		close(r.stop)
+	}
+	if conn != nil {
+		conn.Close()
+	}
+	if r.store != nil {
+		<-r.done
+	}
+}
+
+// ReplicaStats is the apply-side replication summary.
+type ReplicaStats struct {
+	Connected   bool
+	LastApplied uint64 // newest seq applied to the store
+	PrimarySeq  uint64 // newest primary durable seq heard
+}
+
+// Lag returns the replica's record lag behind the primary's durable
+// tail, as of the last message heard.
+func (st ReplicaStats) Lag() uint64 {
+	if st.PrimarySeq <= st.LastApplied {
+		return 0
+	}
+	return st.PrimarySeq - st.LastApplied
+}
+
+// Stats snapshots the replica's position.
+func (r *Replica) Stats() ReplicaStats {
+	return ReplicaStats{
+		Connected:   r.connected.Load(),
+		LastApplied: r.lastApplied.Load(),
+		PrimarySeq:  r.primarySeq.Load(),
+	}
+}
+
+func (r *Replica) isStopped() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the apply loop: read messages, ingest into the WAL, apply to
+// the store; on any stream error, reconnect with backoff and resume
+// from the log's own cursor.
+func (r *Replica) run() {
+	defer close(r.done)
+	r.mu.Lock()
+	conn, br := r.conn, r.br
+	r.mu.Unlock()
+	for {
+		if conn == nil {
+			conn, br = r.redial()
+			if conn == nil {
+				return // stopped
+			}
+			r.setConn(conn, br)
+			r.connected.Store(true)
+		}
+		typ, payload, err := readMsg(br)
+		if err != nil {
+			r.dropConn(conn)
+			conn, br = nil, nil
+			if r.isStopped() {
+				return
+			}
+			r.cfg.Logf("repl: stream to primary lost: %v (reconnecting)", err)
+			continue
+		}
+		if err := r.handle(typ, payload); err != nil {
+			r.dropConn(conn)
+			conn, br = nil, nil
+			if r.isStopped() {
+				return
+			}
+			r.cfg.Logf("repl: %v (reconnecting)", err)
+		}
+	}
+}
+
+func (r *Replica) dropConn(conn net.Conn) {
+	conn.Close()
+	r.connected.Store(false)
+}
+
+// handle processes one stream message. An error drops the connection;
+// the reconnect handshake resumes from the log's contiguous tail, so a
+// refused (corrupt or gapped) batch is simply re-shipped.
+func (r *Replica) handle(typ byte, payload []byte) error {
+	switch typ {
+	case msgRecords:
+		if len(payload) < 8 {
+			return fmt.Errorf("repl: short records message")
+		}
+		r.primarySeq.Store(binary.LittleEndian.Uint64(payload))
+		frames := payload[8:]
+		if len(frames) == 0 {
+			return nil
+		}
+		// WAL first, then store — a crash between the two replays the
+		// difference from this replica's own log on restart.
+		if err := r.log.AppendFrames(frames); err != nil {
+			return fmt.Errorf("repl: refusing shipped records: %w", err)
+		}
+		if err := wal.DecodeFrames(frames, func(seq uint64, effects []kv.Effect) error {
+			if err := r.sess.ApplyEffects(effects); err != nil {
+				return err
+			}
+			r.lastApplied.Store(seq)
+			return nil
+		}); err != nil {
+			return fmt.Errorf("repl: applying shipped records: %w", err)
+		}
+		return nil
+	case msgSnapshot:
+		return r.resync(payload)
+	case msgError:
+		return fmt.Errorf("repl: primary refused stream: %s", payload)
+	default:
+		return fmt.Errorf("repl: unknown message type %q", typ)
+	}
+}
+
+// resync handles a mid-stream snapshot: the primary truncated the
+// records this replica still needed (a long disconnect). The image is
+// installed into the log and the live store is reconciled to it —
+// puts for every image entry, deletes for local keys the image lacks —
+// in one atomic batch per chunk.
+func (r *Replica) resync(img []byte) error {
+	cut, state, err := wal.DecodeSnapshot(img)
+	if err != nil {
+		return fmt.Errorf("repl: resync snapshot: %w", err)
+	}
+	if cut <= r.log.LastSeq() {
+		return nil // stale image; the stream resumes past it anyway
+	}
+	if _, err := r.log.InstallSnapshot(img); err != nil {
+		return fmt.Errorf("repl: resync install: %w", err)
+	}
+	local, err := r.store.Dump(nil)
+	if err != nil {
+		return fmt.Errorf("repl: resync dump: %w", err)
+	}
+	var eff []kv.Effect
+	for _, pr := range local {
+		if _, ok := state[pr.Key]; !ok {
+			eff = append(eff, kv.Effect{Key: pr.Key, Del: true})
+		}
+	}
+	for k, v := range state {
+		eff = append(eff, kv.Effect{Key: k, Val: v})
+	}
+	const chunk = 512
+	for len(eff) > 0 {
+		n := min(chunk, len(eff))
+		if err := r.sess.ApplyEffects(eff[:n]); err != nil {
+			return fmt.Errorf("repl: resync apply: %w", err)
+		}
+		eff = eff[n:]
+	}
+	r.lastApplied.Store(cut)
+	r.cfg.Logf("repl: resynced from snapshot cut %d (%d keys)", cut, len(state))
+	return nil
+}
+
+// redial reconnects with backoff until it succeeds or the replica is
+// stopped (returns nil).
+func (r *Replica) redial() (net.Conn, *bufio.Reader) {
+	backoff := 50 * time.Millisecond
+	for {
+		if r.isStopped() {
+			return nil, nil
+		}
+		conn, err := r.dial()
+		if err == nil {
+			return conn, bufio.NewReaderSize(conn, 64<<10)
+		}
+		select {
+		case <-r.stop:
+			return nil, nil
+		case <-time.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}

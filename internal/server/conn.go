@@ -42,10 +42,11 @@ const (
 	vExec
 	vDiscard
 	vQuit
+	vPromote
 )
 
 // verbName is indexed by verb; parse errors quote it.
-var verbName = [...]string{"", "GET", "SET", "DEL", "CAS", "LEN", "STATS", "PING", "MULTI", "EXEC", "DISCARD", "QUIT"}
+var verbName = [...]string{"", "GET", "SET", "DEL", "CAS", "LEN", "STATS", "PING", "MULTI", "EXEC", "DISCARD", "QUIT", "PROMOTE"}
 
 // upperASCII folds a-z to A-Z and leaves every other byte unchanged.
 var upperASCII [256]byte
@@ -115,8 +116,11 @@ func lookupVerb(tok []byte) verb {
 			return vMulti
 		}
 	case 7:
-		if foldEq(tok, "DISCARD") {
+		switch {
+		case foldEq(tok, "DISCARD"):
 			return vDiscard
+		case foldEq(tok, "PROMOTE"):
+			return vPromote
 		}
 	}
 	return vUnknown
@@ -376,6 +380,11 @@ func (c *conn) step(v verb) bool {
 	args := c.toks[1:]
 	switch v {
 	case vGet, vSet, vDel:
+		if v != vGet && c.srv.isReplica() {
+			c.flushBatch()
+			c.errLine(errReplicaReadonly)
+			return true
+		}
 		op, err := parseOp(c.sess, v, c.toks[0], args)
 		if err != nil {
 			c.flushBatch()
@@ -390,6 +399,10 @@ func (c *conn) step(v verb) bool {
 		// CAS is never folded into the implicit batch: independent
 		// pipelined requests must not abort each other.
 		c.flushBatch()
+		if c.srv.isReplica() {
+			c.errLine(errReplicaReadonly)
+			return true
+		}
 		op, err := parseOp(c.sess, v, c.toks[0], args)
 		if err != nil {
 			c.errLine(err)
@@ -422,6 +435,10 @@ func (c *conn) step(v verb) bool {
 			renderWorkerStats(c.w, c.srv)
 			break
 		}
+		if len(args) == 1 && foldEq(args[0], "REPL") {
+			renderReplStats(c.w, c.srv)
+			break
+		}
 		renderStats(c.w, c.srv.store.Stats())
 	case vPing:
 		c.flushBatch()
@@ -431,6 +448,16 @@ func (c *conn) step(v verb) bool {
 		c.inMulti = true
 		c.multi = c.multi[:0]
 		c.staticLine("OK")
+	case vPromote:
+		c.flushBatch()
+		seq, err := c.srv.Promote()
+		if err != nil {
+			c.errLine(err)
+			break
+		}
+		c.w.WriteString("PROMOTED ")
+		c.writeUint(seq)
+		c.w.WriteByte('\n')
 	case vQuit:
 		c.flushBatch()
 		c.staticLine("BYE")
@@ -449,6 +476,11 @@ func (c *conn) stepMulti(v verb) {
 	switch v {
 	case vExec:
 		c.inMulti = false
+		if c.srv.isReplica() && batchHasWrites(c.multi) {
+			c.errLine(errReplicaReadonly)
+			c.multi = c.multi[:0]
+			return
+		}
 		res, err := c.sess.Txn(nil, c.multi)
 		switch {
 		case errors.Is(err, kv.ErrCASFailed):
@@ -560,8 +592,19 @@ func renderStatic(w *bufio.Writer, s string) {
 	w.WriteByte('\n')
 }
 
+// batchHasWrites reports whether any queued op mutates the store — the
+// replica write gate for EXEC (a read-only MULTI block still runs).
+func batchHasWrites(ops []kv.Op) bool {
+	for i := range ops {
+		if ops[i].Kind != kv.OpGet {
+			return true
+		}
+	}
+	return false
+}
+
 func renderErr(w *bufio.Writer, err error) {
-	if errors.Is(err, wal.ErrFailStop) {
+	if errors.Is(err, wal.ErrFailStop) || errors.Is(err, errReplicaReadonly) {
 		// The durability layer latched a failure: the server no longer
 		// acknowledges writes (reads still work). The cause rides along
 		// in parentheses; clients key on the "readonly" token.
@@ -584,6 +627,14 @@ func renderUint(w *bufio.Writer, num *[]byte, v uint64) {
 func renderStats(w *bufio.Writer, st kv.Stats) {
 	fmt.Fprintf(w, "STATS txns=%d cross=%d ratio=%.4f ops=%d aborts=%d shards=%d\n",
 		st.Txns, st.CrossShard, st.CrossShardRatio(), st.Ops(), st.Aborts(), len(st.Shards))
+}
+
+// renderReplStats renders the STATS REPL line: a single line on both
+// roles, so clients parse it with the same one-line reader as STATS.
+func renderReplStats(w *bufio.Writer, s *Server) {
+	st := s.ReplStats()
+	fmt.Fprintf(w, "REPL role=%s peers=%d last_shipped=%d last_applied=%d lag=%d\n",
+		st.Role, st.Peers, st.LastShipped, st.LastApplied, st.Lag)
 }
 
 // renderWorkerStats renders the STATS WORKERS block: a WORKERS <n>

@@ -52,6 +52,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/locktm"
 	"repro/internal/nztm"
+	"repro/internal/repl"
 	"repro/internal/wal"
 )
 
@@ -139,6 +140,21 @@ type Config struct {
 	// OS). Fault-injection tests and the crash campaign install a
 	// faultfs.Injector here; production code leaves it nil.
 	WALFS faultfs.FS
+
+	// ReplicateAddr, when set, serves this node's WAL record stream to
+	// replicas on a second listener (internal/repl). Requires WALDir.
+	// Works on any role: a replica with a replication listener chains
+	// its own followers off its ingested stream.
+	ReplicateAddr string
+	// ReplicaOf, when set, starts the server as a replica of the
+	// primary whose *replication* address this is: the store bootstraps
+	// from the primary's snapshot/history, applies live records as they
+	// ship, serves reads, and answers writes with `ERR readonly` until
+	// Promote. Requires WALDir (the replica's own log).
+	ReplicaOf string
+	// ReplicaConnectTimeout bounds the replica's bootstrap dial
+	// (default 10s). After bootstrap, reconnects retry forever.
+	ReplicaConnectTimeout time.Duration
 }
 
 func (c *Config) fill() {
@@ -218,6 +234,17 @@ type Server struct {
 	snapStop  chan struct{}
 	snapDone  chan struct{}
 
+	// Replication: replSrv ships this node's log to followers
+	// (Config.ReplicateAddr); repl is the apply side when the node
+	// started as a replica (Config.ReplicaOf). replica flips to false
+	// exactly once, at Promote — the commit hook and the verb gate read
+	// it on every request, which is what makes promotion a lock-free
+	// role flip instead of a hook swap racing in-flight transactions.
+	replSrv   *repl.Primary
+	repl      *repl.Replica
+	replica   atomic.Bool
+	promoteMu sync.Mutex
+
 	// rt is the shard-affine worker runtime (worker.go), nil when
 	// Config.Runtime selects the goroutine-per-connection path.
 	rt *workerRuntime
@@ -258,10 +285,24 @@ func New(cfg Config) (*Server, error) {
 		store: kv.New(tm, cfg.Shards, cfg.Buckets),
 		conns: map[net.Conn]struct{}{},
 	}
-	if cfg.WALDir != "" {
+	switch {
+	case cfg.ReplicaOf != "":
+		if cfg.WALDir == "" {
+			return nil, errors.New("server: ReplicaOf requires WALDir (the replica's own log)")
+		}
+		if err := s.openReplicaWAL(cfg); err != nil {
+			return nil, err
+		}
+	case cfg.WALDir != "":
 		if err := s.openWAL(cfg); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.ReplicateAddr != "" {
+		if s.log == nil {
+			return nil, errors.New("server: ReplicateAddr requires WALDir (a log to ship)")
+		}
+		s.replSrv = repl.NewPrimary(s.log)
 	}
 	if cfg.Runtime == "worker" {
 		s.rt = newWorkerRuntime(s, cfg.Workers)
@@ -305,6 +346,62 @@ func (s *Server) openWAL(cfg Config) error {
 	return nil
 }
 
+// openReplicaWAL bootstraps the node as a replica: its own log is
+// recovered, the primary is dialed (installing a shipped snapshot when
+// the primary's retained history no longer reaches us), the resulting
+// state is loaded into the store, and the live apply loop starts. The
+// commit hook is role-aware from the start: while the node is a
+// replica the only committers are the apply loop, whose records are
+// already in the log via ingest, so the hook appends nothing; after
+// Promote flips the role, the same hook appends like a normal primary —
+// no hook swap, hence no race against in-flight transactions.
+func (s *Server) openReplicaWAL(cfg Config) error {
+	policy, err := wal.ParsePolicy(cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	r, rec, err := repl.Connect(repl.ReplicaConfig{
+		PrimaryAddr:    cfg.ReplicaOf,
+		ConnectTimeout: cfg.ReplicaConnectTimeout,
+		WAL: wal.Options{
+			Dir:          cfg.WALDir,
+			Policy:       policy,
+			Interval:     cfg.FsyncInterval,
+			SegmentBytes: cfg.WALSegmentBytes,
+			FS:           cfg.WALFS,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("server: replica bootstrap: %w", err)
+	}
+	s.replica.Store(true)
+	l := r.Log()
+	for k, v := range rec.State {
+		if _, err := s.store.Put(nil, k, v); err != nil {
+			r.Stop()
+			l.Close()
+			return fmt.Errorf("server: replica: loading bootstrap state: %w", err)
+		}
+	}
+	s.store.SetCommitHook(func(effects []kv.Effect) error {
+		if s.replica.Load() {
+			return nil
+		}
+		return l.Append(effects)
+	})
+	s.log = l
+	rec.State = nil
+	s.recovered = rec
+	s.repl = r
+	r.Start(s.store)
+	if cfg.SnapshotEvery > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(cfg.SnapshotEvery)
+	}
+	return nil
+}
+
 // snapshotLoop takes periodic snapshots until Close.
 func (s *Server) snapshotLoop(every time.Duration) {
 	defer close(s.snapDone)
@@ -329,9 +426,90 @@ func (s *Server) SnapshotNow() error {
 	if s.log == nil {
 		return errors.New("server: no WAL configured")
 	}
-	return s.log.WriteSnapshot(func() ([]kv.Pair, error) {
-		return s.store.Dump(nil)
-	})
+	dump := func() ([]kv.Pair, error) { return s.store.Dump(nil) }
+	if s.repl != nil && s.replica.Load() {
+		// A replica's log runs ahead of its store (ingest is WAL-first),
+		// so the safe cut is the last *applied* seq, not the log tail.
+		return s.log.WriteSnapshotCut(s.repl.Stats().LastApplied, dump)
+	}
+	return s.log.WriteSnapshot(dump)
+}
+
+// Role reports the node's replication role: "replica" until Promote,
+// "primary" otherwise (including servers without replication).
+func (s *Server) Role() string {
+	if s.replica.Load() {
+		return "replica"
+	}
+	return "primary"
+}
+
+func (s *Server) isReplica() bool { return s.replica.Load() }
+
+// errReplicaReadonly answers writes on a replica. It renders through
+// the same `ERR readonly` degradation path as the WAL's fail-stop
+// latch, so clients see one uniform refusal shape.
+var errReplicaReadonly = errors.New("server: replica mode; writes go to the primary")
+
+// ReplAddr returns the bound replication listener address (nil without
+// Config.ReplicateAddr or before Listen).
+func (s *Server) ReplAddr() net.Addr {
+	if s.replSrv == nil {
+		return nil
+	}
+	return s.replSrv.Addr()
+}
+
+// ReplStats is the replication section of STATS, valid on both roles.
+type ReplStats struct {
+	Role        string
+	Peers       int    // connected followers (shipping side)
+	LastShipped uint64 // newest seq shipped to any follower
+	LastApplied uint64 // newest seq applied from a primary (replica side)
+	Lag         uint64 // records behind: primary durable - min shipped (primary with peers) or - last applied (replica)
+}
+
+// ReplStats snapshots the node's replication position.
+func (s *Server) ReplStats() ReplStats {
+	st := ReplStats{Role: s.Role()}
+	if s.replSrv != nil {
+		ps := s.replSrv.Stats()
+		st.Peers = ps.Peers
+		st.LastShipped = ps.LastShipped
+		if s.log != nil && ps.Peers > 0 {
+			if d := s.log.DurableSeq(); d > ps.MinShipped {
+				st.Lag = d - ps.MinShipped
+			}
+		}
+	}
+	if s.repl != nil {
+		rs := s.repl.Stats()
+		st.LastApplied = rs.LastApplied
+		if s.replica.Load() {
+			st.Lag = rs.Lag()
+		}
+	}
+	return st
+}
+
+// Promote seals a replica's log at its last contiguous sequence and
+// flips the node to accepting writes: the apply loop is stopped and
+// drained first (so the store is quiescent and exactly matches the
+// ingested prefix), then the role atomic flips — from that point the
+// commit hook appends client writes to the log, resuming at the sealed
+// seq + 1. Ingest refused every gapped or corrupt shipped batch, so
+// the sealed log is always an exact prefix of the dead primary's
+// stream — never a hole. Idempotent errors: promoting a primary (or a
+// node that never was a replica) fails.
+func (s *Server) Promote() (uint64, error) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if s.repl == nil || !s.replica.Load() {
+		return 0, errors.New("server: not a replica")
+	}
+	s.repl.Stop()
+	s.replica.Store(false)
+	return s.log.LastSeq(), nil
 }
 
 // WAL returns the attached log (nil without Config.WALDir).
@@ -372,6 +550,12 @@ func (s *Server) Listen() error {
 	if err != nil {
 		return err
 	}
+	if s.replSrv != nil {
+		if err := s.replSrv.Listen(s.cfg.ReplicateAddr); err != nil {
+			lis.Close()
+			return err
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -390,6 +574,9 @@ func (s *Server) Serve() error {
 	s.mu.Unlock()
 	if lis == nil {
 		return errors.New("server: Serve before Listen")
+	}
+	if s.replSrv != nil {
+		go s.replSrv.Serve()
 	}
 	var backoff time.Duration
 	for {
@@ -470,6 +657,15 @@ func (s *Server) Close() error {
 		// queued: the workers drain them — publishing the exact request
 		// tally — and stop.
 		s.rt.stopAll()
+	}
+	if s.replSrv != nil {
+		// Detach followers before the log closes; they reconnect to
+		// whoever replaces us.
+		s.replSrv.Close()
+	}
+	if s.repl != nil {
+		// Stop ingest before the log closes (the apply loop appends).
+		s.repl.Stop()
 	}
 	if s.snapStop != nil {
 		close(s.snapStop)

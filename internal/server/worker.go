@@ -123,6 +123,8 @@ const (
 	slotLen                    // LEN result (filled post-barrier)
 	slotStats                  // store STATS line (rendered at flush)
 	slotWorkerStats            // STATS WORKERS block (rendered at flush)
+	slotReplStats              // STATS REPL line (rendered at flush)
+	slotPromote                // PROMOTE result (filled post-barrier)
 	// slotFoldStatic and slotFoldVal are folded replies whose outcome
 	// is known at parse time but contingent on the governing unit (u)
 	// committing: they render text / VALUE val / NOTFOUND on success
@@ -151,6 +153,8 @@ const (
 	escLen
 	escStats
 	escStatsWorkers
+	escStatsRepl
+	escPromote
 )
 
 // escal is one escalated request, executed after the round barrier in
@@ -617,6 +621,10 @@ func (w *worker) handleLine(c *wconn, line []byte) {
 	args := c.toks[1:]
 	switch v {
 	case vGet, vSet, vDel:
+		if v != vGet && w.rt.srv.isReplica() {
+			w.errSlot(c, errReplicaReadonly)
+			return
+		}
 		op, err := parseOp(w.sess, v, c.toks[0], args)
 		if err != nil {
 			w.errSlot(c, err)
@@ -624,6 +632,10 @@ func (w *worker) handleLine(c *wconn, line []byte) {
 		}
 		w.pushOp(c, op)
 	case vCas:
+		if w.rt.srv.isReplica() {
+			w.errSlot(c, errReplicaReadonly)
+			return
+		}
 		op, err := parseOp(w.sess, v, c.toks[0], args)
 		if err != nil {
 			w.errSlot(c, err)
@@ -636,10 +648,14 @@ func (w *worker) handleLine(c *wconn, line []byte) {
 		w.escalate(c, escLen, nil, len(c.slots)-1)
 	case vStats:
 		s := w.slot(c)
-		if len(args) == 1 && foldEq(args[0], "WORKERS") {
+		switch {
+		case len(args) == 1 && foldEq(args[0], "WORKERS"):
 			s.kind = slotWorkerStats
 			w.escalate(c, escStatsWorkers, nil, len(c.slots)-1)
-		} else {
+		case len(args) == 1 && foldEq(args[0], "REPL"):
+			s.kind = slotReplStats
+			w.escalate(c, escStatsRepl, nil, len(c.slots)-1)
+		default:
 			s.kind = slotStats
 			w.escalate(c, escStats, nil, len(c.slots)-1)
 		}
@@ -653,6 +669,13 @@ func (w *worker) handleLine(c *wconn, line []byte) {
 		w.staticSlot(c, "BYE")
 		c.closing = true
 		c.discardInput()
+	case vPromote:
+		// Role changes happen post-barrier so no in-flight unit of the
+		// round straddles the flip; the connection pauses like any other
+		// escalation, so its later requests observe the new role.
+		s := w.slot(c)
+		s.kind = slotPromote
+		w.escalate(c, escPromote, nil, len(c.slots)-1)
 	default:
 		s := w.slot(c)
 		s.kind = slotStatic
@@ -789,6 +812,10 @@ func (w *worker) pushCAS(c *wconn, op kv.Op) {
 // ordered unit on that owner; cross-owner batches escalate to the
 // post-barrier slow path.
 func (w *worker) pushExec(c *wconn) {
+	if w.rt.srv.isReplica() && batchHasWrites(c.multi) {
+		w.errSlot(c, errReplicaReadonly)
+		return
+	}
 	if len(c.multi) == 0 {
 		w.staticSlot(c, "RESULTS 0")
 		return
@@ -912,7 +939,11 @@ func (w *worker) runEscalations() {
 			n, err := srv.store.Len(nil)
 			s := &e.c.slots[e.slot]
 			s.val, s.err = uint64(n), err
-		case escStats, escStatsWorkers:
+		case escPromote:
+			seq, err := srv.Promote()
+			s := &e.c.slots[e.slot]
+			s.val, s.err = seq, err
+		case escStats, escStatsWorkers, escStatsRepl:
 			// Counter snapshots; rendered at flush, ordered here.
 		}
 	}
@@ -1031,6 +1062,16 @@ func (w *worker) renderSlot(c *wconn, s *rslot) {
 		renderStats(bw, w.rt.srv.store.Stats())
 	case slotWorkerStats:
 		renderWorkerStats(bw, w.rt.srv)
+	case slotReplStats:
+		renderReplStats(bw, w.rt.srv)
+	case slotPromote:
+		if s.err != nil {
+			renderErr(bw, s.err)
+		} else {
+			bw.WriteString("PROMOTED ")
+			renderUint(bw, &c.num, s.val)
+			bw.WriteByte('\n')
+		}
 	case slotFoldStatic:
 		if s.u.err != nil {
 			renderErr(bw, s.u.err)

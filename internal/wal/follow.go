@@ -1,0 +1,463 @@
+package wal
+
+// Replication support: the primary side of WAL shipping serves records
+// to followers out of this file, and the replica side ingests them.
+//
+// A follower is addressed purely by sequence number. TailReader.Next
+// blocks until the cursor's record is durable *on this node* — a
+// record is never shipped before the local policy has persisted it, so
+// under SyncAlways an ack to the client strictly precedes the record
+// reaching any replica (the documented async-replication window).
+// Reads come from the bounded in-memory tail when the cursor is recent,
+// and from segment files (seq-addressed catch-up) when it is not; a
+// cursor older than the oldest retained segment needs a snapshot
+// (ErrSnapshotNeeded).
+//
+// Ingest reuses recovery's refusal discipline: AppendFrames verifies
+// every frame's CRC and that sequence numbers increment by exactly one
+// from the log's current tail — a corrupt or gapped stream is rejected
+// loudly instead of diverging.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/faultfs"
+	"repro/internal/kv"
+)
+
+// ErrSnapshotNeeded reports that a follower's cursor points before the
+// oldest retained segment: the history was truncated by a snapshot and
+// the follower must bootstrap from a snapshot image instead.
+var ErrSnapshotNeeded = errors.New("wal: requested records truncated; snapshot needed")
+
+// tailChunkMax is the soft cap on bytes one TailReader.Next call
+// returns. A single frame larger than the cap is still returned whole —
+// frames are never split.
+const tailChunkMax = 256 << 10
+
+// TailReader is a follower cursor over the log's record stream. Next
+// is owned by one goroutine; Cancel may be called from any other.
+type TailReader struct {
+	l         *Log
+	next      uint64 // seq of the next record to deliver
+	cancelled bool   // guarded by l.mu
+}
+
+// Cancel unblocks a concurrent (or future) Next, which then returns
+// ErrClosed — how the primary detaches a follower on shutdown.
+func (tr *TailReader) Cancel() {
+	tr.l.mu.Lock()
+	tr.cancelled = true
+	tr.l.cond.Broadcast()
+	tr.l.mu.Unlock()
+}
+
+// NewTailReader positions a follower cursor at seq from (typically the
+// follower's lastSeq+1). The first reader latches the in-memory tail
+// mirror on (it stays on for the log's lifetime); records flushed
+// before that are served from segment files.
+func (l *Log) NewTailReader(from uint64) *TailReader {
+	l.mu.Lock()
+	l.tailOn = true
+	l.mu.Unlock()
+	return &TailReader{l: l, next: from}
+}
+
+// NextSeq returns the seq the next call to Next will deliver first.
+func (tr *TailReader) NextSeq() uint64 { return tr.next }
+
+// Next returns the next run of durable frames at the cursor, appended
+// into scratch[:0] (callers reuse the returned slice as the next
+// scratch). It blocks until at least one more record is durable under
+// the log's policy. Errors: ErrSnapshotNeeded when the cursor's history
+// was truncated, ErrClosed after Close, the latched fail-stop error
+// after a disk failure.
+func (tr *TailReader) Next(scratch []byte) ([]byte, error) {
+	l := tr.l
+	l.mu.Lock()
+	for l.durableSeq < tr.next || tr.cancelled {
+		if tr.cancelled {
+			l.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if l.failed != nil {
+			err := l.failed
+			l.mu.Unlock()
+			return nil, err
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return nil, ErrClosed
+		}
+		l.cond.Wait()
+	}
+
+	// Fast path: the cursor is inside the in-memory tail.
+	if len(l.tail) > 0 && tr.next >= l.tailFirst {
+		out := scratch[:0]
+		seq := l.tailFirst
+		for off := 0; off < len(l.tail); seq++ {
+			n := frameHeaderLen + int(binary.LittleEndian.Uint32(l.tail[off:]))
+			if seq == tr.next {
+				if len(out) > 0 && len(out)+n > tailChunkMax {
+					break
+				}
+				out = append(out, l.tail[off:off+n]...)
+				tr.next++
+			}
+			off += n
+		}
+		l.mu.Unlock()
+		return out, nil
+	}
+
+	// Catch-up path: read the segment file holding the cursor.
+	durable := l.durableSeq
+	var seg segment
+	found := false
+	for i := len(l.segs) - 1; i >= 0; i-- {
+		if l.segs[i].firstSeq <= tr.next {
+			seg = l.segs[i]
+			found = true
+			break
+		}
+	}
+	l.mu.Unlock()
+	if !found {
+		return nil, ErrSnapshotNeeded
+	}
+	b, err := l.opts.FS.ReadFile(seg.path)
+	if err != nil {
+		// Lost a race with snapshot truncation; the cursor's history is
+		// gone from disk.
+		return nil, ErrSnapshotNeeded
+	}
+	if len(b) < segHeaderLen || string(b[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("wal: %s: bad segment header", seg.path)
+	}
+	out := scratch[:0]
+	for off := segHeaderLen; off < len(b); {
+		seq, _, n, ok := parseFrame(b[off:])
+		if !ok || seq > durable {
+			// Frames past the durable point may still be mid-write (or a
+			// recovered torn tail); they are not shippable yet.
+			break
+		}
+		if seq == tr.next {
+			if len(out) > 0 && len(out)+n > tailChunkMax {
+				break
+			}
+			out = append(out, b[off:off+n]...)
+			tr.next++
+		}
+		off += n
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("wal: %s: durable record %d missing from its segment — refusing to ship a hole", seg.path, tr.next)
+	}
+	return out, nil
+}
+
+// OldestRetainedSeq returns the first sequence number still present in
+// segment files. Followers whose cursor is older need a snapshot.
+func (l *Log) OldestRetainedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return l.lastSeq + 1
+	}
+	return l.segs[0].firstSeq
+}
+
+// ValidateFrames walks b, which must be a run of complete CRC-valid
+// frames whose sequence numbers increment by exactly one, and returns
+// the first and last seq plus the record count. It is the stream-ingest
+// twin of recovery's contiguity refusal: a short frame, CRC mismatch or
+// seq gap is an error, never silently skipped.
+func ValidateFrames(b []byte) (first, last uint64, count int, err error) {
+	for len(b) > 0 {
+		seq, _, n, ok := parseFrame(b)
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("wal: corrupt or truncated frame in stream (offset of record %d)", last+1)
+		}
+		if count == 0 {
+			first = seq
+		} else if seq != last+1 {
+			return 0, 0, 0, fmt.Errorf("wal: stream record seq %d follows %d — refusing a hole", seq, last)
+		}
+		last = seq
+		count++
+		b = b[n:]
+	}
+	return first, last, count, nil
+}
+
+// AppendFrames ingests a run of already-framed records shipped from a
+// primary, preserving their original sequence numbers. The frames must
+// be CRC-valid, internally contiguous, and start at exactly lastSeq+1 —
+// the same refusal recovery applies to on-disk holes. The records flow
+// through the normal group-commit path (and therefore into this node's
+// own follower tail, so replicas can be chained). AppendFrames does not
+// wait for durability: a replica that crashes replays its own WAL, and
+// anything lost beyond that is re-shipped by the primary on reconnect.
+func (l *Log) AppendFrames(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	first, last, _, err := ValidateFrames(b)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if err := l.failed; err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if first != l.lastSeq+1 {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: stream starts at seq %d but the log ends at %d — refusing to append a hole", first, l.lastSeq)
+	}
+	if len(l.pending) == 0 {
+		l.pendingFirst = first
+	}
+	l.pending = append(l.pending, b...)
+	l.lastSeq = last
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// decodeEffects parses one record payload into kv effects appended to
+// dst. It is applyPayload with effects instead of a state map.
+func decodeEffects(dst []kv.Effect, payload []byte) ([]kv.Effect, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return dst, fmt.Errorf("wal: bad effect count")
+	}
+	payload = payload[n:]
+	for i := uint64(0); i < count; i++ {
+		if len(payload) == 0 {
+			return dst, fmt.Errorf("wal: effect list cut short")
+		}
+		tag := payload[0]
+		payload = payload[1:]
+		klen, n := binary.Uvarint(payload)
+		if n <= 0 || uint64(len(payload[n:])) < klen {
+			return dst, fmt.Errorf("wal: bad key length")
+		}
+		key := string(payload[n : n+int(klen)])
+		payload = payload[n+int(klen):]
+		switch tag {
+		case tagPut:
+			val, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return dst, fmt.Errorf("wal: bad value")
+			}
+			payload = payload[n:]
+			dst = append(dst, kv.Effect{Key: key, Val: val})
+		case tagDel:
+			dst = append(dst, kv.Effect{Key: key, Del: true})
+		default:
+			return dst, fmt.Errorf("wal: unknown effect tag %d", tag)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeFrames walks a run of frames, calling fn once per record with
+// its seq and decoded effects. The effects slice is reused across
+// calls — fn must not retain it.
+func DecodeFrames(b []byte, fn func(seq uint64, effects []kv.Effect) error) error {
+	var eff []kv.Effect
+	for len(b) > 0 {
+		seq, payload, n, ok := parseFrame(b)
+		if !ok {
+			return fmt.Errorf("wal: corrupt frame in stream")
+		}
+		var err error
+		eff, err = decodeEffects(eff[:0], payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(seq, eff); err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	return nil
+}
+
+// EncodeFrame appends one record frame for a committed transaction's
+// effects — the exact bytes Append would log — for tests and the
+// campaign's replica-apply determinism checks.
+func EncodeFrame(p []byte, seq uint64, effects []kv.Effect) []byte {
+	return appendFrame(p, seq, effects)
+}
+
+// DecodeSnapshot parses a snapshot image into its cut and state map —
+// the replica-bootstrap twin of recovery's snapshot load.
+func DecodeSnapshot(img []byte) (cut uint64, state map[string]uint64, err error) {
+	return decodeSnapshot(img)
+}
+
+// NewestSnapshot returns the raw image and cut of the newest decodable
+// snapshot file in the log directory, for serving to a bootstrapping
+// replica. ok is false when no decodable snapshot exists.
+func (l *Log) NewestSnapshot() (img []byte, cut uint64, ok bool, err error) {
+	ents, err := l.opts.FS.ReadDir(l.opts.Dir)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if seq, isSnap := parseSnapName(e.Name()); isSnap {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs {
+		b, err := l.opts.FS.ReadFile(filepath.Join(l.opts.Dir, snapName(seq)))
+		if err != nil {
+			continue
+		}
+		if _, _, err := decodeSnapshot(b); err != nil {
+			continue
+		}
+		return b, seq, true, nil
+	}
+	return nil, 0, false, nil
+}
+
+// InstallSnapshot replaces an open log's history with a shipped
+// snapshot image — the replica path for falling too far behind a
+// primary that truncated the records the replica still needs. The
+// image is persisted as the newest snapshot file, the covered segments
+// are removed, a fresh segment adjoining the cut is opened, and the
+// log's sequence numbers jump to the cut: the next record is cut+1.
+// The cut must be ahead of the log's last seq — installing a snapshot
+// that does not advance the log is refused. The caller owns
+// reconciling the store state to the image (see wal.DecodeSnapshot).
+//
+// Crash safety: the image is durable (temp write + rename + dir sync)
+// before any history is removed, so every intermediate crash state
+// recovers — to the old history before the rename, to the snapshot
+// plus whatever contiguous history survives after it.
+func (l *Log) InstallSnapshot(img []byte) (uint64, error) {
+	cut, _, err := decodeSnapshot(img)
+	if err != nil {
+		return 0, err
+	}
+	return cut, l.onLogGoroutine(func() error { return l.installSnapshot(img, cut) })
+}
+
+// installSnapshot is the log-goroutine body of InstallSnapshot.
+func (l *Log) installSnapshot(img []byte, cut uint64) error {
+	l.flushBatch()
+	l.mu.Lock()
+	if err := l.failed; err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if cut <= l.lastSeq {
+		last := l.lastSeq
+		l.mu.Unlock()
+		return fmt.Errorf("wal: snapshot cut %d does not advance the log (last seq %d)", cut, last)
+	}
+	old := make([]segment, len(l.segs))
+	copy(old, l.segs)
+	l.mu.Unlock()
+
+	// Persist the image first: from here on every crash state recovers.
+	tmp := filepath.Join(l.opts.Dir, "snapshot.tmp")
+	if err := l.opts.FS.WriteFile(tmp, img, 0o644); err != nil {
+		return err
+	}
+	if err := fsyncFile(l.opts.FS, tmp); err != nil {
+		return err
+	}
+	final := filepath.Join(l.opts.Dir, snapName(cut))
+	if err := l.opts.FS.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(l.opts.FS, l.opts.Dir); err != nil {
+		return err
+	}
+
+	// Drop the covered history. The old segments are all <= lastSeq <
+	// cut+1, so none of their records outlive the image.
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	for _, s := range old {
+		l.opts.FS.Remove(s.path)
+	}
+	lastIdx := old[len(old)-1].idx
+
+	l.mu.Lock()
+	l.segs = l.segs[:0]
+	l.lastSeq, l.durableSeq, l.snapSeq = cut, cut, cut
+	l.pending = l.pending[:0]
+	l.tail = l.tail[:0]
+	l.tailFirst = 0
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if err := l.openSegment(lastIdx+1, cut+1); err != nil {
+		return err
+	}
+
+	// Older snapshots are superseded; removal failures only cost disk.
+	if ents, err := l.opts.FS.ReadDir(l.opts.Dir); err == nil {
+		for _, e := range ents {
+			name := e.Name()
+			if seq, ok := parseSnapName(name); ok && seq != cut {
+				l.opts.FS.Remove(filepath.Join(l.opts.Dir, name))
+			}
+		}
+	}
+	return nil
+}
+
+// InstallSnapshotImage validates img and writes it into dir as a
+// canonical snapshot file (temp write, rename, directory sync) so a
+// subsequent Open recovers from it — the replica-bootstrap install
+// path. The caller re-opens the log afterwards.
+func InstallSnapshotImage(fsys faultfs.FS, dir string, img []byte) (cut uint64, err error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	cut, _, err = decodeSnapshot(img)
+	if err != nil {
+		return 0, err
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	tmp := filepath.Join(dir, "snapshot.tmp")
+	if err := fsys.WriteFile(tmp, img, 0o644); err != nil {
+		return 0, err
+	}
+	if err := fsyncFile(fsys, tmp); err != nil {
+		return 0, err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, snapName(cut))); err != nil {
+		return 0, err
+	}
+	if err := syncDir(fsys, dir); err != nil {
+		return 0, err
+	}
+	return cut, nil
+}

@@ -96,6 +96,7 @@ func Open(opts Options) (*Log, Recovered, error) {
 		wake: make(chan struct{}, 1),
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
+		exec: make(chan execReq),
 	}
 	l.cond = sync.NewCond(&l.mu)
 

@@ -158,12 +158,16 @@ type Log struct {
 	durableSeq   uint64     // last seq persisted per the policy
 	snapSeq      uint64     // cut of the latest snapshot
 	segs         []segment  // all live segments; last is active
+	tail         []byte     // in-memory copy of the newest durable frames
+	tailFirst    uint64     // seq of the first frame in tail (valid when len(tail) > 0)
+	tailOn       bool       // mirror flushed batches into tail; latched by the first TailReader
 	failed       error
 	closed       bool
 
 	wake chan struct{}
 	quit chan struct{}
 	done chan struct{}
+	exec chan execReq // funcs to run on the log goroutine (snapshot install)
 
 	// log-goroutine-owned state.
 	f        faultfs.File
@@ -293,10 +297,31 @@ func (l *Log) run() {
 			return
 		case <-l.wake:
 			l.flushBatch()
+		case req := <-l.exec:
+			req.done <- req.fn()
 		case <-tickC:
 			l.flushBatch()
 			l.syncNow()
 		}
+	}
+}
+
+// execReq asks the log goroutine — the only owner of the active
+// segment file — to run fn between batches.
+type execReq struct {
+	fn   func() error
+	done chan error
+}
+
+// onLogGoroutine runs fn on the log goroutine and returns its error,
+// or ErrClosed if the log shut down first.
+func (l *Log) onLogGoroutine(fn func() error) error {
+	req := execReq{fn: fn, done: make(chan error, 1)}
+	select {
+	case l.exec <- req:
+		return <-req.done
+	case <-l.done:
+		return ErrClosed
 	}
 }
 
@@ -330,11 +355,53 @@ func (l *Log) flushBatch() {
 	l.spare = buf[:0]
 	if err != nil {
 		l.latchLocked(err)
-	} else if batchSeq > l.durableSeq {
-		l.durableSeq = batchSeq
+	} else {
+		if batchSeq > l.durableSeq {
+			l.durableSeq = batchSeq
+		}
+		// Mirror the durable batch into the bounded in-memory tail, the
+		// fast path for replication followers (see TailReader). The
+		// mirror stays off until a follower exists: a non-replicating
+		// server must not pay a per-flush copy for a buffer nobody
+		// reads. Followers attaching later catch up from segment files
+		// until the mirror overtakes their cursor.
+		if l.tailOn {
+			if len(l.tail) == 0 {
+				l.tailFirst = batchFirst
+			}
+			l.tail = append(l.tail, buf...)
+			l.trimTailLocked()
+		}
 	}
 	l.cond.Broadcast()
 	l.mu.Unlock()
+}
+
+// tailBufMax bounds the in-memory follower tail. Followers whose
+// cursor falls off the front catch up from segment files instead.
+// Compaction is deferred until the buffer doubles the budget so the
+// front-drop memmove is amortized O(1) per appended byte — trimming on
+// every flush would move ~tailBufMax bytes per group commit, which
+// under fsync=interval measurably taxes the whole write path.
+const tailBufMax = 1 << 20
+
+// trimTailLocked drops whole frames off the front of the tail until it
+// fits the budget, always keeping at least the newest frame. Callers
+// hold l.mu.
+func (l *Log) trimTailLocked() {
+	if len(l.tail) <= 2*tailBufMax {
+		return
+	}
+	drop := 0
+	for len(l.tail)-drop > tailBufMax {
+		n := frameHeaderLen + int(binary.LittleEndian.Uint32(l.tail[drop:]))
+		if drop+n >= len(l.tail) {
+			break
+		}
+		drop += n
+		l.tailFirst++
+	}
+	l.tail = append(l.tail[:0], l.tail[drop:]...)
 }
 
 // latchLocked flips the log into its terminal fail-stop state. Callers
@@ -467,7 +534,22 @@ func (l *Log) openSegment(idx int, firstSeq uint64) error {
 func (l *Log) WriteSnapshot(dump func() ([]kv.Pair, error)) error {
 	l.mu.Lock()
 	cut := l.lastSeq
+	l.mu.Unlock()
+	return l.WriteSnapshotCut(cut, dump)
+}
+
+// WriteSnapshotCut is WriteSnapshot with an explicit cut sequence, for
+// callers whose applied state may trail the log tail: a replication
+// replica appends shipped records to its log *before* applying them to
+// the store, so its dump is only guaranteed to cover records up to its
+// last applied seq — using lastSeq there would cut away records the
+// dump does not contain. The cut must not exceed lastSeq.
+func (l *Log) WriteSnapshotCut(cut uint64, dump func() ([]kv.Pair, error)) error {
+	l.mu.Lock()
 	err := l.failed
+	if err == nil && cut > l.lastSeq {
+		err = fmt.Errorf("wal: snapshot cut %d beyond last seq %d", cut, l.lastSeq)
+	}
 	l.mu.Unlock()
 	if err != nil {
 		return err
