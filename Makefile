@@ -38,10 +38,10 @@ bench-readheavy:
 	@$(GO) test -run '^$$' -bench BenchmarkReadHeavy -benchmem -benchtime $(BENCHTIME) .
 
 experiments:
-	@echo "Regenerating the E1..E14 experiment tables..."
+	@echo "Regenerating the E1..E15 experiment tables..."
 	@$(GO) run ./cmd/oftm-bench
 
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 bench-json:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON)
@@ -50,9 +50,8 @@ bench-json:
 # on that PR session's container; ns/op baselines only gate honestly
 # when both sides ran on the same machine, so the diff against the
 # previous PR's file is advisory across containers and binding within
-# one. Records new since the baseline (e.g. the PR 8 server-repl-*
-# rows vs BENCH_PR7.json) are skipped with a notice.
-BASELINE ?= BENCH_PR7.json
+# one. Records new since the baseline are skipped with a notice.
+BASELINE ?= BENCH_PR8.json
 bench-diff:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON) and diffing against $(BASELINE) (fails on >25% ns/op regressions and on allocs/op above the baseline allowance — zero-alloc records must stay zero; workloads new since the baseline are skipped with a notice)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON) -baseline $(BASELINE)
@@ -69,13 +68,14 @@ bench-server:
 	@$(GO) test -run '^$$' -bench BenchmarkServer -benchmem -benchtime $(BENCHTIME) ./internal/bench
 
 servebench:
-	@echo "Running experiments E10 (byte wire path vs the preserved PR 3 path), E11 (WAL durability bill), E13 (serving-runtime scaling grid, 2 loadgen procs) and E14 (replication follower-read scaling)..."
+	@echo "Running experiments E10 (byte wire path vs the preserved PR 3 path), E11 (WAL durability bill), E13 (serving-runtime scaling grid, 2 loadgen procs), E14 (replication follower-read scaling) and E15 (async reply path + slow-reader soak)..."
 	@$(GO) run ./cmd/oftm-bench -servebench
 
 server-scale-smoke:
-	@echo "E13 smoke: truncated scaling grid (8/64 conns, 2 workers, 2 loadgen procs) with the allocs/req <= 1 gate..."
-	@$(GO) run ./cmd/oftm-bench -exp E13 -procs 2 -scale-conns 8,64 -scale-workers 2 | tee /tmp/oftm-scale-smoke.out
+	@echo "E15 smoke: truncated scaling grid (8/64 conns, 2 workers, 2 loadgen procs) with the allocs/req <= 1 gate, plus the slow-reader soak row..."
+	@$(GO) run ./cmd/oftm-bench -exp E15 -procs 2 -scale-conns 8,64 -scale-workers 2 | tee /tmp/oftm-scale-smoke.out
 	@awk '/^(worker|goroutine) / { if ($$8 == "" || $$8+0 > 1) { print "allocs/req gate failed: " $$0; bad = 1 } } END { if (bad) exit 1; print "allocs/req <= 1 at every smoke grid point" }' /tmp/oftm-scale-smoke.out
+	@awk '/^soak-worker / { seen = 1; if ($$5 == "" || $$5+0 < 1 || $$6+0 != 0) { print "soak gate failed (want bp pauses >= 1, kills = 0): " $$0; bad = 1 } } END { if (!seen) { print "soak gate: no soak-worker row"; exit 1 }; if (bad) exit 1; print "slow reader held by backpressure (pauses >= 1, kills = 0)" }' /tmp/oftm-scale-smoke.out
 
 replication-smoke:
 	@echo "Replication unit suites under the race detector (WAL tail-follow, repl stream, follower reads, kill-primary promote)..."

@@ -10,7 +10,8 @@
 //	oftm-bench -servebench     # end-to-end loopback server load
 //	                           # (E10 wire path + E11 durability +
 //	                           # E13 runtime scaling grid +
-//	                           # E14 replication follower reads);
+//	                           # E14 replication follower reads +
+//	                           # E15 async reply path + soak);
 //	                           # with -json, write the serving records
 //	oftm-bench -servebench -procs 4
 //	                           # ...driving the E13 grid from 4 loadgen
@@ -72,6 +73,8 @@ func main() {
 		bench.E13(os.Stdout)
 		fmt.Println()
 		bench.E14(os.Stdout)
+		fmt.Println()
+		bench.E15(os.Stdout)
 		if *jsonOut != "" {
 			if err := writeFile(*jsonOut, bench.WriteServerJSON); err != nil {
 				fmt.Fprintf(os.Stderr, "oftm-bench: %v\n", err)

@@ -42,7 +42,9 @@ func main() {
 	runtimeKind := flag.String("runtime", "worker", "serving runtime: worker (shard-affine loops) | goroutine (one per connection)")
 	workers := flag.Int("workers", 0, "worker runtime: number of worker loops (0 = GOMAXPROCS, capped at -shards)")
 	unit := flag.Int("unit", 0, "worker runtime: max ops folded into one merged shard unit (0 = default 8, the engines' inline read/write-set size)")
-	flushTimeout := flag.Duration("flush-timeout", 0, "worker runtime: write deadline per reply flush; a connection that cannot drain within it is closed (0 = default 5s, negative disables)")
+	flushTimeout := flag.Duration("flush-timeout", 0, "worker runtime: per-connection flusher progress bound; a connection whose socket accepts no reply bytes for this long is closed (0 = default 5s, negative disables the kill)")
+	maxPendingWrite := flag.Int64("max-pending-write", 0, "worker runtime: max sealed-but-unwritten reply bytes per connection before its reader pauses (0 = default 1MiB, negative disables)")
+	flushers := flag.Int("flushers", 0, "worker runtime: reply-flusher goroutines (0 = default 2)")
 	walDir := flag.String("wal-dir", "", "durability: write-ahead log directory (empty = volatile)")
 	fsync := flag.String("fsync", "interval", "durability: WAL fsync policy: always|interval|never")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "durability: fsync period for -fsync interval")
@@ -60,22 +62,24 @@ func main() {
 		return
 	}
 	runServer(server.Config{
-		Addr:          *addr,
-		Engine:        *engine,
-		Shards:        *shards,
-		Buckets:       *buckets,
-		Batch:         *batch,
-		MaxLine:       *maxLine,
-		Runtime:       *runtimeKind,
-		Workers:       *workers,
-		Unit:          *unit,
-		FlushTimeout:  *flushTimeout,
-		WALDir:        *walDir,
-		Fsync:         *fsync,
-		FsyncInterval: *fsyncEvery,
-		SnapshotEvery: *snapEvery,
-		ReplicateAddr: *replicateAddr,
-		ReplicaOf:     *replicaOf,
+		Addr:            *addr,
+		Engine:          *engine,
+		Shards:          *shards,
+		Buckets:         *buckets,
+		Batch:           *batch,
+		MaxLine:         *maxLine,
+		Runtime:         *runtimeKind,
+		Workers:         *workers,
+		Unit:            *unit,
+		FlushTimeout:    *flushTimeout,
+		MaxPendingWrite: *maxPendingWrite,
+		Flushers:        *flushers,
+		WALDir:          *walDir,
+		Fsync:           *fsync,
+		FsyncInterval:   *fsyncEvery,
+		SnapshotEvery:   *snapEvery,
+		ReplicateAddr:   *replicateAddr,
+		ReplicaOf:       *replicaOf,
 	})
 }
 
@@ -143,8 +147,11 @@ func runServer(cfg server.Config) {
 		fmt.Printf("  shard %2d: ops=%d aborts=%d\n", i, sh.Ops, sh.Aborts)
 	}
 	for i, w := range s.WorkerStats() {
-		fmt.Printf("  worker %2d: conns=%d reqs=%d rounds=%d escalations=%d\n",
-			i, w.Conns, w.Requests, w.FlushRounds, w.Escalations)
+		fmt.Printf("  worker %2d: conns=%d reqs=%d rounds=%d escalations=%d dispatches=%d\n",
+			i, w.Conns, w.Requests, w.FlushRounds, w.Escalations, w.Dispatches)
+	}
+	if fs := s.FlushStats(); len(fs.Workers) > 0 {
+		fmt.Printf("  flush: sealed=%d pauses=%d kills=%d\n", fs.SealedBytes, fs.Pauses, fs.Kills)
 	}
 	if es, ok := core.StatsOf(s.TM()); ok {
 		fmt.Printf("  engine: epoch=%d forced_aborts=%d snapshot_extensions=%d\n",

@@ -44,6 +44,7 @@ func All() []Experiment {
 		{"E11", "Durability: WAL group commit under load, wal-off vs interval vs always", E11},
 		{"E13", "Serving runtime scaling: worker loops vs goroutine-per-conn, conns x shards x fsync", E13},
 		{"E14", "Follower-read scaling: 1 primary + N replicas, aggregate read capacity", E14},
+		{"E15", "Async reply path: serving grid re-run + slow-reader soak", E15},
 	}
 }
 

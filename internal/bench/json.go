@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -59,7 +60,13 @@ type jsonCase struct {
 const benchRuns = 3
 
 // bestOf measures k times via f and keeps the record with the median
-// ns/op (allocs/op and stats ride along from that same run).
+// ns/op. The allocs/op column is the median *across* the k runs, not
+// the ns-median run's own draw: rows sitting at an integer rounding
+// boundary (a pool refill whose amortization depends on GC timing,
+// ~2.5 allocs/op truncating to 2 or 3) otherwise record whichever
+// side the ns-median run happened to land on, and two such draws on
+// identical code can differ by ±1 — enough to trip the diff gate's
+// strict small-count allowance.
 func bestOf(k int, f func() (Record, error)) (Record, error) {
 	runs := make([]Record, 0, k)
 	for i := 0; i < k; i++ {
@@ -69,8 +76,15 @@ func bestOf(k int, f func() (Record, error)) (Record, error) {
 		}
 		runs = append(runs, r)
 	}
+	allocs := make([]int64, len(runs))
+	for i, r := range runs {
+		allocs[i] = r.AllocsPerOp
+	}
 	sort.Slice(runs, func(i, j int) bool { return runs[i].NsPerOp < runs[j].NsPerOp })
-	return runs[(len(runs)-1)/2], nil
+	rec := runs[(len(runs)-1)/2]
+	sort.Slice(allocs, func(i, j int) bool { return allocs[i] < allocs[j] })
+	rec.AllocsPerOp = allocs[(len(allocs)-1)/2]
+	return rec, nil
 }
 
 // WriteJSON measures the standard perf-tracking grid with
@@ -251,13 +265,35 @@ func LoadReport(path string) (Report, error) {
 }
 
 // allocAllowance is the highest allocs/op cur may report against base
-// without counting as a regression: the baseline plus tolPct percent,
-// rounded down. A zero-alloc baseline therefore allows zero — any
-// reappearing allocation on a record that had none trips the gate,
-// which is how the zero-allocation request path is locked in rather
-// than decaying silently.
+// without counting as a regression: the baseline plus tolPct percent
+// or plus one allocation, whichever is larger, rounded down. The +1
+// floor exists because small nonzero counts sit at integer rounding
+// boundaries (~2.5 allocs/op records 2 or 3 depending on GC timing;
+// see bestOf), so a relative tolerance below one whole allocation
+// gates on the draw, not the code. A zero-alloc baseline still
+// allows exactly zero — any reappearing allocation on a record that
+// had none trips the gate, which is how the zero-allocation request
+// path is locked in rather than decaying silently.
 func allocAllowance(base int64, tolPct float64) int64 {
-	return base + int64(float64(base)*tolPct/100)
+	if base == 0 {
+		return 0
+	}
+	rel := int64(float64(base) * tolPct / 100)
+	if rel < 1 {
+		rel = 1
+	}
+	return base + rel
+}
+
+// allocGateSkipped marks records whose allocs/op is intrinsically
+// nondeterministic, where no defensible allowance separates noise
+// from regression: 2pl's lock-wait path allocates per parked waiter,
+// so its contended rows swing ~2× run to run on identical code
+// (measured 28–52 at 4 threads) — the same property that kept 2pl
+// out of the PR 7 server grid. Their ns/op still gates normally;
+// Compare prints a notice instead of applying the alloc gate.
+func allocGateSkipped(r Record) bool {
+	return r.Engine == "2pl" && strings.HasPrefix(r.Workload, "readheavy-256-contended")
 }
 
 // Compare prints per-record ns/op and allocs/op deltas of cur against
@@ -287,14 +323,19 @@ func Compare(w io.Writer, base, cur Report, tolPct float64) int {
 			continue
 		}
 		delta := 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
-		mark := ""
+		mark, bad := "", false
 		if delta > tolPct {
-			mark = "  << REGRESSION (ns/op)"
+			mark, bad = "  << REGRESSION (ns/op)", true
 		}
 		if r.AllocsPerOp > allocAllowance(b.AllocsPerOp, tolPct) {
-			mark += "  << REGRESSION (allocs/op)"
+			if allocGateSkipped(r) {
+				mark += "  (alloc gate skipped: nondeterministic lock-wait allocs)"
+			} else {
+				mark += "  << REGRESSION (allocs/op)"
+				bad = true
+			}
 		}
-		if mark != "" {
+		if bad {
 			// One bad record counts once, however many ways it is bad.
 			regressions++
 		}

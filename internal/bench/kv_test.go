@@ -44,7 +44,7 @@ func TestCompareSkipsNewRecords(t *testing.T) {
 		{Engine: "dstm", Workload: "bank-8", Threads: 8, NsPerOp: 1000},
 	}}
 	cur := Report{Records: []Record{
-		{Engine: "dstm", Workload: "bank-8", Threads: 8, NsPerOp: 1100},    // +10%: inside tolerance
+		{Engine: "dstm", Workload: "bank-8", Threads: 8, NsPerOp: 1100},        // +10%: inside tolerance
 		{Engine: "dstm", Workload: "kv-uniform-s8", Threads: 8, NsPerOp: 9999}, // new workload
 		{Engine: "nztm", Workload: "kv-uniform-s8", Threads: 8, NsPerOp: 9999}, // new workload
 	}}
@@ -109,5 +109,42 @@ func TestCompareAllocGate(t *testing.T) {
 	buf.Reset()
 	if n := Compare(&buf, base, cur, 25); n != 0 {
 		t.Fatalf("improvement flagged as regression (%d):\n%s", n, buf.String())
+	}
+}
+
+// TestCompareAllocSlackAndSkip pins the PR 9 gate refinements: a small
+// nonzero baseline gets a one-allocation absolute floor (2 -> 3 is a
+// rounding-boundary draw, not a regression; 2 -> 4 still trips), and
+// 2pl's contended rows — whose lock-wait allocs swing ~2x run to run
+// on identical code — skip the alloc gate with a notice while their
+// ns/op still gates.
+func TestCompareAllocSlackAndSkip(t *testing.T) {
+	base := Report{Records: []Record{
+		{Engine: "coarse", Workload: "bank-8", Threads: 8, NsPerOp: 1000, AllocsPerOp: 2},
+		{Engine: "2pl", Workload: "readheavy-256-contended", Threads: 4, NsPerOp: 1000, AllocsPerOp: 30},
+	}}
+	cur := Report{Records: []Record{
+		{Engine: "coarse", Workload: "bank-8", Threads: 8, NsPerOp: 1000, AllocsPerOp: 3},
+		{Engine: "2pl", Workload: "readheavy-256-contended", Threads: 4, NsPerOp: 1000, AllocsPerOp: 55},
+	}}
+	var buf bytes.Buffer
+	if n := Compare(&buf, base, cur, 25); n != 0 {
+		t.Fatalf("boundary draw / skipped row flagged (%d):\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "alloc gate skipped") {
+		t.Fatalf("missing 2pl skip notice:\n%s", buf.String())
+	}
+	// Two extra allocations on the small baseline is a real regression.
+	cur.Records[0].AllocsPerOp = 4
+	buf.Reset()
+	if n := Compare(&buf, base, cur, 25); n != 1 {
+		t.Fatalf("2->4 allocs/op not flagged (%d):\n%s", n, buf.String())
+	}
+	// The skipped row's ns/op still gates normally.
+	cur.Records[0].AllocsPerOp = 2
+	cur.Records[1].NsPerOp = 2000
+	buf.Reset()
+	if n := Compare(&buf, base, cur, 25); n != 1 {
+		t.Fatalf("2pl ns/op regression not flagged (%d):\n%s", n, buf.String())
 	}
 }

@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+// TestRunSlowReaderSoakSmoke runs a tiny soak on both runtimes: the
+// harness must complete every healthy window with the stalled
+// connection present, and on the worker runtime the stall must be held
+// by backpressure (pauses observed, zero kills).
+func TestRunSlowReaderSoakSmoke(t *testing.T) {
+	for _, rt := range []string{"goroutine", "worker"} {
+		r, err := RunSlowReaderSoak(rt, 8, 8, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		if want := int64(7 * 4 * 8); r.Reqs != want {
+			t.Fatalf("%s: reqs = %d, want %d", rt, r.Reqs, want)
+		}
+		if r.Kills != 0 {
+			t.Fatalf("%s: flush kills = %d, want 0 (backpressure, not the kill, must hold the stall)", rt, r.Kills)
+		}
+		if rt == "worker" && r.Pauses == 0 {
+			t.Fatalf("worker: burst never tripped a backpressure pause")
+		}
+	}
+}

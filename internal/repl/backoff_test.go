@@ -1,0 +1,86 @@
+package repl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRedialDelaySchedule pins the redial backoff schedule: the
+// exponential base doubles from redialBase to redialCap, and equal
+// jitter keeps every delay inside [base/2, base].
+func TestRedialDelaySchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := redialBase
+	for attempt := 0; attempt < 12; attempt++ {
+		for trial := 0; trial < 100; trial++ {
+			d := redialDelay(attempt, rng)
+			if d < base/2 || d > base {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, base/2, base)
+			}
+		}
+		if base < redialCap {
+			base *= 2
+			if base > redialCap {
+				base = redialCap
+			}
+		}
+	}
+}
+
+// TestRedialDelayCapped: far past the doubling range the base stays
+// pinned at redialCap, so the worst-case reconnect delay is bounded.
+func TestRedialDelayCapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		d := redialDelay(1000, rng)
+		if d < redialCap/2 || d > redialCap {
+			t.Fatalf("capped delay %v outside [%v, %v]", d, redialCap/2, redialCap)
+		}
+	}
+}
+
+// TestRedialDelayDeterministic: the schedule is a pure function of
+// (attempt, rng state), so the same seed replays the same delays —
+// this is what makes the backoff unit-testable at all.
+func TestRedialDelayDeterministic(t *testing.T) {
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for attempt := 0; attempt < 20; attempt++ {
+		if da, db := redialDelay(attempt, a), redialDelay(attempt, b); da != db {
+			t.Fatalf("attempt %d: same seed gave %v vs %v", attempt, da, db)
+		}
+	}
+}
+
+// TestRedialDelaySpreads: two replicas with different seeds must not
+// share a schedule — identical schedules are exactly the thundering
+// herd the jitter exists to break.
+func TestRedialDelaySpreads(t *testing.T) {
+	a := rand.New(rand.NewSource(3))
+	b := rand.New(rand.NewSource(4))
+	same := 0
+	const n = 50
+	for attempt := 0; attempt < n; attempt++ {
+		if redialDelay(attempt, a) == redialDelay(attempt, b) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("two differently-seeded replicas produced identical %d-step schedules", n)
+	}
+	var min, max time.Duration
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		d := redialDelay(0, rng)
+		if min == 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if min == max {
+		t.Fatalf("200 first-attempt delays all equal (%v) — jitter is not applied", min)
+	}
+}

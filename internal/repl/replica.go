@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -348,11 +349,39 @@ func (r *Replica) resync(img []byte) error {
 	return nil
 }
 
-// redial reconnects with backoff until it succeeds or the replica is
-// stopped (returns nil).
+// Redial backoff bounds: exponential doubling from redialBase, capped
+// at redialCap.
+const (
+	redialBase = 50 * time.Millisecond
+	redialCap  = 5 * time.Second
+)
+
+// redialDelay computes the reconnect delay for the given 0-based
+// attempt: the exponential base doubles per attempt up to redialCap,
+// and equal jitter — half the window fixed, half drawn uniformly from
+// rng — spreads simultaneous reconnects. Without the jitter, N
+// replicas that lost the same primary at the same instant would redial
+// it in lockstep forever (their schedules are identical), hammering a
+// restarting primary with N simultaneous bootstrap handshakes at every
+// step; with it, the herd spreads over half the window. Pure function
+// of (attempt, rng) so the schedule is unit-testable.
+func redialDelay(attempt int, rng *rand.Rand) time.Duration {
+	d := redialBase
+	for i := 0; i < attempt && d < redialCap; i++ {
+		d *= 2
+	}
+	if d > redialCap {
+		d = redialCap
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// redial reconnects with jittered exponential backoff until it
+// succeeds or the replica is stopped (returns nil).
 func (r *Replica) redial() (net.Conn, *bufio.Reader) {
-	backoff := 50 * time.Millisecond
-	for {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for attempt := 0; ; attempt++ {
 		if r.isStopped() {
 			return nil, nil
 		}
@@ -363,10 +392,7 @@ func (r *Replica) redial() (net.Conn, *bufio.Reader) {
 		select {
 		case <-r.stop:
 			return nil, nil
-		case <-time.After(backoff):
-		}
-		if backoff < time.Second {
-			backoff *= 2
+		case <-time.After(redialDelay(attempt, rng)):
 		}
 	}
 }

@@ -72,6 +72,25 @@ func (cl *Client) readResponse() (string, error) {
 		}
 		return strings.Join(parts, "; "), nil
 	}
+	if rest, ok := strings.CutPrefix(line, "FLUSH workers="); ok {
+		// STATS FLUSH: the header's workers= field counts the FLUSHWORKER
+		// body lines that follow.
+		field, _, _ := strings.Cut(rest, " ")
+		n, err := strconv.Atoi(field)
+		if err != nil {
+			return "", fmt.Errorf("client: bad FLUSH header %q", line)
+		}
+		parts := make([]string, 0, n+1)
+		parts = append(parts, line)
+		for i := 0; i < n; i++ {
+			sub, err := cl.r.ReadString('\n')
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, strings.TrimRight(sub, "\r\n"))
+		}
+		return strings.Join(parts, "; "), nil
+	}
 	return line, nil
 }
 

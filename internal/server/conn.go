@@ -439,6 +439,12 @@ func (c *conn) step(v verb) bool {
 			renderReplStats(c.w, c.srv)
 			break
 		}
+		if len(args) == 1 && foldEq(args[0], "FLUSH") {
+			// This handler writes replies synchronously, so its own
+			// pending-byte figure is definitionally zero.
+			renderFlushStats(c.w, c.srv, 0)
+			break
+		}
 		renderStats(c.w, c.srv.store.Stats())
 	case vPing:
 		c.flushBatch()
@@ -644,7 +650,23 @@ func renderWorkerStats(w *bufio.Writer, s *Server) {
 	ws := s.WorkerStats()
 	fmt.Fprintf(w, "WORKERS %d\n", len(ws))
 	for i, st := range ws {
-		fmt.Fprintf(w, "WORKER %d conns=%d reqs=%d rounds=%d escalations=%d\n",
-			i, st.Conns, st.Requests, st.FlushRounds, st.Escalations)
+		fmt.Fprintf(w, "WORKER %d conns=%d reqs=%d rounds=%d escalations=%d dispatches=%d\n",
+			i, st.Conns, st.Requests, st.FlushRounds, st.Escalations, st.Dispatches)
+	}
+}
+
+// renderFlushStats renders the STATS FLUSH block: a FLUSH header with
+// the async reply path's runtime-wide totals, then one FLUSHWORKER line
+// per worker. conn is the asking connection's own pending reply bytes —
+// the figure a client uses to watch its own backpressure. The goroutine
+// runtime writes replies synchronously on each handler, so it answers
+// `FLUSH workers=0 ...` with all-zero fields and no body lines.
+func renderFlushStats(w *bufio.Writer, s *Server, connPending int64) {
+	fs := s.FlushStats()
+	fmt.Fprintf(w, "FLUSH workers=%d conn=%d pending=%d sealed=%d queue=%d pauses=%d kills=%d\n",
+		len(fs.Workers), connPending, fs.PendingBytes, fs.SealedBytes, fs.Queue, fs.Pauses, fs.Kills)
+	for i, st := range fs.Workers {
+		fmt.Fprintf(w, "FLUSHWORKER %d pending=%d sealed=%d pauses=%d kills=%d\n",
+			i, st.PendingBytes, st.SealedBytes, st.Pauses, st.Kills)
 	}
 }

@@ -122,9 +122,9 @@ var parserCases = []string{
 	"  GET   k  ",
 	"\tSET\tk\t7\t",
 	"GET k\r",
-	"GET k",    // non-breaking space is a separator in both
-	"SET k 1",  // em space likewise
-	"GET k x",  // ...including inside what looks like one arg
+	"GET k",   // non-breaking space is a separator in both
+	"SET k 1", // em space likewise
+	"GET k x", // ...including inside what looks like one arg
 	"",
 	"   ",
 	"\t\r",

@@ -61,6 +61,9 @@ func maskCounters(out string) string {
 			keep = append(keep, "STATS <masked>")
 		case strings.HasPrefix(ln, "WORKERS "), strings.HasPrefix(ln, "WORKER "):
 			// Worker-count dependent by design; dropped.
+		case strings.HasPrefix(ln, "FLUSH "), strings.HasPrefix(ln, "FLUSHWORKER "):
+			// STATS FLUSH figures are async-path state the goroutine
+			// runtime doesn't have; dropped like the WORKER lines.
 		default:
 			keep = append(keep, ln)
 		}
@@ -93,12 +96,12 @@ func TestRuntimeEquivalenceMulti(t *testing.T) {
 		fmt.Fprintf(&b, "SET mk%d %d\n", i, i*10)
 	}
 	b.WriteString("EXEC\n")
-	b.WriteString("MULTI\nEXEC\n")           // empty EXEC
+	b.WriteString("MULTI\nEXEC\n") // empty EXEC
 	b.WriteString("MULTI\nSET mk0 99\nDISCARD\nGET mk0\n")
 	b.WriteString("MULTI\nSET mk1 5\nBOGUS x\nGET mk1\nEXEC\n") // error queues nothing
 	b.WriteString("MULTI\nCAS mk2 20 7\nSET mk3 1\nEXEC\n")     // guard passes
 	b.WriteString("MULTI\nCAS mk2 999 0\nSET mk4 1\nEXEC\n")    // guard fails: ABORTED
-	b.WriteString("GET mk3\nGET mk4\nLEN\nSTATS\nSTATS WORKERS\nPING\nQUIT\n")
+	b.WriteString("GET mk3\nGET mk4\nLEN\nSTATS\nSTATS WORKERS\nSTATS FLUSH\nPING\nQUIT\n")
 	script := b.String()
 	got := maskCounters(rawSession(t, ws.Addr().String(), script))
 	want := maskCounters(rawSession(t, gs.Addr().String(), script))

@@ -107,15 +107,30 @@ type Config struct {
 	// min(GOMAXPROCS, Shards); always capped at Shards — a worker
 	// owning no shard would never execute anything).
 	Workers int
-	// FlushTimeout bounds how long a worker-runtime reply flush may
-	// block on one connection (default 5s; negative disables). Workers
-	// write synchronously, so a client that stops reading with a full
-	// socket buffer stalls its worker — and, through the round barrier,
-	// every worker dispatching to it. A connection that cannot drain
-	// its replies within the deadline is treated as failed and closed.
-	// The goroutine runtime does not use it: there a stalled write
-	// blocks only the offending connection's own handler.
+	// FlushTimeout bounds *flusher progress* per connection on the
+	// worker runtime (default 5s; negative disables the kill). Workers
+	// never write to sockets — replies are sealed into a per-connection
+	// pending buffer and a flusher pool moves the bytes (flusher.go) —
+	// so a slow reader cannot stall a worker or a round. A connection
+	// whose socket accepts no bytes at all for FlushTimeout is treated
+	// as dead and closed. The goroutine runtime does not use it: there
+	// a stalled write blocks only the offending connection's handler.
 	FlushTimeout time.Duration
+	// MaxPendingWrite bounds one connection's sealed-but-unwritten reply
+	// bytes (default 1 MiB; negative disables). Past the bound the
+	// connection is paused exactly like an escalation — its reader stops
+	// feeding, input chunks stay pinned — until the flusher fully drains
+	// its backlog. This is the worker runtime's per-connection memory
+	// backpressure: a client that pipelines requests faster than it
+	// reads replies holds at most this many reply bytes (plus one
+	// round's worth) server-side.
+	MaxPendingWrite int64
+	// Flushers is the flusher-pool size for Runtime "worker" (default
+	// 2). Flushers write with short deadlines and requeue stalled
+	// connections, so a handful serve any connection count; more than
+	// one keeps healthy connections flowing while a stalled one waits
+	// out its write window.
+	Flushers int
 
 	// WALDir enables the durability layer (internal/wal): committed
 	// write effects are logged to this directory, state is recovered
@@ -201,6 +216,12 @@ func (c *Config) fill() {
 	}
 	if c.FlushTimeout == 0 {
 		c.FlushTimeout = 5 * time.Second
+	}
+	if c.MaxPendingWrite == 0 {
+		c.MaxPendingWrite = 1 << 20
+	}
+	if c.Flushers <= 0 {
+		c.Flushers = 2
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/kv"
@@ -44,19 +45,27 @@ import (
 // construction; only escalations ever take more than one.
 //
 // Replies render from per-connection slot queues in request order and
-// every touched connection is flushed exactly once per round — all of
-// its replies leave in one write. The steady state allocates nothing:
-// units, slots, buffers and sessions are all reused.
+// every touched connection is sealed exactly once per round — all of
+// its replies enter the pending-write buffer in one flush. The steady
+// state allocates nothing: units, slots, buffers and sessions are all
+// reused.
 //
-// Liveness note: workers write replies synchronously, so a client that
-// stops reading while the server's socket buffer is full stalls its
-// worker (and, transitively, peers waiting on that worker's barrier).
-// Each flush therefore runs under a write deadline (Config.FlushTimeout):
-// a connection that cannot drain its replies within it is treated as
-// failed and closed, bounding how long one slow or malicious client can
-// stall the others. Non-blocking writes with poller wakeups — which
-// would confine the stall to the offending connection without a timeout
-// — are the standard fix and remain out of scope here.
+// Liveness: workers never write to sockets. A round's replies are
+// sealed into the connection's pending buffer at its end and a small
+// pool of flusher goroutines moves the bytes to the wire (flusher.go),
+// so a client that stops reading stalls nobody but itself: its pending
+// bytes grow until Config.MaxPendingWrite, at which point the
+// connection is paused exactly like an escalation (its reader stops
+// feeding, chunks stay pinned) until the flusher drains the backlog —
+// or, if the socket accepts nothing for Config.FlushTimeout, the
+// connection is killed.
+//
+// Round formation is adaptive: the blocking receive wakes the worker
+// after a single reader's send, and a short gather window of scheduler
+// yields (sized by recent fill) lets the other runnable readers deliver
+// before the round closes, so merged units see a whole round's worth of
+// connections. The chunk budget and the mailbox capacity both follow
+// the live connection count instead of fixed constants.
 
 // wmsgKind discriminates worker mailbox messages.
 type wmsgKind uint8
@@ -71,6 +80,15 @@ const (
 	wmUnits
 	// wmDone: a peer finished executing the unit list we sent it.
 	wmDone
+	// wmResume: the flusher drained a backpressure-paused connection's
+	// pending bytes; the worker may resume parsing its input.
+	wmResume
+	// wmDead: the flusher closed the connection (flush-deadline kill,
+	// write error, or a deferred close after draining); the worker
+	// releases its state.
+	wmDead
+	// wmNone: no message (drainAndExit's polling sentinel).
+	wmNone
 )
 
 type wmsg struct {
@@ -116,15 +134,16 @@ type unit struct {
 type slotKind uint8
 
 const (
-	slotStatic slotKind = iota // fixed text line
-	slotErr                    // error via the shared errLine rules
-	slotOp                     // one op's result out of a unit
-	slotExec                   // a whole unit as a RESULTS block
-	slotLen                    // LEN result (filled post-barrier)
-	slotStats                  // store STATS line (rendered at flush)
-	slotWorkerStats            // STATS WORKERS block (rendered at flush)
-	slotReplStats              // STATS REPL line (rendered at flush)
-	slotPromote                // PROMOTE result (filled post-barrier)
+	slotStatic      slotKind = iota // fixed text line
+	slotErr                         // error via the shared errLine rules
+	slotOp                          // one op's result out of a unit
+	slotExec                        // a whole unit as a RESULTS block
+	slotLen                         // LEN result (filled post-barrier)
+	slotStats                       // store STATS line (rendered at flush)
+	slotWorkerStats                 // STATS WORKERS block (rendered at flush)
+	slotReplStats                   // STATS REPL line (rendered at flush)
+	slotFlushStats                  // STATS FLUSH block (rendered at flush)
+	slotPromote                     // PROMOTE result (filled post-barrier)
 	// slotFoldStatic and slotFoldVal are folded replies whose outcome
 	// is known at parse time but contingent on the governing unit (u)
 	// committing: they render text / VALUE val / NOTFOUND on success
@@ -154,6 +173,7 @@ const (
 	escStats
 	escStatsWorkers
 	escStatsRepl
+	escStatsFlush
 	escPromote
 )
 
@@ -168,11 +188,18 @@ type escal struct {
 
 // wconn is one connection's state, owned by exactly one worker for the
 // connection's whole life (static assignment — the churn soak pins
-// this). The reader goroutine only touches nc, bufs and ack.
+// this). The reader goroutine only touches nc, bufs, ack and mb; the
+// flusher pool touches nc and the fmu-guarded fields.
 type wconn struct {
 	w  *worker
 	nc net.Conn
+	// bw renders replies into the pending-write buffer (its sink is
+	// pendWriter, never the socket); the flusher pool moves the bytes.
 	bw *bufio.Writer
+	// mb is the worker mailbox this connection is bound to — fixed at
+	// accept time, so one connection's messages stay FIFO even after
+	// the worker grows a larger mailbox for later connections.
+	mb chan wmsg
 
 	// bufs are the reader's ping-pong chunk buffers; ack releases a
 	// consumed chunk's buffer back to the reader (capacity 2 = the
@@ -203,10 +230,39 @@ type wconn struct {
 	// paused stops parsing until the round barrier (set by
 	// escalations, cleared when the round ends).
 	paused   bool
-	closing  bool // QUIT / fatal protocol error: close after flush
+	closing  bool // QUIT / fatal protocol error: close once drained
 	eof      bool // reader exited
 	gone     bool // closed and unregistered
 	inActive bool // already on the worker's per-round active list
+	// bpp is the backpressure pause: pending reply bytes exceeded
+	// Config.MaxPendingWrite at seal. Unlike paused it persists across
+	// rounds — input stays pinned until the flusher's wmResume. Owned
+	// by the worker; set/cleared under fmu only for bppWait symmetry.
+	bpp bool
+
+	// Flusher-shared state, guarded by fmu (see flusher.go): out is the
+	// sealed reply bytes awaiting the flusher, frest a partially
+	// written remainder, fback the recycled drained array, inflight the
+	// byte count of an ongoing write. fsince (flusher-only, sequenced
+	// through the pool queue) tracks the last write progress for the
+	// FlushTimeout kill.
+	fmu      sync.Mutex
+	out      []byte
+	frest    []byte
+	fback    []byte
+	inflight int
+	fsince   time.Time
+	fqueued  bool // sitting in the flusher queue
+	fbusy    bool // a flusher goroutine currently owns this connection
+	ffailed  bool // flusher killed the connection; drop future seals
+	fclose   bool // close nc once the pending bytes are drained
+	bppWait  bool // flusher should send wmResume when fully drained
+
+	// raw, when non-nil, enables seal's inline fast path: one
+	// non-blocking (EAGAIN-bounded) write attempt on the fd before the
+	// flusher handoff. Nil for conns without a syscall descriptor
+	// (net.Pipe in tests), which always take the flusher path.
+	raw *rawWriter
 }
 
 func (c *wconn) ackChunk() { c.ack <- struct{}{} }
@@ -255,14 +311,20 @@ type worker struct {
 	rt   *workerRuntime
 	sess *kv.Session
 
-	// dataCh carries reader traffic (data/EOF); ctrlCh carries peer
-	// dispatch traffic (units/done). They are separate so the round
-	// barrier can wait on peers without consuming new connection input,
-	// and ctrlCh's capacity (2W) covers the worst case in flight — at
-	// most one unit list and one done per peer — so control sends never
-	// block.
-	dataCh chan wmsg
-	ctrlCh chan wmsg
+	// dataCh carries reader and flusher traffic (data/EOF/resume/dead);
+	// ctrlCh carries peer dispatch traffic (units/done). They are
+	// separate so the round barrier can wait on peers without consuming
+	// new connection input, and ctrlCh's capacity (2W) covers the worst
+	// case in flight — at most one unit list and one done per peer — so
+	// control sends never block. dataCh2 is the grown second mailbox
+	// generation (nil until the live connection count outgrows dataCh's
+	// capacity): existing connections keep the channel they bound at
+	// accept time (per-connection FIFO), new ones bind the current one
+	// (mbox). A nil dataCh2 case in a select simply never fires.
+	dataCh  chan wmsg
+	dataCh2 chan wmsg
+	mbox    atomic.Value // chan wmsg: where accept binds new connections
+	ctrlCh  chan wmsg
 
 	outs    []ownerOut
 	escs    []escal
@@ -287,6 +349,12 @@ type worker struct {
 	//     write was a DEL) answers statically — deleting an absent key
 	//     is a no-op on state.
 	//
+	// The table is a dense slice indexed by handle, not a map: handles
+	// are assigned densely from 1 by the store's interner and never
+	// reclaimed, so the slice mirrors the interner's own arena
+	// discipline (it grows with the set of distinct keys ever touched
+	// and costs one bounds check per op where a map costs a hash).
+	//
 	// Folding is sound because all of a round's units execute before
 	// any reply is flushed: the folded ops serialize adjacently at the
 	// governing unit's commit, which respects every connection's
@@ -299,30 +367,47 @@ type worker struct {
 	// errors (WAL fail-stop latch), the folded reply reports the same
 	// error instead of acknowledging state that never committed. CAS
 	// and EXEC writes invalidate the handle's entry. Entries are
-	// stamped with roundSeq so the map is never cleared on the hot
+	// stamped with roundSeq so the table is never cleared on the hot
 	// path; a stale entry (old stamp, possibly a recycled unit) is
 	// simply ignored.
-	folds    map[uint64]foldState
+	folds    []foldState
 	roundSeq uint64
 
-	// Counters (read cross-worker by STATS WORKERS and the shutdown
-	// report, hence atomic).
-	connsN atomic.Int64
-	reqsN  atomic.Int64
-	rounds atomic.Int64
-	escals atomic.Int64
+	// gatherSpins is the adaptive gather window: how many scheduler
+	// yields the round takes to let runnable readers deliver before it
+	// closes. It grows (to maxGatherSpins) while the last yield of a
+	// round still surfaced new chunks with budget to spare, and shrinks
+	// back toward 1 when the first yield comes up empty — so idle and
+	// single-connection workers pay no extra latency.
+	gatherSpins int
+
+	// Counters (read cross-worker by STATS WORKERS / STATS FLUSH and
+	// the shutdown report, hence atomic).
+	connsN    atomic.Int64
+	reqsN     atomic.Int64
+	rounds    atomic.Int64
+	escals    atomic.Int64
+	dispatchN atomic.Int64 // cross-worker unit-list dispatches (≤ peers per round)
+
+	// Async-flush counters (see flusher.go).
+	pendBytes   atomic.Int64
+	sealedBytes atomic.Int64
+	bpPauses    atomic.Int64
+	flushKills  atomic.Int64
 
 	// Config cached off the hot path.
-	batchCap     int
-	maxMulti     int
-	maxLine      int
-	flushTimeout time.Duration
+	batchCap   int
+	maxMulti   int
+	maxLine    int
+	maxPending int64
 }
 
-// workerRuntime owns the worker loops of one server.
+// workerRuntime owns the worker loops and the flusher pool of one
+// server.
 type workerRuntime struct {
 	srv     *Server
 	workers []*worker
+	fl      *flusherPool
 	next    atomic.Uint64
 
 	stop    chan struct{}
@@ -336,6 +421,7 @@ func newWorkerRuntime(s *Server, n int) *workerRuntime {
 		n = 1
 	}
 	rt := &workerRuntime{srv: s, stop: make(chan struct{}), allIdle: make(chan struct{})}
+	rt.fl = newFlusherPool(s.cfg.Flushers, s.cfg.FlushTimeout)
 	rt.live.Store(int32(n))
 	for i := 0; i < n; i++ {
 		rt.workers = append(rt.workers, rt.newWorker(i, n))
@@ -351,19 +437,22 @@ func newWorkerRuntime(s *Server, n int) *workerRuntime {
 // started by the caller; worker-internal tests drive rounds directly).
 func (rt *workerRuntime) newWorker(id, n int) *worker {
 	s := rt.srv
-	return &worker{
-		id:           id,
-		rt:           rt,
-		sess:         s.store.NewSession(),
-		dataCh:       make(chan wmsg, 512),
-		ctrlCh:       make(chan wmsg, 2*n),
-		outs:         make([]ownerOut, n),
-		folds:        make(map[uint64]foldState, 256),
-		batchCap:     s.cfg.Unit,
-		maxMulti:     s.cfg.MaxMultiOps,
-		maxLine:      s.cfg.MaxLine,
-		flushTimeout: s.cfg.FlushTimeout,
+	w := &worker{
+		id:          id,
+		rt:          rt,
+		sess:        s.store.NewSession(),
+		dataCh:      make(chan wmsg, 512),
+		ctrlCh:      make(chan wmsg, 2*n),
+		outs:        make([]ownerOut, n),
+		folds:       make([]foldState, 1024),
+		gatherSpins: 1,
+		batchCap:    s.cfg.Unit,
+		maxMulti:    s.cfg.MaxMultiOps,
+		maxLine:     s.cfg.MaxLine,
+		maxPending:  s.cfg.MaxPendingWrite,
 	}
+	w.mbox.Store(w.dataCh)
+	return w
 }
 
 // ownerOf maps a key handle to the worker owning its shard.
@@ -372,10 +461,12 @@ func (rt *workerRuntime) ownerOf(h uint64) int {
 }
 
 // stopAll is called by Server.Close after every reader goroutine has
-// exited: the workers drain what remains and stop.
+// exited: the workers drain what remains and stop, then the flusher
+// pool (whose notifies nobody would drain anymore) is released.
 func (rt *workerRuntime) stopAll() {
 	close(rt.stop)
 	rt.wg.Wait()
+	rt.fl.stop()
 }
 
 // serve is the reader loop: it runs on the accept goroutine, shipping
@@ -386,9 +477,15 @@ func (rt *workerRuntime) serve(nc net.Conn) {
 	c := &wconn{
 		w:   w,
 		nc:  nc,
-		bw:  bufio.NewWriterSize(nc, 16<<10),
+		mb:  w.mbox.Load().(chan wmsg),
 		ack: make(chan struct{}, 2),
 	}
+	if sc, ok := nc.(syscall.Conn); ok {
+		if rc, err := sc.SyscallConn(); err == nil {
+			c.raw = newRawWriter(rc)
+		}
+	}
+	c.bw = bufio.NewWriterSize(pendWriter{c}, 16<<10)
 	c.bufs[0] = make([]byte, 16<<10)
 	c.bufs[1] = make([]byte, 16<<10)
 	w.connsN.Add(1)
@@ -403,20 +500,39 @@ func (rt *workerRuntime) serve(nc net.Conn) {
 		}
 		n, err := nc.Read(c.bufs[cur])
 		if n > 0 {
-			w.dataCh <- wmsg{kind: wmData, c: c, buf: c.bufs[cur][:n]}
+			c.mb <- wmsg{kind: wmData, c: c, buf: c.bufs[cur][:n]}
 			sent[cur] = true
 			cur ^= 1
 		}
 		if err != nil {
-			w.dataCh <- wmsg{kind: wmEOF, c: c}
+			c.mb <- wmsg{kind: wmEOF, c: c}
 			return
 		}
 	}
 }
 
-// roundChunkBudget bounds how many queued messages one round absorbs,
-// so a deep backlog cannot starve the flush of already-parsed replies.
-const roundChunkBudget = 256
+// Round sizing. The chunk budget bounds how many queued messages one
+// round absorbs — so a deep backlog cannot starve the seal of already-
+// parsed replies — and follows the live connection count: with two
+// ping-pong chunks per reader in flight, 2×live+16 admits every
+// runnable reader's delivery without truncating the cross-connection
+// fold, clamped to keep degenerate counts sane.
+const (
+	minRoundBudget = 64
+	maxRoundBudget = 4096
+	maxGatherSpins = 4
+)
+
+func (w *worker) roundBudget() int {
+	b := 2*int(w.connsN.Load()) + 16
+	if b < minRoundBudget {
+		return minRoundBudget
+	}
+	if b > maxRoundBudget {
+		return maxRoundBudget
+	}
+	return b
+}
 
 func (w *worker) loop() {
 	defer w.rt.wg.Done()
@@ -425,6 +541,8 @@ func (w *worker) loop() {
 		if len(w.pending) == 0 {
 			select {
 			case m := <-w.dataCh:
+				w.handleData(m)
+			case m := <-w.dataCh2:
 				w.handleData(m)
 			case m := <-w.ctrlCh:
 				w.handleCtrl(m)
@@ -436,33 +554,65 @@ func (w *worker) loop() {
 		// Re-parse input deferred from the previous round BEFORE
 		// absorbing new chunks: a connection's held tail (rem) and
 		// queued chunk (next) are strictly older than anything still in
-		// dataCh, and parsing them first is what keeps each connection's
-		// requests in arrival order across a pause.
+		// the mailbox, and parsing them first is what keeps each
+		// connection's requests in arrival order across a pause.
 		w.resumePending()
-		// Yield once before draining: the blocking receive above wakes
-		// this worker after a single reader's send, while the other
-		// ready readers are still queued behind it on the scheduler's
-		// run queue. Stepping to the back of that queue lets every
-		// runnable reader deliver its chunk first, so the drain below
-		// absorbs a whole round's worth of connections instead of one —
-		// which is what gives the merged units their cross-connection
-		// fold (and the read-dedup its duplicates). The cost is one
-		// scheduler pass per round, paid only on the worker loop.
-		runtime.Gosched()
-		// Absorb whatever else is already queued, bounded.
-	drain:
-		for n := 0; n < roundChunkBudget; n++ {
-			select {
-			case m := <-w.dataCh:
-				w.handleData(m)
-			case m := <-w.ctrlCh:
-				w.handleCtrl(m)
-			default:
-				break drain
-			}
-		}
+		w.gather()
 		w.finishRound()
 	}
+}
+
+// gather forms the round: it absorbs everything already queued, then
+// yields to the scheduler so the readers made runnable by their sends
+// can deliver too — the blocking receive in loop wakes this worker
+// after a single reader's send, while the other ready readers are
+// still queued behind it on the run queue. Stepping to the back of
+// that queue lets every runnable reader deliver its chunk before the
+// round closes, which is what gives the merged units their cross-
+// connection fold (and the read-dedup its duplicates). The number of
+// yields adapts (gatherSpins): while the final yield of a round still
+// surfaced new chunks with budget to spare the window grows, and when
+// the first yield comes up empty it shrinks — so a lone low-rate
+// connection pays no added latency, while a busy worker coalesces a
+// full round per scheduler pass.
+func (w *worker) gather() {
+	budget := w.roundBudget()
+	n := w.drainQueued(budget)
+	spins := w.gatherSpins
+	for s := 0; s < spins && n < budget; s++ {
+		runtime.Gosched()
+		m := w.drainQueued(budget - n)
+		if m == 0 {
+			if s == 0 && w.gatherSpins > 1 {
+				w.gatherSpins--
+			}
+			return
+		}
+		n += m
+		if s == spins-1 && n < budget && w.gatherSpins < maxGatherSpins {
+			w.gatherSpins++
+		}
+	}
+}
+
+// drainQueued absorbs up to budget already-queued messages without
+// blocking, from both mailbox generations and the control channel.
+func (w *worker) drainQueued(budget int) int {
+	n := 0
+	for n < budget {
+		select {
+		case m := <-w.dataCh:
+			w.handleData(m)
+		case m := <-w.dataCh2:
+			w.handleData(m)
+		case m := <-w.ctrlCh:
+			w.handleCtrl(m)
+		default:
+			return n
+		}
+		n++
+	}
+	return n
 }
 
 func (w *worker) handleData(m wmsg) {
@@ -473,14 +623,22 @@ func (w *worker) handleData(m wmsg) {
 			c.ackChunk()
 			return
 		}
-		if c.paused || c.rem != nil || c.next != nil {
-			// The connection holds older unparsed input: a pause always
-			// pins its chunk un-acked in rem (even a pause on the exact
-			// chunk boundary keeps an empty tail there — see
-			// parseLines), so the reader owns at most one more buffer
-			// and exactly one chunk can ever be queued here. A third
-			// would mean the ping-pong accounting broke; queue it and
-			// it would silently overwrite client input, so fail loudly.
+		if c.paused || c.bpp || c.rem != nil || c.next != nil {
+			// The connection holds older unparsed input, or a pause is in
+			// force. An escalation pause always pins its chunk un-acked
+			// in rem (even a pause on the exact chunk boundary keeps an
+			// empty tail there — see parseLines), so the reader owns at
+			// most one more buffer and exactly one chunk can ever be
+			// queued in next. A backpressure pause (bpp) can begin with
+			// no held input: its first arriving chunk is pinned whole in
+			// rem — un-acked, so the same single-slot bound applies. A
+			// third chunk would mean the ping-pong accounting broke;
+			// queueing it would silently overwrite client input, so fail
+			// loudly.
+			if c.rem == nil && c.next == nil {
+				c.rem = m.buf
+				return
+			}
 			if c.next != nil {
 				panic("server: worker received a chunk with one already queued behind a pause")
 			}
@@ -495,6 +653,28 @@ func (w *worker) handleData(m wmsg) {
 	case wmEOF:
 		c.eof = true
 		w.touch(c) // make the round visit it for close
+	case wmResume:
+		// The flusher drained a backpressure-paused connection; resume
+		// parsing its pinned input at the next round.
+		if c.gone || !c.bpp {
+			return
+		}
+		c.bpp = false
+		if c.rem != nil || c.next != nil || c.eof || c.closing {
+			// Touching is enough: finishRound re-pends held input (rem/
+			// next) and handles a deferred close uniformly for every
+			// active connection.
+			w.touch(c)
+		}
+	case wmDead:
+		// The flusher closed the socket (deadline kill, write error, or
+		// a deferred close after draining); release the worker state.
+		if c.reqs != 0 {
+			w.rt.srv.requests.Add(c.reqs)
+			w.reqsN.Add(c.reqs)
+			c.reqs = 0
+		}
+		w.closeConn(c)
 	}
 }
 
@@ -655,6 +835,9 @@ func (w *worker) handleLine(c *wconn, line []byte) {
 		case len(args) == 1 && foldEq(args[0], "REPL"):
 			s.kind = slotReplStats
 			w.escalate(c, escStatsRepl, nil, len(c.slots)-1)
+		case len(args) == 1 && foldEq(args[0], "FLUSH"):
+			s.kind = slotFlushStats
+			w.escalate(c, escStatsFlush, nil, len(c.slots)-1)
 		default:
 			s.kind = slotStats
 			w.escalate(c, escStats, nil, len(c.slots)-1)
@@ -724,13 +907,26 @@ func (w *worker) appendOp(op kv.Op) (*unit, int) {
 	return u, len(u.ops) - 1
 }
 
+// fold returns the handle's folding entry, growing the dense table to
+// admit it. A zero entry (nil ru/wu) reads as absent in every branch of
+// pushOp, so growth needs no initialization and invalidation is a
+// zeroing store.
+func (w *worker) fold(h uint64) *foldState {
+	if h >= uint64(len(w.folds)) {
+		grown := make([]foldState, 2*h)
+		copy(grown, w.folds)
+		w.folds = grown
+	}
+	return &w.folds[h]
+}
+
 // pushOp routes an unconditional op through the round's per-handle
 // folding state (see worker.folds), appending to a merged unit only
 // when the op genuinely needs the engine.
 func (w *worker) pushOp(c *wconn, op kv.Op) {
 	s := w.slot(c)
-	f, live := w.folds[op.Handle]
-	live = live && f.seq == w.roundSeq
+	f := w.fold(op.Handle)
+	live := f.seq == w.roundSeq
 	switch op.Kind {
 	case kv.OpGet:
 		if live && f.wu != nil {
@@ -751,7 +947,7 @@ func (w *worker) pushOp(c *wconn, op kv.Op) {
 		}
 		s.kind = slotOp
 		s.u, s.idx = w.appendOp(op)
-		w.folds[op.Handle] = foldState{seq: w.roundSeq, ru: s.u, ridx: s.idx}
+		*f = foldState{seq: w.roundSeq, ru: s.u, ridx: s.idx}
 	case kv.OpPut:
 		if live && f.wu != nil && f.widx >= 0 {
 			// SET after SET: last-writer-wins — rewrite the pending op's
@@ -761,7 +957,6 @@ func (w *worker) pushOp(c *wconn, op kv.Op) {
 			// key, so this one observes it present.
 			f.wu.ops[f.widx].Val = op.Val
 			f.val = op.Val
-			w.folds[op.Handle] = f
 			s.kind = slotFoldStatic
 			s.u = f.wu
 			s.text = "OK"
@@ -769,7 +964,7 @@ func (w *worker) pushOp(c *wconn, op kv.Op) {
 		}
 		s.kind = slotOp
 		s.u, s.idx = w.appendOp(op)
-		w.folds[op.Handle] = foldState{
+		*f = foldState{
 			seq: w.roundSeq, wu: s.u, widx: s.idx, val: op.Val, present: true,
 		}
 	case kv.OpDelete:
@@ -784,11 +979,11 @@ func (w *worker) pushOp(c *wconn, op kv.Op) {
 		}
 		s.kind = slotOp
 		s.u, s.idx = w.appendOp(op)
-		w.folds[op.Handle] = foldState{seq: w.roundSeq, wu: s.u, widx: -1}
+		*f = foldState{seq: w.roundSeq, wu: s.u, widx: -1}
 	default:
 		s.kind = slotOp
 		s.u, s.idx = w.appendOp(op)
-		delete(w.folds, op.Handle)
+		*f = foldState{}
 	}
 }
 
@@ -796,7 +991,7 @@ func (w *worker) pushOp(c *wconn, op kv.Op) {
 // independent pipelined requests cannot abort each other) and appends
 // the CAS as its own ordered unit.
 func (w *worker) pushCAS(c *wconn, op kv.Op) {
-	delete(w.folds, op.Handle)
+	*w.fold(op.Handle) = foldState{}
 	o := &w.outs[w.rt.ownerOf(op.Handle)]
 	u := w.newUnit(unitCAS)
 	u.ops = append(u.ops, op)
@@ -836,7 +1031,7 @@ func (w *worker) pushExec(c *wconn) {
 	// of the round (the key's post-EXEC state is not tracked).
 	for i := range u.ops {
 		if u.ops[i].Kind != kv.OpGet {
-			delete(w.folds, u.ops[i].Handle)
+			*w.fold(u.ops[i].Handle) = foldState{}
 		}
 	}
 	s := w.slot(c)
@@ -923,9 +1118,18 @@ func (w *worker) retryReads(u *unit) {
 }
 
 // runEscalations executes the round's deferred slow-path requests in
-// parse order, after every unit of the round has completed.
+// parse order, after every unit of the round has completed. LEN — the
+// one escalation that costs a cross-shard read transaction — is
+// snapshotted once per round and shared: a connection can carry at
+// most one escalation per round (escalations pause their connection),
+// so two LENs in one round are necessarily from different connections,
+// i.e. concurrent requests, and serving both from one linearization
+// point is as valid as serving them from two.
 func (w *worker) runEscalations() {
 	srv := w.rt.srv
+	lenDone := false
+	var lenVal uint64
+	var lenErr error
 	for i := range w.escs {
 		e := &w.escs[i]
 		switch e.kind {
@@ -936,21 +1140,29 @@ func (w *worker) runEscalations() {
 				e.u.res = append(e.u.res[:0], res...)
 			}
 		case escLen:
-			n, err := srv.store.Len(nil)
+			if !lenDone {
+				n, err := srv.store.Len(nil)
+				lenVal, lenErr = uint64(n), err
+				lenDone = true
+			}
 			s := &e.c.slots[e.slot]
-			s.val, s.err = uint64(n), err
+			s.val, s.err = lenVal, lenErr
 		case escPromote:
 			seq, err := srv.Promote()
 			s := &e.c.slots[e.slot]
 			s.val, s.err = seq, err
-		case escStats, escStatsWorkers, escStatsRepl:
+		case escStats, escStatsWorkers, escStatsRepl, escStatsFlush:
 			// Counter snapshots; rendered at flush, ordered here.
 		}
 	}
 	w.escs = w.escs[:0]
 }
 
-// finishRound dispatches, executes, renders and flushes one round.
+// finishRound dispatches, executes, renders and seals one round.
+// Every peer receives at most one dispatch per round (its whole
+// ordered unit list in one wmUnits), however many connections
+// contributed units or escalations — the barrier cost is bounded by
+// the worker count, not the connection count.
 func (w *worker) finishRound() {
 	outstanding := 0
 	for v := range w.outs {
@@ -962,6 +1174,9 @@ func (w *worker) finishRound() {
 		w.rt.workers[v].ctrlCh <- wmsg{kind: wmUnits, from: w, units: o.units}
 		outstanding++
 	}
+	if outstanding > 0 {
+		w.dispatchN.Add(int64(outstanding))
+	}
 	w.runUnits(w.outs[w.id].units)
 	for outstanding > 0 {
 		if w.handleCtrl(<-w.ctrlCh) {
@@ -970,7 +1185,7 @@ func (w *worker) finishRound() {
 	}
 	w.runEscalations()
 
-	flushed := false
+	sealed := false
 	for _, c := range w.active {
 		c.inActive = false
 		c.paused = false
@@ -978,31 +1193,30 @@ func (w *worker) finishRound() {
 			w.renderSlot(c, &c.slots[i])
 		}
 		c.slots = c.slots[:0]
+		wantClose := c.closing || (c.eof && c.rem == nil && c.next == nil)
+		pend := int64(0)
 		if !c.gone {
-			// Bound the synchronous flush: a client that stops reading
-			// with a full socket buffer would otherwise stall this
-			// worker — and, through the round barrier, every peer
-			// dispatching to it — indefinitely. Past the deadline the
-			// connection is treated as failed and closed below.
-			if w.flushTimeout > 0 {
-				c.nc.SetWriteDeadline(time.Now().Add(w.flushTimeout))
-			}
-			if err := c.bw.Flush(); err != nil {
-				c.closing = true
-				c.discardInput()
-			}
-			flushed = true
+			pend = w.seal(c, wantClose)
+			sealed = true
 		}
 		if c.reqs != 0 {
 			w.rt.srv.requests.Add(c.reqs)
 			w.reqsN.Add(c.reqs)
 			c.reqs = 0
 		}
-		if c.closing || (c.eof && c.rem == nil && c.next == nil) {
+		if wantClose {
+			if pend > 0 {
+				// Replies are still in flight; seal marked fclose under
+				// fmu, so the flusher closes the socket once they're on
+				// the wire (or the deadline kills it) and reports back
+				// with wmDead — closing here would drop the bytes.
+				c.discardInput()
+				continue
+			}
 			w.closeConn(c)
 			continue
 		}
-		if c.rem != nil || c.next != nil {
+		if !c.bpp && (c.rem != nil || c.next != nil) {
 			w.pending = append(w.pending, c)
 		}
 	}
@@ -1014,9 +1228,106 @@ func (w *worker) finishRound() {
 	// Invalidate the round's folded reads in O(1): stale stamps are
 	// ignored, so the map needs no clearing.
 	w.roundSeq++
-	if flushed {
+	if sealed {
 		w.rounds.Add(1)
 	}
+	w.maybeGrowMailbox()
+}
+
+// seal flushes the round's rendered replies into the connection's
+// pending buffer, hands the connection to the flusher pool, and applies
+// backpressure: past Config.MaxPendingWrite the connection pauses like
+// an escalation (input pinned, reader stalled) until the flusher's
+// wmResume. wantClose marks the connection for a deferred close — set
+// under the same fmu hold as the pending check, so the flusher cannot
+// drain in between and miss it. Returns the pending byte count.
+func (w *worker) seal(c *wconn, wantClose bool) int64 {
+	c.bw.Flush() // into the pending buffer via pendWriter; cannot fail
+	c.fmu.Lock()
+	if c.ffailed {
+		// A flusher kill raced this round's renders: the bytes can
+		// never be written, so drop them here to keep the pending-byte
+		// accounting exact.
+		dropLocked(c)
+		c.fmu.Unlock()
+		return 0
+	}
+	// Inline fast path: when the flusher is idle for this connection
+	// and no remainder is queued ahead, one non-blocking write attempt
+	// moves the round's replies straight to the socket — the common
+	// case for a responsive client — and skips the flusher handoff
+	// (two goroutine wakeups and a deadline syscall per round). A
+	// socket that would block falls through to the pool with whatever
+	// is left; fmu is uncontended here since no flusher owns the conn.
+	if c.raw != nil && !c.fqueued && !c.fbusy && c.frest == nil && len(c.out) > 0 {
+		n, err := c.raw.tryWrite(c.out)
+		if n > 0 {
+			w.pendBytes.Add(-int64(n))
+			if n == len(c.out) {
+				c.out = c.out[:0]
+			} else {
+				c.out = c.out[:copy(c.out, c.out[n:])]
+			}
+		}
+		if err != nil {
+			// Hard error: the peer is gone. Mirror the flusher's
+			// failure path synchronously; the reader's Read error
+			// releases the worker-side state via the normal close path.
+			c.ffailed = true
+			dropLocked(c)
+			c.fmu.Unlock()
+			c.nc.Close()
+			return 0
+		}
+	}
+	pend := int64(len(c.out) + len(c.frest) + c.inflight)
+	if pend == 0 {
+		c.fmu.Unlock()
+		return 0
+	}
+	if wantClose {
+		c.fclose = true
+	}
+	enq := !c.fqueued && !c.fbusy
+	if enq {
+		c.fqueued = true
+	}
+	if w.maxPending > 0 && pend > w.maxPending && !c.bpp && !wantClose {
+		c.bpp = true
+		c.bppWait = true
+		w.bpPauses.Add(1)
+	}
+	c.fmu.Unlock()
+	if enq {
+		w.rt.fl.push(c)
+	}
+	return pend
+}
+
+// maybeGrowMailbox swaps in a larger second mailbox generation when the
+// live connection count outgrows the seed capacity (512): with two
+// ping-pong chunks per reader, a full round's deliveries must fit or
+// readers serialize on the channel. Existing connections keep their
+// bound channel (per-connection FIFO is per-channel); only new accepts
+// bind the grown one, and the worker drains both forever. One growth
+// suffices for the supported scale, so the select stays two-armed.
+func (w *worker) maybeGrowMailbox() {
+	if w.dataCh2 != nil {
+		return
+	}
+	live := int(w.connsN.Load())
+	if 2*live+16 <= cap(w.dataCh) {
+		return
+	}
+	capacity := 4 * live
+	if capacity < 2048 {
+		capacity = 2048
+	}
+	if capacity > 16384 {
+		capacity = 16384
+	}
+	w.dataCh2 = make(chan wmsg, capacity)
+	w.mbox.Store(w.dataCh2)
 }
 
 // renderSlot writes one queued reply to the connection's buffer.
@@ -1064,6 +1375,8 @@ func (w *worker) renderSlot(c *wconn, s *rslot) {
 		renderWorkerStats(bw, w.rt.srv)
 	case slotReplStats:
 		renderReplStats(bw, w.rt.srv)
+	case slotFlushStats:
+		renderFlushStats(bw, w.rt.srv, c.pendingBytes())
 	case slotPromote:
 		if s.err != nil {
 			renderErr(bw, s.err)
@@ -1108,20 +1421,30 @@ func (w *worker) closeConn(c *wconn) {
 // peers still finishing their last round until every worker is here.
 func (w *worker) drainAndExit() {
 	for {
+		var m wmsg
 		select {
-		case m := <-w.dataCh:
+		case m = <-w.dataCh:
+		case m = <-w.dataCh2:
+		default:
+			m.kind = wmNone
+		}
+		if m.kind != wmNone {
 			switch m.kind {
 			case wmData:
 				m.c.ackChunk()
-			case wmEOF:
+			case wmEOF, wmDead:
 				if m.c.reqs != 0 {
 					w.rt.srv.requests.Add(m.c.reqs)
 					w.reqsN.Add(m.c.reqs)
 					m.c.reqs = 0
 				}
 				w.closeConn(m.c)
+			case wmResume:
+				// Nothing to resume into; the connection is closing anyway.
 			}
-		default:
+			continue
+		}
+		{
 			// No dispatch can be in flight once every worker idles here
 			// (a mid-round worker has not decremented yet and its
 			// barrier completes because we keep serving ctrlCh).
@@ -1194,6 +1517,10 @@ type WorkerStats struct {
 	// Escalations counts slow-path requests: cross-worker MULTI..EXEC,
 	// LEN and STATS.
 	Escalations int64
+	// Dispatches counts cross-worker unit-list sends — at most one per
+	// peer per round, however many connections escalated or contributed
+	// units (the batched-dispatch invariant).
+	Dispatches int64
 }
 
 // WorkerStats snapshots the per-worker counters — the figures behind
@@ -1210,6 +1537,7 @@ func (s *Server) WorkerStats() []WorkerStats {
 			Requests:    w.reqsN.Load(),
 			FlushRounds: w.rounds.Load(),
 			Escalations: w.escals.Load(),
+			Dispatches:  w.dispatchN.Load(),
 		}
 	}
 	return out

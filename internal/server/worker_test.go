@@ -30,21 +30,26 @@ func newTestWorker(t *testing.T, cfg Config) (*Server, *worker) {
 	}
 	t.Cleanup(func() { s.Close() })
 	rt := &workerRuntime{srv: s, stop: make(chan struct{}), allIdle: make(chan struct{})}
+	rt.fl = newFlusherPool(s.cfg.Flushers, s.cfg.FlushTimeout)
+	t.Cleanup(rt.fl.stop)
 	w := rt.newWorker(0, 1)
 	rt.workers = []*worker{w}
 	return s, w
 }
 
 // newTestWconn returns a connection owned by w over one end of a
-// net.Pipe, plus the client end.
+// net.Pipe, plus the client end. Replies travel the real async path:
+// rendered into the pending buffer, drained by the test runtime's
+// flusher pool.
 func newTestWconn(w *worker) (*wconn, net.Conn) {
 	cl, sv := net.Pipe()
 	c := &wconn{
 		w:   w,
 		nc:  sv,
-		bw:  bufio.NewWriterSize(sv, 16<<10),
+		mb:  w.dataCh,
 		ack: make(chan struct{}, 2),
 	}
+	c.bw = bufio.NewWriterSize(pendWriter{c}, 16<<10)
 	w.connsN.Add(1)
 	return c, cl
 }
@@ -201,9 +206,10 @@ func TestWorkerMergedBatchReadRetryFailStop(t *testing.T) {
 }
 
 // TestWorkerFlushDeadline: a connection that stops reading must not
-// stall its worker (and, through the round barrier, the other workers)
-// past Config.FlushTimeout — it is treated as failed and closed, and
-// the round's other connections still get their replies.
+// stall its worker — the round seals its replies into the pending
+// buffer and returns immediately — and once its socket accepts nothing
+// for Config.FlushTimeout the flusher kills it (wmDead), while the
+// round's other connections get their replies undelayed.
 func TestWorkerFlushDeadline(t *testing.T) {
 	_, w := newTestWorker(t, Config{
 		Engine: "nztm", Shards: 4, Buckets: 4,
@@ -218,14 +224,92 @@ func TestWorkerFlushDeadline(t *testing.T) {
 	deliver(w, ch, "PING\nQUIT\n")
 	start := time.Now()
 	w.finishRound()
-	if el := time.Since(start); el > 3*time.Second {
+	if el := time.Since(start); el > time.Second {
 		t.Fatalf("round blocked %v behind a non-reading connection", el)
 	}
-	if !cs.gone {
-		t.Fatal("stalled connection not closed after the flush deadline")
-	}
+	// The healthy connection's stream must complete without waiting for
+	// the stalled one's deadline.
 	const want = "PONG\nBYE\n"
 	if got := <-out; got != want {
 		t.Fatalf("healthy connection answered %q, want %q", got, want)
+	}
+	// Drive the worker's mailbox (the loop isn't running in these
+	// synchronous tests) until the flusher's kill lands.
+	deadline := time.After(5 * time.Second)
+	for !cs.gone {
+		select {
+		case m := <-w.dataCh:
+			w.handleData(m)
+		case <-deadline:
+			t.Fatal("stalled connection not killed after the flush deadline")
+		}
+	}
+	if got := w.flushKills.Load(); got != 1 {
+		t.Fatalf("flushKills = %d, want 1", got)
+	}
+}
+
+// TestWorkerBackpressurePause: a connection whose pending reply bytes
+// exceed Config.MaxPendingWrite at seal is paused like an escalation —
+// its queued input stays pinned un-parsed — and resumes (wmResume) when
+// the flusher drains the backlog; other connections are untouched. The
+// net.Pipe client end is drained only after the pause is observed, so
+// the sequence is deterministic.
+func TestWorkerBackpressurePause(t *testing.T) {
+	_, w := newTestWorker(t, Config{
+		Engine: "nztm", Shards: 4, Buckets: 4,
+		MaxPendingWrite: 8, // absurdly small: one PONG round trips it
+	})
+	c, cl := newTestWconn(w)
+	ch, clh := newTestWconn(w)
+	out := collect(clh)
+
+	deliver(w, c, "PING\nPING\nPING\n") // 15 reply bytes > 8
+	deliver(w, ch, "PING\nQUIT\n")
+	w.finishRound()
+	if !c.bpp {
+		t.Fatal("pending bytes over MaxPendingWrite did not pause the connection")
+	}
+	if got := w.bpPauses.Load(); got != 1 {
+		t.Fatalf("bpPauses = %d, want 1", got)
+	}
+	// Input arriving behind the pause is pinned, not parsed.
+	deliver(w, c, "GET z\nQUIT\n")
+	if c.rem == nil {
+		t.Fatal("chunk behind a backpressure pause was not pinned")
+	}
+	if len(c.slots) != 0 {
+		t.Fatal("chunk parsed while backpressure-paused")
+	}
+	// The healthy peer is unaffected by c's stall.
+	if got, want := <-out, "PONG\nBYE\n"; got != want {
+		t.Fatalf("healthy connection answered %q, want %q", got, want)
+	}
+
+	// Drain c's client end: the flusher empties the backlog and sends
+	// wmResume; driving the mailbox resumes parsing the pinned input.
+	outC := collect(cl)
+	deadline := time.After(5 * time.Second)
+	for c.bpp {
+		select {
+		case m := <-w.dataCh:
+			w.handleData(m)
+		case <-deadline:
+			t.Fatal("backpressure pause never resumed after the backlog drained")
+		}
+	}
+	w.finishRound()   // wmResume touched c: this round re-pends its pinned input
+	w.resumePending() // parses the pinned GET/QUIT
+	w.finishRound()
+	for !c.gone {
+		select {
+		case m := <-w.dataCh:
+			w.handleData(m)
+		case <-deadline:
+			t.Fatal("connection never finished after resume")
+		}
+	}
+	if got, want := <-outC, "PONG\nPONG\nPONG\nNOTFOUND\nBYE\n"; got != want {
+		t.Fatalf("paused connection's stream %q, want %q", got, want)
 	}
 }
