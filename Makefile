@@ -38,10 +38,10 @@ bench-readheavy:
 	@$(GO) test -run '^$$' -bench BenchmarkReadHeavy -benchmem -benchtime $(BENCHTIME) .
 
 experiments:
-	@echo "Regenerating the E1..E15 experiment tables..."
+	@echo "Regenerating the E1..E16 experiment tables..."
 	@$(GO) run ./cmd/oftm-bench
 
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON)
@@ -51,7 +51,7 @@ bench-json:
 # when both sides ran on the same machine, so the diff against the
 # previous PR's file is advisory across containers and binding within
 # one. Records new since the baseline are skipped with a notice.
-BASELINE ?= BENCH_PR8.json
+BASELINE ?= BENCH_PR9.json
 bench-diff:
 	@echo "Measuring the perf-tracking grid into $(BENCH_JSON) and diffing against $(BASELINE) (fails on >25% ns/op regressions and on allocs/op above the baseline allowance — zero-alloc records must stay zero; workloads new since the baseline are skipped with a notice)..."
 	@$(GO) run ./cmd/oftm-bench -json $(BENCH_JSON) -baseline $(BASELINE)
@@ -147,4 +147,14 @@ sim-smoke: sim-nondeterminism
 	@echo "Campaign test wrappers under the race detector (10 seeds)..."
 	@$(GO) test -race -count=1 ./internal/campaign -campaign.seeds=10
 
-.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke bench-server servebench server-scale-smoke server-smoke replication-smoke recovery-smoke sim-multi-seed sim-nondeterminism sim-import-export sim-benchmark-invariants sim-smoke
+snapshot-smoke:
+	@echo "Snapshot-chain suites under the race detector (chain cut/link/truncate, broken-chain refusal, bundle install)..."
+	@$(GO) test -race -count=1 ./internal/wal
+	@echo "Snapshot torture: crash inside the snapshot writer (between shard images and mid-manifest), recover, check acked writes + chain completeness..."
+	@$(GO) run ./cmd/oftm-campaign -mode torture -seeds $(SEEDS) -ops $(SIM_OPS)
+	@$(GO) test -race -count=1 -run 'TestSnapshotTorture|TestImportExport' ./internal/campaign -campaign.seeds=4
+	@echo "Truncated E16 row (recovery-time bound; the binding >= 5x gate runs at 10M keys via 'make experiments')..."
+	@OFTM_E16_KEYS=200000 $(GO) run ./cmd/oftm-bench -exp E16 | tee /tmp/oftm-snapshot-smoke.out
+	@awk '/^E16 speedup:/ { seen = 1; if ($$3 + 0 < 1.5) { print "recovery speedup gate failed (want >= 1.5x at truncated scale): " $$0; bad = 1 } } END { if (!seen) { print "no E16 speedup line"; exit 1 }; if (bad) exit 1; print "incremental recovery held the truncated-scale bound" }' /tmp/oftm-snapshot-smoke.out
+
+.PHONY: build test test-race vet check bench bench-readheavy experiments bench-json bench-diff kv-smoke bench-server servebench server-scale-smoke server-smoke replication-smoke recovery-smoke sim-multi-seed sim-nondeterminism sim-import-export sim-benchmark-invariants sim-smoke snapshot-smoke

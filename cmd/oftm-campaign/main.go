@@ -5,6 +5,7 @@
 //	oftm-campaign -mode crash -seeds 100          # make sim-multi-seed
 //	oftm-campaign -mode nondet -seeds 4           # make sim-nondeterminism
 //	oftm-campaign -mode import-export -seeds 8    # make sim-import-export
+//	oftm-campaign -mode torture -seeds 8          # make snapshot-smoke
 //
 // Every seed drives a deterministic workload into a WAL-backed store
 // while a seeded fault schedule (internal/faultfs) delivers a crash or
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "crash", "campaign mode: crash|nondet|import-export")
+	mode := flag.String("mode", "crash", "campaign mode: crash|nondet|import-export|torture")
 	seeds := flag.Int("seeds", 10, "number of seeds to sweep")
 	ops := flag.Int("ops", 0, "driver operations per crash run (0 = default 300)")
 	crashProb := flag.Float64("crashprob", -1, "probability the injected fault is a crash (<0 keeps default 0.5)")
@@ -89,8 +90,30 @@ func main() {
 			}
 		}
 		fmt.Printf("oftm-campaign: %d seeds round-tripped to identical snapshot bytes\n", *seeds)
+	case "torture":
+		probe := cfg
+		runs := 0
+		fmt.Printf("oftm-campaign: snapshot torture, %d seeds x every crash position in the incremental snapshot writer\n", *seeds)
+		for seed := int64(0); seed < int64(*seeds); seed++ {
+			shards := 4
+			if probe.Shards > 0 {
+				shards = probe.Shards
+			}
+			for after := 0; after <= shards+1; after++ {
+				engine := engines[(seed+int64(after))%int64(len(engines))]
+				rep, err := campaign.SnapshotTorture(seed, engine, after, cfg)
+				if err != nil {
+					fail(seed, err)
+				}
+				if !strings.Contains(rep.FiredOn, "writefile") {
+					fail(seed, fmt.Errorf("seed %d after=%d: crash fired on %q, want a snapshot writefile op", seed, after, rep.FiredOn))
+				}
+				runs++
+			}
+		}
+		fmt.Printf("oftm-campaign: %d torture runs recovered a complete chain and every acked batch\n", runs)
 	default:
-		fmt.Fprintf(os.Stderr, "oftm-campaign: unknown -mode %q (crash|nondet|import-export)\n", *mode)
+		fmt.Fprintf(os.Stderr, "oftm-campaign: unknown -mode %q (crash|nondet|import-export|torture)\n", *mode)
 		os.Exit(2)
 	}
 }

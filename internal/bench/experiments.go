@@ -45,6 +45,7 @@ func All() []Experiment {
 		{"E13", "Serving runtime scaling: worker loops vs goroutine-per-conn, conns x shards x fsync", E13},
 		{"E14", "Follower-read scaling: 1 primary + N replicas, aggregate read capacity", E14},
 		{"E15", "Async reply path: serving grid re-run + slow-reader soak", E15},
+		{"E16", "Recovery at scale: incremental chain vs full snapshot", E16},
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/server"
 )
@@ -53,6 +54,36 @@ func RunServerLoadWAL(engine, fsync string, conns, pipeline, windows int) (Serve
 		return res, err
 	}
 	return measureLoad(srv, keys, res, conns, pipeline, windows)
+}
+
+// RunServerLoadSnapshot measures the standard mixed load against a
+// server that is cutting incremental chain snapshots on a timer while
+// it serves — the regression harness for "snapshot cuts don't tax the
+// serving path". Alongside the measurement it reports whether the
+// snapshot cut actually advanced during the measured phase, so a
+// passing allocation figure can't come from a run where no cut landed.
+func RunServerLoadSnapshot(engine string, every time.Duration, conns, pipeline, windows int) (ServerResult, bool, error) {
+	res := ServerResult{Engine: engine, Path: "wal-snapcut", Conns: conns, Pipeline: pipeline}
+	dir, err := os.MkdirTemp("", "oftm-snapcut-bench-*")
+	if err != nil {
+		return res, false, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := server.Config{
+		Engine:        engine,
+		Runtime:       "goroutine",
+		WALDir:        dir,
+		Fsync:         "interval",
+		SnapshotEvery: every,
+	}
+	srv, keys, err := startLoadServerCfg(cfg)
+	if err != nil {
+		return res, false, err
+	}
+	before := srv.WAL().Stats().SnapshotSeq
+	res, err = measureLoad(srv, keys, res, conns, pipeline, windows)
+	cut := srv.WAL().Stats().SnapshotSeq > before
+	return res, cut, err
 }
 
 // E11 measures the durability bill end to end: loopback req/s and

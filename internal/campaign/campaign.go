@@ -165,6 +165,33 @@ func (e *effectLog) hook(effects []kv.Effect) error {
 // and config produce the same report, on either engine.
 func CrashRun(seed int64, engine string, cfg Config) (CrashReport, error) {
 	cfg.fill()
+	return crashRun(seed, engine, cfg, faultfs.PlanForSeed(seed, cfg.Ops/4, cfg.CrashProb))
+}
+
+// SnapshotTorture is CrashRun with the fault aimed precisely at the
+// incremental snapshot writer: a power-loss crash on the (after+1)-th
+// snapshot-file write. The first cut of a run writes one image per
+// shard and then the manifest temp file, so after < Shards lands the
+// crash *between shard images* and after == Shards lands it
+// *mid-manifest-write*; larger values walk into later cuts. Because
+// truncation only runs after a manifest commits, every such crash must
+// leave either the previous complete chain or the full log tail —
+// recovery must succeed and cover every acknowledged batch, never a
+// partial chain.
+func SnapshotTorture(seed int64, engine string, after int, cfg Config) (CrashReport, error) {
+	cfg.fill()
+	if cfg.SnapEvery > cfg.Ops/6 {
+		// Torture wants several cuts per run so late After values still
+		// fire within the workload.
+		cfg.SnapEvery = cfg.Ops / 6
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5709_7041))
+	plan := faultfs.Plan{Kind: faultfs.Crash, Target: faultfs.SnapshotWrite, After: after, Cut: rng.Float64()}
+	return crashRun(seed, engine, cfg, plan)
+}
+
+// crashRun is the shared body of CrashRun and SnapshotTorture.
+func crashRun(seed int64, engine string, cfg Config, plan faultfs.Plan) (CrashReport, error) {
 	rep := CrashReport{}
 	dir, err := os.MkdirTemp("", "campaign-crash-*")
 	if err != nil {
@@ -172,7 +199,6 @@ func CrashRun(seed int64, engine string, cfg Config) (CrashReport, error) {
 	}
 	defer os.RemoveAll(dir)
 
-	plan := faultfs.PlanForSeed(seed, cfg.Ops/4, cfg.CrashProb)
 	rep.Plan = plan.String()
 	inj := faultfs.NewInjector(faultfs.OS, plan)
 	segBytes := cfg.SegmentBytes
@@ -260,7 +286,9 @@ func CrashRun(seed int64, engine string, cfg Config) (CrashReport, error) {
 		}
 		if cfg.SnapEvery > 0 && i%cfg.SnapEvery == cfg.SnapEvery-1 {
 			// Best effort: a faulted snapshot must not break anything.
-			_ = l.WriteSnapshot(func() ([]kv.Pair, error) { return store.Dump(nil) })
+			// Incremental chain cuts, so faults land in the image-write /
+			// manifest-commit / truncation path the server actually runs.
+			_ = l.WriteSnapshotInc(store)
 		}
 	}
 	fired, on := inj.Fired()
@@ -286,14 +314,15 @@ func CrashRun(seed int64, engine string, cfg Config) (CrashReport, error) {
 	}
 	l2.Close()
 	rep.TornTail = recd.TornTail
-	k, ok := matchPrefix(recd.State, elog.batches, elog.acked)
+	state := recd.Merged()
+	k, ok := matchPrefix(state, elog.batches, elog.acked)
 	if !ok {
 		return rep, violationf(seed, engine, "acked-writes-survive",
 			"recovered state matches no batch prefix covering the %d acked batches (of %d; fault: %s)",
 			elog.acked, len(elog.batches), on)
 	}
 	rep.MatchedAt = k
-	rep.StateHash = StateHash(recd.State)
+	rep.StateHash = StateHash(state)
 	return rep, nil
 }
 

@@ -84,6 +84,31 @@ func TestImportExport(t *testing.T) {
 	}
 }
 
+// TestSnapshotTorture is `make snapshot-smoke`'s seed battery: a
+// power-loss crash aimed at every position in the incremental snapshot
+// writer's file schedule — between shard images (after < Shards), on
+// the manifest temp write (after == Shards), and into later cuts.
+// Recovery must always succeed on a complete previous chain (or the
+// full log tail) and cover every acked batch; a partial chain loading
+// silently would show up as a prefix mismatch or a refused recovery.
+func TestSnapshotTorture(t *testing.T) {
+	cfg := testConfig()
+	for seed := int64(0); seed < int64(*flagSeeds); seed++ {
+		probe := cfg
+		probe.fill()
+		for after := 0; after <= probe.Shards+1; after++ {
+			engine := Engines()[(seed+int64(after))%2]
+			rep, err := SnapshotTorture(seed, engine, after, cfg)
+			if err != nil {
+				t.Fatalf("after=%d: %v\nrepro: %s", after, err, ReproCommand(seed, cfg))
+			}
+			if !strings.Contains(rep.FiredOn, "writefile") {
+				t.Fatalf("seed %d after=%d: crash fired on %q, want a snapshot writefile op", seed, after, rep.FiredOn)
+			}
+		}
+	}
+}
+
 // TestCrashSeed replays exactly one seed with -campaign.seed=N — the
 // repro entry point printed by every campaign failure. Runs the full
 // battery for that seed on both engines, verbosely.

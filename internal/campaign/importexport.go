@@ -11,12 +11,15 @@ import (
 	"repro/internal/wal"
 )
 
-// ImportExport checks that snapshot bytes are a faithful, canonical
-// state-interchange format: a seeded workload is snapshotted (export),
-// the directory is recovered into a fresh store (import), and
-// re-exporting that store's state at the same cut must reproduce the
-// identical bytes. Any nondeterminism in the dump/encode path, or any
-// divergence between recovered and live state, breaks byte equality.
+// ImportExport checks that snapshot state is a faithful, canonical
+// interchange format across the incremental chain path: a seeded
+// workload is cut as a full chain, a single-key write then dirties
+// exactly one shard and an incremental cut must re-image exactly that
+// shard, a tail of further writes lands past the cut, and the directory
+// is recovered into a fresh store (import). Re-imaging the fresh
+// store's full state must produce bytes identical to imaging the live
+// store directly — wal.SnapshotImage is canonical, and nothing is lost
+// or invented across chain export → recover → import.
 func ImportExport(seed int64, engine string, cfg Config) error {
 	cfg.fill()
 	dir, err := os.MkdirTemp("", "campaign-ie-*")
@@ -33,64 +36,94 @@ func ImportExport(seed int64, engine string, cfg Config) error {
 	store.SetCommitHook(l.Append)
 	sess := store.NewSession()
 	rng := rand.New(rand.NewSource(seed*1099511628211 + 7))
-	for i := 0; i < cfg.Ops; i++ {
-		key := fmt.Sprintf("key%03d", rng.Intn(cfg.Keys))
-		if rng.Intn(5) == 0 {
-			if _, err := sess.Delete(nil, key); err != nil {
-				return violationf(seed, engine, "import-export", "op %d: DEL failed: %v", i, err)
+	churn := func(n int) error {
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("key%03d", rng.Intn(cfg.Keys))
+			if rng.Intn(5) == 0 {
+				if _, err := sess.Delete(nil, key); err != nil {
+					return violationf(seed, engine, "import-export", "op %d: DEL failed: %v", i, err)
+				}
+			} else if _, err := sess.Put(nil, key, uint64(rng.Intn(1000)+1)); err != nil {
+				return violationf(seed, engine, "import-export", "op %d: SET failed: %v", i, err)
 			}
-		} else if _, err := sess.Put(nil, key, uint64(rng.Intn(1000)+1)); err != nil {
-			return violationf(seed, engine, "import-export", "op %d: SET failed: %v", i, err)
 		}
+		return nil
 	}
 
-	// Export: snapshot the live store, then read the canonical bytes.
-	if err := l.WriteSnapshot(func() ([]kv.Pair, error) { return store.Dump(nil) }); err != nil {
-		return violationf(seed, engine, "import-export", "snapshot: %v", err)
+	// Phase 1: bulk load, then the run's first cut — a full chain.
+	if err := churn(cfg.Ops); err != nil {
+		return err
+	}
+	if err := l.WriteSnapshotInc(store); err != nil {
+		return violationf(seed, engine, "import-export", "full cut: %v", err)
+	}
+
+	// Phase 2: one write to one key dirties exactly one shard; the next
+	// cut must re-image exactly that shard and link the rest.
+	if _, err := sess.Put(nil, "key000", 424242); err != nil {
+		return violationf(seed, engine, "import-export", "single-key SET failed: %v", err)
+	}
+	if err := l.WriteSnapshotInc(store); err != nil {
+		return violationf(seed, engine, "import-export", "incremental cut: %v", err)
 	}
 	cut := l.Stats().SnapshotSeq
+	freshImgs, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("shard-%020d-*.shard", cut)))
+	if err != nil || len(freshImgs) != 1 {
+		return violationf(seed, engine, "import-export",
+			"incremental cut re-imaged %d shard(s) %v for a single-key write, want exactly 1 (%v)",
+			len(freshImgs), freshImgs, err)
+	}
+
+	// Phase 3: a tail past the cut, replayed over the chain on import.
+	if err := churn(cfg.Ops/10 + 1); err != nil {
+		return err
+	}
 	if err := l.Close(); err != nil {
 		return violationf(seed, engine, "import-export", "close: %v", err)
 	}
-	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
-	if err != nil || len(snaps) != 1 {
-		return violationf(seed, engine, "import-export", "want exactly one snapshot file, got %v (%v)", snaps, err)
-	}
-	exported, err := os.ReadFile(snaps[0])
-	if err != nil {
-		return violationf(seed, engine, "import-export", "read snapshot: %v", err)
-	}
 
-	// Import: recover the directory, load the state into a fresh store.
+	// Import: recover the directory, check it sees the chain, and that
+	// base+tail merge to exactly the live store's state.
 	l2, recd, err := wal.Open(wal.Options{Dir: dir})
 	if err != nil {
 		return violationf(seed, engine, "import-export", "recovery: %v", err)
 	}
 	defer l2.Close()
+	if recd.Base == nil {
+		return violationf(seed, engine, "import-export",
+			"recovery ignored the chain (Base == nil, snapshot cut %d)", recd.SnapshotSeq)
+	}
+	if recd.SnapshotSeq != cut {
+		return violationf(seed, engine, "import-export",
+			"recovery used snapshot cut %d, want the chain cut %d", recd.SnapshotSeq, cut)
+	}
 	livePairs, err := store.Dump(nil)
 	if err != nil {
 		return violationf(seed, engine, "import-export", "dump live: %v", err)
 	}
-	if got, want := StateHash(recd.State), PairsHash(livePairs); got != want {
+	if got, want := StateHash(recd.Merged()), PairsHash(livePairs); got != want {
 		return violationf(seed, engine, "import-export",
 			"recovered state differs from the live store: %s vs %s", got, want)
 	}
 	fresh := kv.New(newEngine(engine), cfg.Shards, 8)
-	for k, v := range recd.State {
-		if _, err := fresh.Put(nil, k, v); err != nil {
-			return violationf(seed, engine, "import-export", "import %s: %v", k, err)
-		}
+	if err := recd.Each(func(k string, v uint64) error {
+		_, perr := fresh.Put(nil, k, v)
+		return perr
+	}); err != nil {
+		return violationf(seed, engine, "import-export", "import: %v", err)
 	}
 
-	// Re-export at the same cut: bytes must match exactly.
+	// Canonicality: a full image of the imported store must be
+	// byte-identical to a full image of the live store at the same cut.
 	freshPairs, err := fresh.Dump(nil)
 	if err != nil {
 		return violationf(seed, engine, "import-export", "dump fresh: %v", err)
 	}
-	reexported := wal.SnapshotImage(cut, freshPairs)
+	exported := wal.SnapshotImage(recd.LastSeq, livePairs)
+	reexported := wal.SnapshotImage(recd.LastSeq, freshPairs)
 	if !bytes.Equal(exported, reexported) {
 		return violationf(seed, engine, "import-export",
-			"round-trip bytes differ: exported %d bytes, re-exported %d bytes", len(exported), len(reexported))
+			"round-trip bytes differ: direct image %d bytes, chain-imported image %d bytes", len(exported), len(reexported))
 	}
 	return nil
 }

@@ -139,7 +139,7 @@ func PlanForSeed(seed int64, horizon int, crashProb float64) Plan {
 	} else {
 		p.Kind = []Kind{ShortWrite, ErrIO, NoSpace}[rng.Intn(3)]
 	}
-	switch rng.Intn(4) {
+	switch rng.Intn(5) {
 	case 0:
 		p.Target = AnyOp
 	case 1:
@@ -154,6 +154,12 @@ func PlanForSeed(seed int64, horizon int, crashProb float64) Plan {
 		// still fires within a bounded run.
 		p.Target = HeaderWrite
 		p.After = rng.Intn(3)
+	case 4:
+		// Snapshot-file writes (shard images, manifest temp files) only
+		// happen at periodic cuts; aim early enough that a run with a
+		// handful of cuts still reaches the trigger.
+		p.Target = SnapshotWrite
+		p.After = rng.Intn(6)
 	}
 	return p
 }

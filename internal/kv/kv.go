@@ -130,6 +130,15 @@ type shard struct {
 	// the stale value. Hook-free stores (the volatile configuration)
 	// never touch it.
 	mu sync.Mutex
+
+	// epoch is the shard's dirty counter: bumped once per write effect
+	// the shard receives, inside the commit-order critical section and
+	// after the hook assigned the batch's log sequence. Incremental
+	// snapshots compare two reads of it to decide whether the shard
+	// must be re-dumped (see DirtyEpoch / DirtyEpochLocked); a bump is
+	// a single atomic add, so dirty tracking costs the write path no
+	// allocation and no extra lock.
+	epoch atomic.Uint64
 }
 
 // New allocates a store with the given shard count and buckets per
@@ -411,6 +420,73 @@ func (s *Store) Dump(p *sim.Proc, opts ...core.RunOption) ([]Pair, error) {
 		return nil, err
 	}
 	return pairs, nil
+}
+
+// DumpShard reads every present key of one shard in its own read-only
+// transaction. The snapshot writer streams a cut shard by shard with
+// it: each shard's image is internally consistent (one transaction),
+// dumps of different shards overlap live write traffic instead of
+// freezing the whole store, and any write that lands between a shard's
+// dump and the cut sequence is repaired by the idempotent tail replay —
+// the same prefix-repair contract Dump relies on.
+func (s *Store) DumpShard(shard int) ([]Pair, error) {
+	var n uint64
+	if ks := s.keys.Load(); ks != nil {
+		n = uint64(len(*ks))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	sh := s.shards[shard]
+	var pairs []Pair
+	attempts := 0
+	err := core.Run(s.tm, nil, func(tx core.Tx) error {
+		attempts++
+		pairs = pairs[:0]
+		for h := uint64(1); h <= n; h++ {
+			if s.shardOf(h) != shard {
+				continue
+			}
+			v, ok, err := sh.idx.Lookup(tx, h)
+			if err != nil {
+				return err
+			}
+			if ok {
+				k, _ := s.KeyOf(h)
+				pairs = append(pairs, Pair{Key: k, Val: v})
+			}
+		}
+		return nil
+	})
+	committed := err == nil
+	sh.record(attempts, committed)
+	s.finish(committed, 1)
+	if err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// DirtyEpoch returns shard i's dirty counter with a plain atomic load —
+// the cheap read for reporting and pre-cut sampling.
+func (s *Store) DirtyEpoch(i int) uint64 { return s.shards[i].epoch.Load() }
+
+// DirtyEpochLocked returns shard i's dirty counter observed under the
+// shard's commit-order lock. Because every write batch holds that lock
+// across [engine commit .. WAL append .. epoch bump], a locked read
+// taken *after* the snapshot cut sequence was read is guaranteed to
+// include the bump of every record at or before the cut: any batch
+// whose sequence was assigned before the cut read completed its
+// critical section — bump included — before this read acquired the
+// lock. That ordering is what lets the incremental snapshot writer
+// trust "epoch unchanged" to mean "no effect on this shard needs a
+// fresh image" (see internal/wal's chain writer).
+func (s *Store) DirtyEpochLocked(i int) uint64 {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	e := sh.epoch.Load()
+	sh.mu.Unlock()
+	return e
 }
 
 // Len counts all entries atomically across every shard (a long

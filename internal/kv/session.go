@@ -199,7 +199,29 @@ func (se *Session) runHook(ops []Op) error {
 	if len(se.effects) == 0 {
 		return nil
 	}
-	return s.hook(se.effects)
+	err := s.hook(se.effects)
+	// Dirty-epoch bumps happen after the hook call — the hook assigned
+	// the batch's log sequence — and still inside the commit-order
+	// critical section, so a snapshot cut that reads its cut sequence
+	// and then the epochs under the shard locks observes the bump of
+	// every record at or before the cut (see Store.DirtyEpochLocked).
+	// Re-running the effect conditions is allocation-free; a bump on a
+	// hook error is harmless over-marking (the WAL is latched anyway).
+	for i := range ops {
+		switch ops[i].Kind {
+		case OpPut:
+			s.shards[pl.shards[i]].epoch.Add(1)
+		case OpDelete:
+			if se.results[i].Found {
+				s.shards[pl.shards[i]].epoch.Add(1)
+			}
+		case OpCAS:
+			if se.results[i].Swapped {
+				s.shards[pl.shards[i]].epoch.Add(1)
+			}
+		}
+	}
+	return err
 }
 
 // Txn executes ops as one atomic transaction with Store.Txn semantics

@@ -171,8 +171,18 @@ func TestReplPrimaryHelperProcess(t *testing.T) {
 		t.Skip("helper process for TestKillPrimaryPromoteReplica")
 	}
 	dir := os.Getenv("OFTM_WAL_DIR")
-	s, err := New(Config{Addr: "127.0.0.1:0", Engine: "nztm", WALDir: dir, Fsync: "always",
-		ReplicateAddr: "127.0.0.1:0"})
+	cfg := Config{Addr: "127.0.0.1:0", Engine: "nztm", WALDir: dir, Fsync: "always",
+		ReplicateAddr: "127.0.0.1:0"}
+	// The incremental-bootstrap test runs the helper with aggressive
+	// snapshot cuts and small segments so its history truncates quickly.
+	if v := os.Getenv("OFTM_SNAP_EVERY"); v != "" {
+		cfg.SnapshotEvery, _ = time.ParseDuration(v)
+	}
+	if v := os.Getenv("OFTM_SEG_BYTES"); v != "" {
+		n, _ := strconv.ParseInt(v, 10, 64)
+		cfg.WALSegmentBytes = n
+	}
+	s, err := New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "repl helper: %v\n", err)
 		os.Exit(3)
@@ -192,10 +202,11 @@ func TestReplPrimaryHelperProcess(t *testing.T) {
 
 // spawnReplPrimary starts the primary helper subprocess and returns it
 // with its client and replication addresses.
-func spawnReplPrimary(t *testing.T, dir string) (*exec.Cmd, string, string) {
+func spawnReplPrimary(t *testing.T, dir string, extraEnv ...string) (*exec.Cmd, string, string) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=TestReplPrimaryHelperProcess$")
 	cmd.Env = append(os.Environ(), "OFTM_REPL_HELPER=1", "OFTM_WAL_DIR="+dir)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("starting repl helper: %v", err)
@@ -314,5 +325,148 @@ func TestKillPrimaryPromoteReplica(t *testing.T) {
 	}
 	if got := repl.WAL().LastSeq(); got != shipped+1 {
 		t.Fatalf("post-failover log seq = %d, want %d (no hole, no gap)", got, shipped+1)
+	}
+}
+
+// TestReplicaBootstrapIncremental is the failover scenario with
+// incremental snapshots on both nodes: the subprocess primary cuts
+// chain snapshots aggressively over small segments, so by the time the
+// replica connects the history its cursor needs is truncated and the
+// bootstrap must ship a manifest chain (as a bundle). The replica
+// installs it, follows live records, survives the primary's SIGKILL,
+// and serves every acknowledged write after PROMOTE.
+func TestReplicaBootstrapIncremental(t *testing.T) {
+	pdir := t.TempDir()
+	cmd, addr, replAddr := spawnReplPrimary(t, pdir,
+		"OFTM_SNAP_EVERY=25ms", "OFTM_SEG_BYTES=2048")
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial primary: %v", err)
+	}
+	ref := driveLoad(t, cl, 300)
+
+	// Wait until a chain exists and the snapshot's truncation dropped
+	// the first segment: a replica starting at cursor 1 then cannot
+	// catch up from files and must bootstrap from the chain.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ents, err := os.ReadDir(pdir)
+		if err != nil {
+			t.Fatalf("ReadDir(%s): %v", pdir, err)
+		}
+		haveManifest, haveFirstSeg := false, false
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".mf") {
+				haveManifest = true
+			}
+			if e.Name() == "wal-00000001.seg" {
+				haveFirstSeg = true
+			}
+		}
+		if haveManifest && !haveFirstSeg {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("primary never cut+truncated a chain snapshot (manifest=%v firstSeg=%v)", haveManifest, haveFirstSeg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rdir := t.TempDir()
+	repl := startServer(t, Config{Engine: "nztm", WALDir: rdir, ReplicaOf: replAddr,
+		SnapshotEvery: 25 * time.Millisecond})
+
+	// The bootstrap installed a chain, not a legacy image: the replica's
+	// own log dir holds a manifest plus shard images.
+	ents, err := os.ReadDir(rdir)
+	if err != nil {
+		t.Fatalf("ReadDir(%s): %v", rdir, err)
+	}
+	manifests, images := 0, 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".mf") {
+			manifests++
+		}
+		if strings.HasSuffix(e.Name(), ".shard") {
+			images++
+		}
+	}
+	if manifests != 1 || images == 0 {
+		t.Fatalf("replica dir after bootstrap: %d manifests, %d shard images — want a chain", manifests, images)
+	}
+
+	// More acknowledged writes after the bootstrap, streamed live.
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("post%03d", i)
+		if err := cl.Set(k, uint64(i)); err != nil {
+			t.Fatalf("primary SET %s: %v", k, err)
+		}
+		ref[k] = uint64(i)
+	}
+
+	var shipped uint64
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := cl.Do("STATS REPL")
+		if err != nil {
+			t.Fatalf("primary STATS REPL: %v", err)
+		}
+		var lag uint64 = 1
+		for _, f := range strings.Fields(resp[0]) {
+			if rest, ok := strings.CutPrefix(f, "last_shipped="); ok {
+				shipped, _ = strconv.ParseUint(rest, 10, 64)
+			}
+			if rest, ok := strings.CutPrefix(f, "lag="); ok {
+				lag, _ = strconv.ParseUint(rest, 10, 64)
+			}
+		}
+		if lag == 0 && shipped > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("primary never drained its shipping lag: %q", resp[0])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cl.Close()
+	waitReplApplied(t, repl, shipped)
+
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill primary: %v", err)
+	}
+	cmd.Wait()
+	killed = true
+
+	rc, err := Dial(repl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	resp, err := rc.Do("PROMOTE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp[0], "PROMOTED ") {
+		t.Fatalf("PROMOTE = %q", resp[0])
+	}
+	for k, want := range ref {
+		got, found, err := rc.Get(k)
+		if err != nil || !found || got != want {
+			t.Fatalf("promoted GET %s = (%d,%v,%v), want (%d,true,nil)", k, got, found, err, want)
+		}
+	}
+	if resp, _ := rc.Do("LEN"); resp[0] != fmt.Sprintf("LEN %d", len(ref)) {
+		t.Fatalf("promoted LEN = %q, want %d keys", resp[0], len(ref))
+	}
+	if err := rc.Set("after-failover", 1); err != nil {
+		t.Fatalf("SET after failover: %v", err)
 	}
 }

@@ -148,6 +148,12 @@ type Config struct {
 	// of the store) and truncates covered log segments. 0 disables
 	// periodic snapshots; recovery then replays the whole log.
 	SnapshotEvery time.Duration
+	// SnapshotFull forces periodic snapshots to re-dump the whole store
+	// as one legacy image. The default (false) cuts incremental chain
+	// snapshots: only shards dirtied since the previous cut are
+	// re-dumped, so cut cost and recovery time track the dirty set, not
+	// the store size (see internal/wal/chain.go).
+	SnapshotFull bool
 	// WALSegmentBytes caps a log segment before rotation (default 64
 	// MiB).
 	WALSegmentBytes int64
@@ -347,17 +353,19 @@ func (s *Server) openWAL(cfg Config) error {
 	if err != nil {
 		return fmt.Errorf("server: wal: %w", err)
 	}
-	for k, v := range rec.State {
-		if _, err := s.store.Put(nil, k, v); err != nil {
-			l.Close()
-			return fmt.Errorf("server: wal: loading recovered state: %w", err)
-		}
+	err = rec.Each(func(k string, v uint64) error {
+		_, perr := s.store.Put(nil, k, v)
+		return perr
+	})
+	if err != nil {
+		l.Close()
+		return fmt.Errorf("server: wal: loading recovered state: %w", err)
 	}
 	s.store.SetCommitHook(l.Append)
 	s.log = l
-	// The store holds the state now; keeping the recovery map too
+	// The store holds the state now; keeping the recovery map/images too
 	// would double resident memory for the server's whole lifetime.
-	rec.State = nil
+	rec.State, rec.Base, rec.Tombstones = nil, nil, nil
 	s.recovered = rec
 	if cfg.SnapshotEvery > 0 {
 		s.snapStop = make(chan struct{})
@@ -397,12 +405,14 @@ func (s *Server) openReplicaWAL(cfg Config) error {
 	}
 	s.replica.Store(true)
 	l := r.Log()
-	for k, v := range rec.State {
-		if _, err := s.store.Put(nil, k, v); err != nil {
-			r.Stop()
-			l.Close()
-			return fmt.Errorf("server: replica: loading bootstrap state: %w", err)
-		}
+	err = rec.Each(func(k string, v uint64) error {
+		_, perr := s.store.Put(nil, k, v)
+		return perr
+	})
+	if err != nil {
+		r.Stop()
+		l.Close()
+		return fmt.Errorf("server: replica: loading bootstrap state: %w", err)
 	}
 	s.store.SetCommitHook(func(effects []kv.Effect) error {
 		if s.replica.Load() {
@@ -411,7 +421,7 @@ func (s *Server) openReplicaWAL(cfg Config) error {
 		return l.Append(effects)
 	})
 	s.log = l
-	rec.State = nil
+	rec.State, rec.Base, rec.Tombstones = nil, nil, nil
 	s.recovered = rec
 	s.repl = r
 	r.Start(s.store)
@@ -440,20 +450,35 @@ func (s *Server) snapshotLoop(every time.Duration) {
 	}
 }
 
-// SnapshotNow takes one snapshot of the store (a consistent read-only
-// cut) and truncates the covered log history. Errors when the server
-// runs without a WAL.
+// SnapshotNow takes one snapshot of the store and truncates the covered
+// log history. The default is an incremental chain cut: shards dirtied
+// since the previous cut are re-dumped (each in its own read-only
+// transaction, so writers never stall behind a whole-store freeze),
+// clean shards stay linked to their existing images. Config.SnapshotFull
+// keeps the legacy whole-store image. Errors when the server runs
+// without a WAL.
 func (s *Server) SnapshotNow() error {
 	if s.log == nil {
 		return errors.New("server: no WAL configured")
 	}
-	dump := func() ([]kv.Pair, error) { return s.store.Dump(nil) }
-	if s.repl != nil && s.replica.Load() {
-		// A replica's log runs ahead of its store (ingest is WAL-first),
-		// so the safe cut is the last *applied* seq, not the log tail.
-		return s.log.WriteSnapshotCut(s.repl.Stats().LastApplied, dump)
+	replica := s.repl != nil && s.replica.Load()
+	if s.cfg.SnapshotFull {
+		dump := func() ([]kv.Pair, error) { return s.store.Dump(nil) }
+		if replica {
+			// A replica's log runs ahead of its store (ingest is
+			// WAL-first), so the safe cut is the last *applied* seq, not
+			// the log tail.
+			return s.log.WriteSnapshotCut(s.repl.Stats().LastApplied, dump)
+		}
+		return s.log.WriteSnapshot(dump)
 	}
-	return s.log.WriteSnapshot(dump)
+	if replica {
+		// The applied-cut read precedes the writer's epoch reads, which
+		// is the ordering the dirty-shard classification needs: the
+		// apply loop bumps a shard's epoch before advancing LastApplied.
+		return s.log.WriteSnapshotIncCut(s.repl.Stats().LastApplied, s.store)
+	}
+	return s.log.WriteSnapshotInc(s.store)
 }
 
 // Role reports the node's replication role: "replica" until Promote,

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/faultfs"
 	"repro/internal/kv"
@@ -305,64 +306,238 @@ func EncodeFrame(p []byte, seq uint64, effects []kv.Effect) []byte {
 	return appendFrame(p, seq, effects)
 }
 
-// DecodeSnapshot parses a snapshot image into its cut and state map —
-// the replica-bootstrap twin of recovery's snapshot load.
+// DecodeSnapshot parses a snapshot payload into its cut and state map —
+// the replica-bootstrap twin of recovery's snapshot load. It accepts
+// both a legacy full image and a chain bundle (see chain.go); a bundle
+// is verified whole before any of it is merged, so the caller never
+// observes a partial chain.
 func DecodeSnapshot(img []byte) (cut uint64, state map[string]uint64, err error) {
-	return decodeSnapshot(img)
+	if !isBundle(img) {
+		return decodeSnapshot(img)
+	}
+	cut, files, err := decodeBundle(img)
+	if err != nil {
+		return 0, nil, err
+	}
+	_, base, err := bundleChain(cut, files)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := 0
+	for s := range base {
+		n += base[s].Len()
+	}
+	state = make(map[string]uint64, n)
+	for s := range base {
+		err := base[s].walk(func(k string, v uint64) error {
+			// Cloned so the map does not pin the whole bundle buffer.
+			state[strings.Clone(k)] = v
+			return nil
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	return cut, state, nil
 }
 
-// NewestSnapshot returns the raw image and cut of the newest decodable
-// snapshot file in the log directory, for serving to a bootstrapping
-// replica. ok is false when no decodable snapshot exists.
+// NewestSnapshot returns the payload and cut of the newest loadable
+// snapshot in the log directory, for serving to a bootstrapping
+// replica: a chain becomes a bundle of its manifest plus images, a
+// legacy snapshot ships as its raw file. ok is false when no loadable
+// snapshot exists. snapMu keeps a concurrent cut's truncation from
+// removing chain files mid-assembly.
 func (l *Log) NewestSnapshot() (img []byte, cut uint64, ok bool, err error) {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
 	ents, err := l.opts.FS.ReadDir(l.opts.Dir)
 	if err != nil {
 		return nil, 0, false, err
 	}
-	var seqs []uint64
+	type cand struct {
+		cut   uint64
+		chain bool
+	}
+	var cands []cand
 	for _, e := range ents {
 		if seq, isSnap := parseSnapName(e.Name()); isSnap {
-			seqs = append(seqs, seq)
+			cands = append(cands, cand{cut: seq})
+		} else if c, isMani := parseManifestName(e.Name()); isMani {
+			cands = append(cands, cand{cut: c, chain: true})
 		}
 	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
-	for _, seq := range seqs {
-		b, err := l.opts.FS.ReadFile(filepath.Join(l.opts.Dir, snapName(seq)))
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cut != cands[j].cut {
+			return cands[i].cut > cands[j].cut
+		}
+		return cands[i].chain && !cands[j].chain
+	})
+	for _, c := range cands {
+		if c.chain {
+			b, err := l.bundleFor(c.cut)
+			if err != nil {
+				continue
+			}
+			return b, c.cut, true, nil
+		}
+		b, err := l.opts.FS.ReadFile(filepath.Join(l.opts.Dir, snapName(c.cut)))
 		if err != nil {
 			continue
 		}
 		if _, _, err := decodeSnapshot(b); err != nil {
 			continue
 		}
-		return b, seq, true, nil
+		return b, c.cut, true, nil
 	}
 	return nil, 0, false, nil
 }
 
+// bundleFor reads the chain committed at cut and packages it as a wire
+// bundle. Any unreadable or inconsistent piece fails the whole bundle.
+func (l *Log) bundleFor(cut uint64) ([]byte, error) {
+	mb, err := l.opts.FS.ReadFile(filepath.Join(l.opts.Dir, manifestName(cut)))
+	if err != nil {
+		return nil, err
+	}
+	mcut, imgCuts, err := decodeManifest(mb)
+	if err != nil {
+		return nil, err
+	}
+	if mcut != cut {
+		return nil, fmt.Errorf("wal: manifest %s declares cut %d", manifestName(cut), mcut)
+	}
+	files := make([]bundleFile, 0, len(imgCuts)+1)
+	files = append(files, bundleFile{name: manifestName(cut), data: mb})
+	for s, ic := range imgCuts {
+		name := shardImageName(ic, s)
+		ib, err := l.opts.FS.ReadFile(filepath.Join(l.opts.Dir, name))
+		if err != nil {
+			return nil, err
+		}
+		icut, idx, _, err := decodeShardImage(ib)
+		if err != nil {
+			return nil, err
+		}
+		if icut != ic || idx != s {
+			return nil, fmt.Errorf("wal: %s declares cut %d shard %d", name, icut, idx)
+		}
+		files = append(files, bundleFile{name: name, data: ib})
+	}
+	return encodeBundle(cut, files), nil
+}
+
 // InstallSnapshot replaces an open log's history with a shipped
-// snapshot image — the replica path for falling too far behind a
-// primary that truncated the records the replica still needs. The
-// image is persisted as the newest snapshot file, the covered segments
-// are removed, a fresh segment adjoining the cut is opened, and the
-// log's sequence numbers jump to the cut: the next record is cut+1.
-// The cut must be ahead of the log's last seq — installing a snapshot
-// that does not advance the log is refused. The caller owns
-// reconciling the store state to the image (see wal.DecodeSnapshot).
+// snapshot payload (legacy image or chain bundle) — the replica path
+// for falling too far behind a primary that truncated the records the
+// replica still needs. The payload is persisted as the newest snapshot,
+// the covered segments are removed, a fresh segment adjoining the cut
+// is opened, and the log's sequence numbers jump to the cut: the next
+// record is cut+1. The cut must be ahead of the log's last seq —
+// installing a snapshot that does not advance the log is refused. The
+// caller owns reconciling the store state to the payload (see
+// wal.DecodeSnapshot).
 //
-// Crash safety: the image is durable (temp write + rename + dir sync)
-// before any history is removed, so every intermediate crash state
-// recovers — to the old history before the rename, to the snapshot
-// plus whatever contiguous history survives after it.
+// Crash safety: the payload is durable before any history is removed,
+// so every intermediate crash state recovers — to the old history
+// before the commit rename, to the snapshot plus whatever contiguous
+// history survives after it.
 func (l *Log) InstallSnapshot(img []byte) (uint64, error) {
-	cut, _, err := decodeSnapshot(img)
+	cut, err := snapshotPayloadCut(img)
 	if err != nil {
 		return 0, err
 	}
 	return cut, l.onLogGoroutine(func() error { return l.installSnapshot(img, cut) })
 }
 
+// snapshotPayloadCut fully validates a snapshot payload — either format
+// — and returns its cut.
+func snapshotPayloadCut(img []byte) (uint64, error) {
+	if isBundle(img) {
+		cut, files, err := decodeBundle(img)
+		if err != nil {
+			return 0, err
+		}
+		if _, _, err := bundleChain(cut, files); err != nil {
+			return 0, err
+		}
+		return cut, nil
+	}
+	cut, _, err := decodeSnapshot(img)
+	return cut, err
+}
+
+// persistSnapshotPayload writes a validated snapshot payload into dir
+// with the cut's crash-safety ordering and returns the set of snapshot
+// file names it owns. A legacy image goes through temp write + rename;
+// a bundle writes its images first (each fsynced, then the directory)
+// and commits via the manifest's temp write + rename — exactly the
+// ordering a live incremental cut uses, so every crash state recovers.
+func persistSnapshotPayload(fsys faultfs.FS, dir string, img []byte, cut uint64) (keep map[string]bool, err error) {
+	if !isBundle(img) {
+		tmp := filepath.Join(dir, "snapshot.tmp")
+		if err := fsys.WriteFile(tmp, img, 0o644); err != nil {
+			return nil, err
+		}
+		if err := fsyncFile(fsys, tmp); err != nil {
+			return nil, err
+		}
+		if err := fsys.Rename(tmp, filepath.Join(dir, snapName(cut))); err != nil {
+			return nil, err
+		}
+		if err := syncDir(fsys, dir); err != nil {
+			return nil, err
+		}
+		return map[string]bool{snapName(cut): true}, nil
+	}
+	bcut, files, err := decodeBundle(img)
+	if err != nil {
+		return nil, err
+	}
+	if bcut != cut {
+		return nil, fmt.Errorf("wal: bundle declares cut %d, want %d", bcut, cut)
+	}
+	if _, _, err := bundleChain(cut, files); err != nil {
+		return nil, err
+	}
+	keep = make(map[string]bool, len(files))
+	var manifest []byte
+	for _, f := range files {
+		keep[f.name] = true
+		if f.name == manifestName(cut) {
+			manifest = f.data
+			continue
+		}
+		path := filepath.Join(dir, f.name)
+		if err := fsys.WriteFile(path, f.data, 0o644); err != nil {
+			return nil, err
+		}
+		if err := fsyncFile(fsys, path); err != nil {
+			return nil, err
+		}
+	}
+	if err := syncDir(fsys, dir); err != nil {
+		return nil, err
+	}
+	tmp := filepath.Join(dir, "manifest.tmp")
+	if err := fsys.WriteFile(tmp, manifest, 0o644); err != nil {
+		return nil, err
+	}
+	if err := fsyncFile(fsys, tmp); err != nil {
+		return nil, err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName(cut))); err != nil {
+		return nil, err
+	}
+	if err := syncDir(fsys, dir); err != nil {
+		return nil, err
+	}
+	return keep, nil
+}
+
 // installSnapshot is the log-goroutine body of InstallSnapshot.
 func (l *Log) installSnapshot(img []byte, cut uint64) error {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
 	l.flushBatch()
 	l.mu.Lock()
 	if err := l.failed; err != nil {
@@ -378,24 +553,14 @@ func (l *Log) installSnapshot(img []byte, cut uint64) error {
 	copy(old, l.segs)
 	l.mu.Unlock()
 
-	// Persist the image first: from here on every crash state recovers.
-	tmp := filepath.Join(l.opts.Dir, "snapshot.tmp")
-	if err := l.opts.FS.WriteFile(tmp, img, 0o644); err != nil {
-		return err
-	}
-	if err := fsyncFile(l.opts.FS, tmp); err != nil {
-		return err
-	}
-	final := filepath.Join(l.opts.Dir, snapName(cut))
-	if err := l.opts.FS.Rename(tmp, final); err != nil {
-		return err
-	}
-	if err := syncDir(l.opts.FS, l.opts.Dir); err != nil {
+	// Persist the payload first: from here on every crash state recovers.
+	keep, err := persistSnapshotPayload(l.opts.FS, l.opts.Dir, img, cut)
+	if err != nil {
 		return err
 	}
 
 	// Drop the covered history. The old segments are all <= lastSeq <
-	// cut+1, so none of their records outlive the image.
+	// cut+1, so none of their records outlive the snapshot.
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
@@ -415,48 +580,36 @@ func (l *Log) installSnapshot(img []byte, cut uint64) error {
 	l.tailFirst = 0
 	l.cond.Broadcast()
 	l.mu.Unlock()
+	// Installed images were cut under the shipper's shard partition,
+	// which need not match this process's handle ordering — a local
+	// incremental cut must never link to them (see chain.go), so the
+	// next cut is forced full.
+	l.chainCut, l.chainImgs, l.chainEpochs = 0, nil, nil
 	if err := l.openSegment(lastIdx+1, cut+1); err != nil {
 		return err
 	}
 
-	// Older snapshots are superseded; removal failures only cost disk.
-	if ents, err := l.opts.FS.ReadDir(l.opts.Dir); err == nil {
-		for _, e := range ents {
-			name := e.Name()
-			if seq, ok := parseSnapName(name); ok && seq != cut {
-				l.opts.FS.Remove(filepath.Join(l.opts.Dir, name))
-			}
-		}
-	}
+	// Superseded snapshot artifacts; removal failures only cost disk.
+	l.cleanSnapshotFiles(keep)
 	return nil
 }
 
-// InstallSnapshotImage validates img and writes it into dir as a
-// canonical snapshot file (temp write, rename, directory sync) so a
+// InstallSnapshotImage validates a snapshot payload (legacy image or
+// chain bundle) and writes it into dir as canonical snapshot files so a
 // subsequent Open recovers from it — the replica-bootstrap install
 // path. The caller re-opens the log afterwards.
 func InstallSnapshotImage(fsys faultfs.FS, dir string, img []byte) (cut uint64, err error) {
 	if fsys == nil {
 		fsys = faultfs.OS
 	}
-	cut, _, err = decodeSnapshot(img)
+	cut, err = snapshotPayloadCut(img)
 	if err != nil {
 		return 0, err
 	}
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
-	tmp := filepath.Join(dir, "snapshot.tmp")
-	if err := fsys.WriteFile(tmp, img, 0o644); err != nil {
-		return 0, err
-	}
-	if err := fsyncFile(fsys, tmp); err != nil {
-		return 0, err
-	}
-	if err := fsys.Rename(tmp, filepath.Join(dir, snapName(cut))); err != nil {
-		return 0, err
-	}
-	if err := syncDir(fsys, dir); err != nil {
+	if _, err := persistSnapshotPayload(fsys, dir, img, cut); err != nil {
 		return 0, err
 	}
 	return cut, nil

@@ -224,7 +224,7 @@ func TestTailReaderSnapshotNeeded(t *testing.T) {
 	l0, _ := openT(t, dir, Options{Policy: SyncNever, SegmentBytes: 128})
 	var batches [][]kv.Effect
 	for i := 0; i < 16; i++ {
-		b := []kv.Effect{put(key4(i), uint64(i * 10))}
+		b := []kv.Effect{put(key4(i), uint64(i*10))}
 		batches = append(batches, b)
 		if err := l0.Append(b); err != nil {
 			t.Fatalf("Append: %v", err)

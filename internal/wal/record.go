@@ -103,8 +103,11 @@ func parseFrame(b []byte) (seq uint64, payload []byte, frameLen int, ok bool) {
 	return seq, body[sn:], frameHeaderLen + n, true
 }
 
-// applyPayload replays one frame's effects onto state.
-func applyPayload(state map[string]uint64, payload []byte) error {
+// applyPayload replays one frame's effects onto state. When tombs is
+// non-nil (chain recovery: state is only the tail over a separate base)
+// deletes are additionally recorded there so base entries they shadow
+// can be skipped at merge time; puts clear any earlier tombstone.
+func applyPayload(state map[string]uint64, tombs map[string]struct{}, payload []byte) error {
 	count, n := binary.Uvarint(payload)
 	if n <= 0 {
 		return fmt.Errorf("wal: bad effect count")
@@ -130,8 +133,14 @@ func applyPayload(state map[string]uint64, payload []byte) error {
 			}
 			payload = payload[n:]
 			state[key] = val
+			if tombs != nil {
+				delete(tombs, key)
+			}
 		case tagDel:
 			delete(state, key)
+			if tombs != nil {
+				tombs[key] = struct{}{}
+			}
 		default:
 			return fmt.Errorf("wal: unknown effect tag %d", tag)
 		}

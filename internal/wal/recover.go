@@ -12,12 +12,27 @@ import (
 
 // Recovered reports what Open reconstructed from the log directory.
 type Recovered struct {
-	// State is the recovered store content: the latest snapshot with
-	// the log tail replayed on top. Consumers that only report should
-	// read Keys and drop the map once loaded (the server does).
+	// State holds the tail: every effect replayed past the snapshot
+	// cut. When recovery used a legacy full snapshot (Base == nil) it
+	// is the complete store content, as before. When recovery used a
+	// manifest chain, the snapshot part lives in Base and State holds
+	// only the replayed tail — iterate with Each or materialize with
+	// Merged instead of reading State directly.
 	State map[string]uint64
-	// Keys is len(State) at recovery time — it survives a consumer
-	// nil-ing State after loading it.
+	// Base holds the chain's per-shard images (nil when a legacy
+	// snapshot or no snapshot was used) in wire form (see ShardBase),
+	// deliberately not merged into a map — loading an image is file
+	// read + CRC + one validating walk with no per-entry hash+insert
+	// or allocation, which is what keeps chain recovery bounded by
+	// dirty-set + tail rather than paying map construction over the
+	// whole store. Keys overridden or deleted by the tail are shadowed
+	// via State and Tombstones.
+	Base []ShardBase
+	// Tombstones are the keys the tail deleted (chain recovery only):
+	// they may still appear in Base and must be skipped when merging.
+	Tombstones map[string]struct{}
+	// Keys is the recovered entry count — it survives a consumer
+	// nil-ing State/Base after loading them.
 	Keys int
 	// LastSeq is the highest sequence number recovered; appending
 	// resumes at LastSeq+1.
@@ -32,6 +47,44 @@ type Recovered struct {
 	// torn bytes were truncated away; every record before them
 	// survived.
 	TornTail bool
+}
+
+// Each calls fn once per recovered key with its final value, walking
+// the chain base (skipping entries the tail overrode or deleted) and
+// then the tail itself. It stops on the first error.
+func (r *Recovered) Each(fn func(key string, val uint64) error) error {
+	for s := range r.Base {
+		err := r.Base[s].walk(func(k string, v uint64) error {
+			if _, ok := r.State[k]; ok {
+				return nil
+			}
+			if _, ok := r.Tombstones[k]; ok {
+				return nil
+			}
+			return fn(k, v)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for k, v := range r.State {
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merged materializes the full recovered state as one map — the
+// convenience for checks and small stores; the server loads via Each
+// and never builds this map.
+func (r *Recovered) Merged() map[string]uint64 {
+	m := make(map[string]uint64, r.Keys)
+	r.Each(func(k string, v uint64) error {
+		m[k] = v
+		return nil
+	})
+	return m
 }
 
 // Open recovers the log directory (creating it if missing) and returns
@@ -53,41 +106,67 @@ func Open(opts Options) (*Log, Recovered, error) {
 		return nil, rec, err
 	}
 
+	// cand is one snapshot candidate: a manifest chain or a legacy full
+	// image at a cut.
+	type cand struct {
+		cut   uint64
+		chain bool
+	}
 	var segIdxs []int
-	var snapSeqs []uint64
+	var cands []cand
 	for _, e := range ents {
 		name := e.Name()
 		switch {
 		case strings.HasSuffix(name, ".tmp"):
-			// An interrupted snapshot write; rename never happened.
+			// An interrupted snapshot or manifest write; rename never
+			// happened, so no complete chain references it.
 			opts.FS.Remove(filepath.Join(opts.Dir, name))
 		case parseSegIdx(name) >= 0:
 			segIdxs = append(segIdxs, parseSegIdx(name))
 		default:
 			if seq, ok := parseSnapName(name); ok {
-				snapSeqs = append(snapSeqs, seq)
+				cands = append(cands, cand{cut: seq})
+			} else if cut, ok := parseManifestName(name); ok {
+				cands = append(cands, cand{cut: cut, chain: true})
 			}
 		}
 	}
 	sort.Ints(segIdxs)
-	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cut != cands[j].cut {
+			return cands[i].cut > cands[j].cut
+		}
+		return cands[i].chain && !cands[j].chain
+	})
 
-	// Latest loadable snapshot wins; an unreadable one (half-written
+	// Newest loadable snapshot wins; an unreadable one (half-written
 	// before an old crash, bitrot) falls back to the one before it —
 	// correctness is unaffected because the full log tail since that
-	// older cut is replayed.
-	for _, seq := range snapSeqs {
-		img, err := opts.FS.ReadFile(filepath.Join(opts.Dir, snapName(seq)))
-		if err != nil {
-			continue
+	// older cut is replayed. A manifest chain loads only whole: any
+	// missing or corrupt referenced image poisons the entire chain
+	// (loadChain), so recovery never sees a partial chain — the same
+	// all-or-nothing discipline as the structural-hole refusal below.
+	for _, c := range cands {
+		if c.chain {
+			base, err := loadChain(opts.FS, opts.Dir, c.cut)
+			if err != nil {
+				continue
+			}
+			rec.Base = base
+			rec.Tombstones = map[string]struct{}{}
+		} else {
+			img, err := opts.FS.ReadFile(filepath.Join(opts.Dir, snapName(c.cut)))
+			if err != nil {
+				continue
+			}
+			cut, state, err := decodeSnapshot(img)
+			if err != nil || cut != c.cut {
+				continue
+			}
+			rec.State = state
 		}
-		cut, state, err := decodeSnapshot(img)
-		if err != nil {
-			continue
-		}
-		rec.State = state
-		rec.SnapshotSeq = cut
-		rec.LastSeq = cut
+		rec.SnapshotSeq = c.cut
+		rec.LastSeq = c.cut
 		break
 	}
 
@@ -111,7 +190,29 @@ func Open(opts Options) (*Log, Recovered, error) {
 		}
 	}
 
+	// Count recovered keys. This pass doubles as the chain's structural
+	// validation: each image's entry stream is walked exactly once
+	// (bounds-checked by ShardBase.walk), so Open never hands back a
+	// base it could not fully read.
 	rec.Keys = len(rec.State)
+	shadowed := len(rec.State) != 0 || len(rec.Tombstones) != 0
+	for s := range rec.Base {
+		err := rec.Base[s].walk(func(k string, _ uint64) error {
+			if shadowed {
+				if _, ok := rec.State[k]; ok {
+					return nil
+				}
+				if _, ok := rec.Tombstones[k]; ok {
+					return nil
+				}
+			}
+			rec.Keys++
+			return nil
+		})
+		if err != nil {
+			return nil, rec, fmt.Errorf("wal: snapshot chain at cut %d: %w; refusing to recover from an unreadable base", rec.SnapshotSeq, err)
+		}
+	}
 	nextIdx := 1
 	if n := len(segIdxs); n > 0 {
 		nextIdx = segIdxs[n-1] + 1
@@ -181,7 +282,7 @@ func (l *Log) replaySegment(idx int, first, last bool, rec *Recovered, next *uin
 		}
 		*next = seq + 1
 		if seq > rec.SnapshotSeq {
-			if err := applyPayload(rec.State, payload); err != nil {
+			if err := applyPayload(rec.State, rec.Tombstones, payload); err != nil {
 				return fmt.Errorf("wal: %s: record %d: %w", path, seq, err)
 			}
 			rec.Records++

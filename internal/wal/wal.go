@@ -169,6 +169,20 @@ type Log struct {
 	done chan struct{}
 	exec chan execReq // funcs to run on the log goroutine (snapshot install)
 
+	// snapMu serializes everything that mutates snapshot files and the
+	// chain state below: the snapshot writers, snapshot install, and
+	// bundle assembly for replicas. It is never held while waiting on
+	// the log goroutine and always acquired before l.mu.
+	snapMu sync.Mutex
+	// Chain state of the newest manifest written by THIS process (see
+	// chain.go): nil chainImgs means no chain base — the next cut is a
+	// full cut. Chains deliberately never link to images of a previous
+	// process: shard membership hashes intern handles, whose assignment
+	// order is not stable across recovery.
+	chainCut    uint64
+	chainImgs   []uint64 // per-shard image cut referenced by the newest manifest
+	chainEpochs []uint64 // per-shard dirty epochs observed at that cut
+
 	// log-goroutine-owned state.
 	f        faultfs.File
 	segBytes int64
@@ -545,6 +559,8 @@ func (l *Log) WriteSnapshot(dump func() ([]kv.Pair, error)) error {
 // last applied seq — using lastSeq there would cut away records the
 // dump does not contain. The cut must not exceed lastSeq.
 func (l *Log) WriteSnapshotCut(cut uint64, dump func() ([]kv.Pair, error)) error {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
 	l.mu.Lock()
 	err := l.failed
 	if err == nil && cut > l.lastSeq {
@@ -566,49 +582,17 @@ func (l *Log) WriteSnapshotCut(cut uint64, dump func() ([]kv.Pair, error)) error
 	if err := fsyncFile(l.opts.FS, tmp); err != nil {
 		return err
 	}
-	final := filepath.Join(l.opts.Dir, snapName(cut))
-	if err := l.opts.FS.Rename(tmp, final); err != nil {
+	if err := l.opts.FS.Rename(tmp, filepath.Join(l.opts.Dir, snapName(cut))); err != nil {
 		return err
 	}
 	if err := syncDir(l.opts.FS, l.opts.Dir); err != nil {
 		return err
 	}
-	l.truncate(cut, final)
+	// A full image supersedes any chain; the next incremental cut
+	// starts a fresh chain with a full cut.
+	l.chainCut, l.chainImgs, l.chainEpochs = 0, nil, nil
+	l.truncateTo(cut, map[string]bool{snapName(cut): true})
 	return nil
-}
-
-// truncate deletes snapshots other than keep and closed segments fully
-// covered by the cut: a segment is removable when a later segment
-// exists whose first sequence is <= cut+1 (so every record the old
-// segment holds is <= cut). Removal failures are ignored — stale files
-// only cost disk and are retried by the next snapshot.
-func (l *Log) truncate(cut uint64, keep string) {
-	l.mu.Lock()
-	l.snapSeq = cut
-	var drop []string
-	kept := l.segs[:0]
-	for i, s := range l.segs {
-		if i+1 < len(l.segs) && l.segs[i+1].firstSeq <= cut+1 {
-			drop = append(drop, s.path)
-		} else {
-			kept = append(kept, s)
-		}
-	}
-	l.segs = kept
-	l.mu.Unlock()
-	for _, p := range drop {
-		l.opts.FS.Remove(p)
-	}
-	ents, err := l.opts.FS.ReadDir(l.opts.Dir)
-	if err != nil {
-		return
-	}
-	for _, e := range ents {
-		name := e.Name()
-		if _, ok := parseSnapName(name); ok && filepath.Join(l.opts.Dir, name) != keep {
-			l.opts.FS.Remove(filepath.Join(l.opts.Dir, name))
-		}
-	}
 }
 
 func segName(idx int) string     { return fmt.Sprintf("wal-%08d.seg", idx) }
